@@ -1,0 +1,57 @@
+"""Shared helpers for the figure-reproduction benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+exploration inside the ``benchmark`` fixture (timing the harness), prints
+the regenerated rows, writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite them, and asserts the *shape* the paper reports
+(who wins, trend directions, crossovers).
+"""
+
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.core.config import CacheConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The (T, L) grid of Figures 1-4.
+FIGURE_GRID = [
+    CacheConfig(t, l)
+    for t in (16, 32, 64, 128, 256, 512)
+    for l in (4, 8, 16, 32, 64)
+    if l <= t
+]
+
+#: The four kernel-grid configurations of Figure 2.
+FIG2_CONFIGS = [
+    CacheConfig(16, 4),
+    CacheConfig(32, 8),
+    CacheConfig(64, 16),
+    CacheConfig(128, 32),
+]
+
+
+@pytest.fixture
+def report():
+    """Write (and echo) a regenerated table under benchmarks/results/."""
+
+    def _write(name: str, title: str, header: Sequence[str], rows: Iterable[Sequence]):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        widths = [max(len(str(h)), 12) for h in header]
+        lines = [title, ""]
+        lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append(
+                "  ".join(
+                    (f"{v:.4f}" if isinstance(v, float) else str(v)).rjust(w)
+                    for v, w in zip(row, widths)
+                )
+            )
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        sys.stdout.write("\n" + text)
+
+    return _write

@@ -1,0 +1,51 @@
+"""Ablation: where does the Em crossover fall?
+
+Section 3 contrasts Em = 2.31 nJ (small caches win energy) with Em = 43.56
+nJ (large caches win).  This ablation sweeps Em continuously to locate the
+crossover: the smallest Em at which a larger cache's minimum energy beats
+C16L4 for Compress.  The paper's default part (4.95 nJ) must land on the
+small-cache side of that crossover and the 16 Mbit part on the other.
+"""
+
+from conftest import FIGURE_GRID
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAMPart
+from repro.kernels import make_compress
+
+EM_SWEEP = (1.0, 2.31, 4.95, 8.0, 12.0, 20.0, 43.56, 80.0)
+
+
+def run_sweep():
+    outcome = []
+    for em in EM_SWEEP:
+        part = SRAMPart(name=f"em{em}", size_bits=1, energy_per_access_nj=em)
+        explorer = MemExplorer(make_compress(), energy_model=EnergyModel(sram=part))
+        result = explorer.explore(configs=FIGURE_GRID)
+        best = result.min_energy()
+        outcome.append((em, best.config, best.energy_nj))
+    return outcome
+
+
+def test_ablation_em_crossover(benchmark, report):
+    outcome = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (em, config.label(), round(energy)) for em, config, energy in outcome
+    ]
+    report(
+        "ablation_em_crossover",
+        "Ablation -- minimum-energy configuration vs Em (Compress)",
+        ("Em nJ", "min-E config", "energy nJ"),
+        rows,
+    )
+
+    best_at = {em: config for em, config, _ in outcome}
+    # The paper's two quoted regimes sit on opposite sides of a crossover.
+    assert best_at[2.31] == CacheConfig(16, 4)
+    assert best_at[4.95] == CacheConfig(16, 4)
+    assert best_at[43.56].size > 16
+    # The winner's cache size never shrinks as Em grows.
+    sizes = [config.size for _, config, _ in outcome]
+    assert all(b >= a for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,54 @@
+"""Ablation: Gray-coded vs binary address bus.
+
+The paper assumes Gray coding when computing ``Add_bs`` (Section 2.3).
+This ablation quantifies the assumption: for the loop kernels' largely
+sequential address streams, Gray coding reduces the measured address-bus
+switching, and with it ``E_dec``/``E_io`` -- but the configuration ranking
+is insensitive to the choice (the ``Em*L`` term dominates misses).
+"""
+
+from conftest import FIGURE_GRID
+
+from repro.core.explorer import MemExplorer
+from repro.kernels import make_compress, make_dequant
+
+
+def run_comparison():
+    out = {}
+    for make in (make_compress, make_dequant):
+        kernel = make()
+        gray = MemExplorer(kernel, gray_code=True).explore(configs=FIGURE_GRID)
+        binary = MemExplorer(kernel, gray_code=False).explore(configs=FIGURE_GRID)
+        out[kernel.name] = (gray, binary)
+    return out
+
+
+def test_ablation_gray_code(benchmark, report):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = []
+    for name, (gray, binary) in results.items():
+        for eg, eb in zip(gray, binary):
+            rows.append(
+                (name, eg.config.label(), eg.add_bs, eb.add_bs,
+                 round(eg.energy_nj), round(eb.energy_nj))
+            )
+    report(
+        "ablation_gray_code",
+        "Ablation -- Gray vs binary address-bus coding",
+        ("kernel", "config", "gray bs", "binary bs", "E gray", "E binary"),
+        rows,
+    )
+
+    for name, (gray, binary) in results.items():
+        # Ranking: the minimum-energy configuration is coding-invariant.
+        assert gray.min_energy().config == binary.min_energy().config, name
+
+    # Switching: Gray wins on Compress's single-array, sequential-heavy
+    # stream (the case the encoding was designed for).  Dequant interleaves
+    # three arrays, so consecutive bus words jump across bases and Gray
+    # coding loses its edge -- a real effect the bench records rather than
+    # hides.
+    gray, binary = results["compress"]
+    mean_gray = sum(e.add_bs for e in gray) / len(gray)
+    mean_binary = sum(e.add_bs for e in binary) / len(binary)
+    assert mean_gray < mean_binary

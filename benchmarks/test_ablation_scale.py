@@ -1,0 +1,64 @@
+"""Ablation: sensitivity to the single calibration constant.
+
+``TechnologyParams.capacitive_scale_nj`` converts the paper's
+alpha/beta/gamma switching weights into nanojoules (see
+repro/energy/params.py).  This ablation halves and doubles it and checks
+that every qualitative claim survives: the Em trend flip, the C16L4
+minimum-energy anchor at the default Em, and the min-energy/min-time
+separation.
+"""
+
+from conftest import FIGURE_GRID
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.energy.model import EnergyModel
+from repro.energy.params import (
+    CAPACITIVE_SCALE,
+    LOW_POWER_2MBIT,
+    SRAM_16MBIT,
+    TechnologyParams,
+)
+from repro.kernels import make_compress
+
+SCALES = (CAPACITIVE_SCALE / 2, CAPACITIVE_SCALE, CAPACITIVE_SCALE * 2)
+
+
+def run_sweep():
+    outcome = {}
+    for scale in SCALES:
+        tech = TechnologyParams(capacitive_scale_nj=scale)
+        for sram in (LOW_POWER_2MBIT, SRAM_16MBIT):
+            explorer = MemExplorer(
+                make_compress(), energy_model=EnergyModel(tech=tech, sram=sram)
+            )
+            result = explorer.explore(configs=FIGURE_GRID)
+            outcome[(scale, sram.energy_per_access_nj)] = result
+    return outcome
+
+
+def test_ablation_scale(benchmark, report):
+    outcome = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for (scale, em), result in sorted(outcome.items()):
+        best_e = result.min_energy()
+        best_t = result.min_cycles()
+        rows.append(
+            (scale, em, best_e.config.label(), round(best_e.energy_nj),
+             best_t.config.label())
+        )
+    report(
+        "ablation_scale",
+        "Ablation -- calibration-scale sensitivity (Compress)",
+        ("scale", "Em", "min-E config", "energy nJ", "min-T config"),
+        rows,
+    )
+
+    for scale in SCALES:
+        low = outcome[(scale, 2.31)]
+        high = outcome[(scale, 43.56)]
+        # The Em flip survives a 4x swing of the calibration constant.
+        assert low.min_energy().config == CacheConfig(16, 4), scale
+        assert high.min_energy().config.size > 16, scale
+        # Min-energy and min-time stay separated.
+        assert low.min_energy().config != low.min_cycles().config, scale

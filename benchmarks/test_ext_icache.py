@@ -1,0 +1,70 @@
+"""Extension bench: instruction-cache exploration (Kirovski merge).
+
+The paper's introduction proposes extending the data-cache exploration to
+instruction caches.  This bench builds a loop-dominated basic-block program
+(a decoder-style main loop with a cold error path), explores the
+instruction-cache space, and checks the expected shape: the knee sits where
+the cache first holds the hot loop, and energy is minimised at that knee
+rather than at the largest cache.
+"""
+
+from repro.core.config import design_space
+from repro.icache.blocks import ControlFlowTrace, Program
+from repro.icache.explorer import ICacheExplorer
+
+
+def build_execution():
+    program = Program.sequential(
+        [
+            ("init", 16),
+            ("loop_head", 4),
+            ("decode", 24),
+            ("writeback", 8),
+            ("loop_tail", 4),
+            ("cold_error", 32),
+        ]
+    )
+    body = ["loop_head", "decode", "writeback", "loop_tail"]
+    return ControlFlowTrace.loop(
+        program, body, iterations=200, prologue=["init"], epilogue=["cold_error"]
+    )
+
+
+def run_exploration():
+    execution = build_execution()
+    explorer = ICacheExplorer(execution)
+    configs = list(
+        design_space(max_size=512, min_size=32, min_line=8, max_line=32,
+                     ways=(1, 2), tilings=(1,))
+    )
+    return execution, explorer.explore(configs=configs)
+
+
+def test_ext_icache(benchmark, report):
+    execution, result = benchmark.pedantic(run_exploration, rounds=1, iterations=1)
+    rows = [
+        (e.config.label(full=True), e.miss_rate, round(e.cycles),
+         round(e.energy_nj))
+        for e in result
+    ]
+    report(
+        "ext_icache",
+        "Extension -- instruction-cache exploration of a loop-dominated "
+        "program",
+        ("config", "miss rate", "cycles", "energy nJ"),
+        rows,
+    )
+
+    hot_loop_bytes = (4 + 24 + 8 + 4) * 4  # 160 bytes
+    big_enough = [e for e in result if e.config.size >= 256]
+    too_small = [e for e in result if e.config.size < hot_loop_bytes / 2]
+    assert big_enough and too_small
+    # Once the loop fits, essentially everything hits.
+    assert min(e.miss_rate for e in big_enough) < 0.01
+    # Well below the loop size, the stream misses heavily by comparison.
+    assert max(e.miss_rate for e in too_small) > 10 * min(
+        e.miss_rate for e in big_enough
+    )
+    # Energy is NOT minimised by the largest cache: the knee wins.
+    best = result.min_energy().config
+    assert best.size < 512

@@ -1,0 +1,79 @@
+"""Extension bench: prefetching and DRAM row-buffer effects.
+
+Two post-paper realities, measured on the paper's own kernels:
+
+* **Sequential prefetch** removes the *compulsory* misses the paper's
+  levers (layout, tiling, associativity) cannot touch -- dramatic on the
+  streaming kernels, useless on random-ish access;
+* **DRAM main memory** replaces the flat ``Em`` with open-row structure,
+  and the Section 4.1 layout turns out to help there too: its miss stream
+  is more row-sequential than the dense layout's thrash.
+"""
+
+import pytest
+
+from repro.cache.prefetch import PrefetchCache
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.energy.dram import miss_stream_energy
+from repro.kernels import make_compress, make_dequant, make_sor
+
+GEO = CacheGeometry(64, 8, 1)
+
+
+def run_study():
+    prefetch_rows = []
+    for make in (make_compress, make_sor, make_dequant):
+        kernel = make()
+        layout = kernel.optimized_layout(64, 8).layout
+        trace = kernel.trace(layout=layout)
+        plain = CacheSimulator(GEO).run(trace)
+        pf = PrefetchCache(GEO).run(trace)
+        prefetch_rows.append((kernel.name, plain.miss_rate, pf.miss_rate,
+                              pf.accuracy, pf.memory_fetches, plain.misses))
+    dram_rows = []
+    for make in (make_compress, make_dequant):
+        kernel = make(element_size=4)
+        dense = miss_stream_energy(kernel.trace(), 64, 8)
+        layout = kernel.optimized_layout(64, 8).layout
+        padded = miss_stream_energy(kernel.trace(layout=layout), 64, 8)
+        dram_rows.append((kernel.name, dense, padded))
+    return prefetch_rows, dram_rows
+
+
+def test_ext_prefetch_dram(benchmark, report):
+    prefetch_rows, dram_rows = benchmark.pedantic(
+        run_study, rounds=1, iterations=1
+    )
+    table = []
+    for name, plain_mr, pf_mr, accuracy, fetches, plain_misses in prefetch_rows:
+        table.append(("prefetch:" + name, plain_mr, pf_mr, accuracy))
+    for name, dense, padded in dram_rows:
+        table.append(
+            ("dram:" + name, round(dense.energy_nj), round(padded.energy_nj),
+             round(padded.row_hit_rate, 3))
+        )
+    report(
+        "ext_prefetch_dram",
+        "Extension -- sequential prefetch and DRAM row-buffer locality",
+        ("study", "baseline", "improved", "aux"),
+        table,
+    )
+
+    results = {r[0]: r for r in prefetch_rows}
+    # Single-array streams: demand misses collapse at high accuracy,
+    # without inflating memory traffic beyond ~1.5x the demand misses.
+    for name in ("compress", "sor"):
+        _, plain_mr, pf_mr, accuracy, fetches, plain_misses = results[name]
+        assert pf_mr < plain_mr / 2, name
+        assert accuracy > 0.9, name
+        assert fetches < plain_misses * 1.5, name
+    # Dequant's three interleaved streams defeat next-line prefetch in a
+    # direct-mapped cache: each prefetched line lands on the *next* class's
+    # slot (the very slots the Section 4.1 layout separated) and is evicted
+    # before use -- a measured interaction, not a modelling artefact.
+    _, plain_mr, pf_mr, accuracy, _, _ = results["dequant"]
+    assert pf_mr == pytest.approx(plain_mr, rel=0.05)
+    assert accuracy < 0.1
+    for name, dense, padded in dram_rows:
+        # The layout saves off-chip DRAM energy on top of cache misses.
+        assert padded.energy_nj < dense.energy_nj, name

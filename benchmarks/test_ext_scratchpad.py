@@ -1,0 +1,67 @@
+"""Extension bench: cache vs scratchpad across on-chip budgets.
+
+The Panda/Dutt comparison the paper's cache exploration sits inside: for
+each on-chip byte budget, should the designer buy a cache or a tagless
+scratchpad?
+
+Measured shape under the shared energy model: because the paper charges
+``Em * L`` per miss, a cache's line refills never amortise *energy* over
+off-chip traffic -- so the scratchpad wins energy at every budget -- while
+the cache's automatic spatial locality amortises *latency*, so it wins
+cycles until the scratchpad can hold the working set outright.  The
+crossover where the scratchpad takes both metrics is exactly the point
+where the kernel's arrays fit on chip -- Panda/Dutt's core result.
+"""
+
+from repro.kernels import make_dequant, make_matadd
+from repro.spm.explorer import compare_cache_vs_spm
+
+BUDGETS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def run_comparison():
+    return {
+        kernel.name: compare_cache_vs_spm(kernel, budgets=BUDGETS)
+        for kernel in (make_matadd(), make_dequant())
+    }
+
+
+def test_ext_scratchpad(benchmark, report):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = []
+    for name, comparison in results.items():
+        for row in comparison:
+            rows.append(
+                (
+                    name,
+                    row.budget,
+                    round(row.cache.energy_nj),
+                    round(row.spm.energy_nj),
+                    row.spm.hit_fraction,
+                    row.energy_winner,
+                )
+            )
+    report(
+        "ext_scratchpad",
+        "Extension -- cache vs scratchpad energy per on-chip budget",
+        ("kernel", "budget", "cache nJ", "spm nJ", "spm hit", "winner"),
+        rows,
+    )
+
+    # Energy: the scratchpad wins at every budget (Em*L refills never
+    # amortise energy under the paper's model).
+    for name, comparison in results.items():
+        assert all(row.energy_winner == "spm" for row in comparison), name
+
+    # Cycles: the cache wins while the arrays don't fit, the scratchpad
+    # takes over exactly when they do.
+    matadd = {row.budget: row for row in results["matadd"]}
+    assert matadd[16].cycle_winner == "cache"     # nothing fits yet
+    assert matadd[128].spm.hit_fraction == 1.0    # 108 B of arrays fit
+    assert matadd[128].cycle_winner == "spm"
+
+    dequant = {row.budget: row for row in results["dequant"]}
+    assert dequant[64].cycle_winner == "cache"    # all-off-chip scratchpad
+    assert dequant[2048].spm.hit_fraction > 0.5   # two of three arrays
+    assert dequant[2048].cycle_winner == "cache"  # ...but still too slow
+    assert dequant[4096].cycle_winner == "spm"    # full fit flips it

@@ -1,0 +1,58 @@
+"""Extension bench: split vs unified I/D caches across budgets.
+
+Beyond the paper: one silicon budget, two organisations.  Each kernel
+iteration fetches its loop body (12 instructions) then performs its data
+accesses; the split organisation gives each stream its own direct-mapped
+cache, the unified one shares everything.  Measured structure: a 64-byte
+I-side pins the loop body, after which the contest is between the data
+stream's conflict behaviour (split protects code from data evictions) and
+the unified cache's pooled capacity -- the winner genuinely alternates
+with the budget, which is exactly why the budget split deserves a sweep of
+its own in any real exploration.
+"""
+
+from repro.icache.unified import split_vs_unified
+from repro.kernels import make_compress, make_dequant
+
+BUDGETS = (64, 128, 256, 512)
+
+
+def run_comparison():
+    out = {}
+    for make in (make_compress, make_dequant):
+        kernel = make(element_size=4)
+        out[kernel.name] = [
+            split_vs_unified(kernel, budget) for budget in BUDGETS
+        ]
+    return out
+
+
+def test_ext_split_unified(benchmark, report):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = []
+    for name, comparisons in results.items():
+        for r in comparisons:
+            rows.append(
+                (name, r.budget, f"I{r.best_icache}/D{r.best_dcache}",
+                 r.split_misses, r.unified_misses, r.winner)
+            )
+    report(
+        "ext_split_unified",
+        "Extension -- split vs unified I/D caches per budget "
+        "(int-element kernels, 12-instruction loop body)",
+        ("kernel", "budget", "best split", "split miss", "unified miss",
+         "winner"),
+        rows,
+    )
+
+    for name, comparisons in results.items():
+        split = [r.split_misses for r in comparisons]
+        unified = [r.unified_misses for r in comparisons]
+        # More budget never hurts either organisation.
+        assert split == sorted(split, reverse=True), name
+        assert unified == sorted(unified, reverse=True), name
+    # The winner flips across the sweep for at least one kernel.
+    all_winners = {
+        r.winner for comparisons in results.values() for r in comparisons
+    }
+    assert all_winners == {"split", "unified"}

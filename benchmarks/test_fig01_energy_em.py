@@ -1,0 +1,55 @@
+"""Figure 1: Compress energy vs (cache size, line size) for two Em extremes.
+
+Paper claim: "While the energy consumption values reduce with increase in
+cache size and line size for Em = 43.56 nJ, the energy consumption values
+increase with increase in cache size and line size for Em = 2.31 nJ."
+
+The trend is evaluated over the conflict-free region of the grid (above the
+Section 3 minimum size 4L); below it both Em settings thrash identically.
+"""
+
+from conftest import FIGURE_GRID
+
+from repro.core.explorer import MemExplorer
+from repro.energy.model import EnergyModel
+from repro.energy.params import LOW_POWER_2MBIT, SRAM_16MBIT
+from repro.kernels import make_compress
+
+
+def run_grids():
+    grids = {}
+    for sram in (LOW_POWER_2MBIT, SRAM_16MBIT):
+        explorer = MemExplorer(make_compress(), energy_model=EnergyModel(sram=sram))
+        result = explorer.explore(configs=FIGURE_GRID)
+        grids[sram.energy_per_access_nj] = {
+            e.config: e.energy_nj for e in result
+        }
+    return grids
+
+
+def test_fig01_energy_em(benchmark, report):
+    grids = benchmark.pedantic(run_grids, rounds=1, iterations=1)
+    low, high = grids[2.31], grids[43.56]
+
+    rows = [
+        (str(config.size), config.line_size, low[config], high[config])
+        for config in sorted(low)
+    ]
+    report(
+        "fig01_energy_em",
+        "Figure 1 -- Compress: energy (nJ) vs cache/line size, Em=2.31 vs 43.56",
+        ("T", "L", "E(Em=2.31)", "E(Em=43.56)"),
+        rows,
+    )
+
+    # Shape: with the cheap SRAM, growing the (conflict-free) cache raises
+    # energy; with the expensive SRAM, it lowers it relative to the
+    # smallest cache.
+    from repro.core.config import CacheConfig
+
+    assert low[CacheConfig(512, 4)] > low[CacheConfig(16, 4)]
+    assert low[CacheConfig(256, 4)] > low[CacheConfig(64, 4)]
+    assert high[CacheConfig(64, 4)] < high[CacheConfig(16, 4)]
+    assert high[CacheConfig(64, 32)] < high[CacheConfig(64, 4)]
+    # The minimum-energy configurations sit at opposite ends.
+    assert min(low, key=low.get).size < min(high, key=high.get).size

@@ -1,0 +1,45 @@
+"""Figure 3: Compress -- processor cycles over the full (T, L) grid.
+
+Paper claim: the cycle count falls as cache size and line size grow (while
+the number of cache lines stays >= 4, the Section 3 minimum); the
+minimum-time configuration has the largest cache and longest lines.
+"""
+
+from conftest import FIGURE_GRID
+
+from repro.core.explorer import MemExplorer
+from repro.kernels import make_compress
+
+
+def run_grid():
+    explorer = MemExplorer(make_compress())
+    return explorer.explore(configs=FIGURE_GRID)
+
+
+def test_fig03_cycles_grid(benchmark, report):
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        (e.config.size, e.config.line_size, e.miss_rate, round(e.cycles))
+        for e in result
+    ]
+    report(
+        "fig03_cycles_grid",
+        "Figure 3 -- Compress: cycles vs cache size and line size",
+        ("T", "L", "miss rate", "cycles"),
+        rows,
+    )
+
+    by_config = {e.config: e for e in result}
+    from repro.core.config import CacheConfig
+
+    # Within the conflict-free region (lines >= 4), cycles fall with T and L.
+    feasible = {
+        c: e for c, e in by_config.items() if c.num_lines >= 4
+    }
+    for config, est in feasible.items():
+        bigger = CacheConfig(config.size * 2, config.line_size)
+        if bigger in feasible:
+            assert feasible[bigger].cycles <= est.cycles + 1e-6
+    # Minimum time lives at the large end of the grid.
+    best = result.min_cycles().config
+    assert best.size >= 64 and best.line_size >= 32

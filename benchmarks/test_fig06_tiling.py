@@ -1,0 +1,62 @@
+"""Figure 6: miss rate, cycles and energy vs tiling size at C64L8 for the
+five kernels, plus the reuse-kernel demonstration at C256L16.
+
+Paper claim: "The energy consumption reduces in all the examples up to
+tiling size of 8 ... however, if the tiling size is greater than the number
+of cache lines, the data in the cache gets replaced before being used" --
+so energy falls with the tiling size while the tile fits and rises beyond.
+
+Real-simulator caveat (recorded in EXPERIMENTS.md): only kernels with
+cross-iteration reuse (Matrix Multiplication here, Transpose in Example 3)
+benefit from tiling; the streaming stencils see no gain, so the paper's
+across-the-board improvement is reproduced on the reuse kernel and the
+degradation-past-the-line-count claim is reproduced everywhere.
+"""
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.kernels import make_matmul, paper_kernels
+
+TILINGS = (1, 2, 4, 8, 16)
+
+
+def run_sweeps():
+    c64l8 = {}
+    for kernel in paper_kernels():
+        explorer = MemExplorer(kernel)
+        c64l8[kernel.name] = [
+            explorer.evaluate(CacheConfig(64, 8, 1, b)) for b in TILINGS
+        ]
+    matmul = MemExplorer(make_matmul())
+    c256l16 = [matmul.evaluate(CacheConfig(256, 16, 1, b)) for b in (1, 2, 4, 8, 16, 32)]
+    return c64l8, c256l16
+
+
+def test_fig06_tiling(benchmark, report):
+    c64l8, c256l16 = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    rows = []
+    for name, estimates in c64l8.items():
+        for est in estimates:
+            rows.append((name, "C64L8", est.config.tiling, est.miss_rate,
+                         round(est.cycles), round(est.energy_nj)))
+    for est in c256l16:
+        rows.append(("matmul", "C256L16", est.config.tiling, est.miss_rate,
+                     round(est.cycles), round(est.energy_nj)))
+    report(
+        "fig06_tiling",
+        "Figure 6 -- miss rate / cycles / energy vs tiling size",
+        ("kernel", "geometry", "B", "miss rate", "cycles", "energy nJ"),
+        rows,
+    )
+
+    # Reuse kernel at C256L16 (16 lines): monotone gain to B=8, loss at 16.
+    by_b = {e.config.tiling: e for e in c256l16}
+    assert by_b[2].miss_rate < by_b[1].miss_rate
+    assert by_b[4].miss_rate < by_b[2].miss_rate
+    assert by_b[8].miss_rate < by_b[4].miss_rate
+    assert by_b[8].energy_nj < by_b[1].energy_nj
+    assert by_b[16].miss_rate > by_b[8].miss_rate  # tile exceeds the lines
+    # Matmul benefits at C64L8 too (B=2 is its best fitting tile there).
+    matmul_c64 = {e.config.tiling: e for e in c64l8["matmul"]}
+    assert matmul_c64[2].miss_rate < matmul_c64[1].miss_rate

@@ -1,0 +1,69 @@
+"""Figure 7: energy vs tiling size and vs set associativity for Compress
+and Dequant.
+
+Paper claim: energy falls with tiling up to the number of cache lines (8 at
+C64L8) and rises past it; energy falls (or at worst flattens) as the
+associativity absorbs conflicts.  The associativity panel uses the dense
+(unoptimized) layout -- with conflicts already eliminated by Section 4.1
+there is nothing left for ways to absorb, which is the paper's own Section
+4.3 caveat ("the number of processor cycles as well as the energy values do
+not necessarily decrease").
+"""
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.kernels import make_compress, make_dequant, make_matmul
+
+TILINGS = (1, 2, 4, 8, 16)
+WAYS = (1, 2, 4, 8)
+
+
+def run_sweeps():
+    tiling_panel = {}
+    explorer = MemExplorer(make_matmul())
+    tiling_panel["matmul@C256L16"] = [
+        explorer.evaluate(CacheConfig(256, 16, 1, b)) for b in TILINGS
+    ]
+    for make in (make_compress, make_dequant):
+        kernel = make()
+        explorer = MemExplorer(kernel)
+        tiling_panel[f"{kernel.name}@C64L8"] = [
+            explorer.evaluate(CacheConfig(64, 8, 1, b)) for b in TILINGS
+        ]
+    sa_panel = {}
+    for make in (make_compress, make_dequant):
+        kernel = make()
+        explorer = MemExplorer(kernel, optimize_layout=False)
+        sa_panel[kernel.name] = [
+            explorer.evaluate(CacheConfig(64, 8, s, 1)) for s in WAYS
+        ]
+    return tiling_panel, sa_panel
+
+
+def test_fig07_energy_tiling_sa(benchmark, report):
+    tiling_panel, sa_panel = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    rows = []
+    for label, estimates in tiling_panel.items():
+        for est in estimates:
+            rows.append((label, f"B{est.config.tiling}", est.miss_rate,
+                         round(est.energy_nj)))
+    for name, estimates in sa_panel.items():
+        for est in estimates:
+            rows.append((f"{name}@C64L8-unopt", f"S{est.config.ways}",
+                         est.miss_rate, round(est.energy_nj)))
+    report(
+        "fig07_energy_tiling_sa",
+        "Figure 7 -- energy vs tiling size and vs set associativity",
+        ("workload", "sweep", "miss rate", "energy nJ"),
+        rows,
+    )
+
+    # Tiling panel: the reuse kernel shows the paper's U shape.
+    matmul = {e.config.tiling: e for e in tiling_panel["matmul@C256L16"]}
+    assert matmul[8].energy_nj < matmul[1].energy_nj
+    assert matmul[16].energy_nj > matmul[8].energy_nj
+    # Associativity panel: Dequant's three aliasing streams need ways.
+    dequant = {e.config.ways: e for e in sa_panel["dequant"]}
+    assert dequant[4].energy_nj < dequant[1].energy_nj
+    assert dequant[4].miss_rate < dequant[1].miss_rate / 2

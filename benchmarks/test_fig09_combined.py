@@ -1,0 +1,75 @@
+"""Figure 9: set associativity x tiling at C64L8, optimized vs unoptimized
+off-chip assignment (the paper's parenthesised columns).
+
+Paper claims: the unoptimized miss rates are catastrophic ("so large that
+tiling and set associativity have little effect") while the optimized ones
+are small; the combination never beats fixing the layout first.  The
+baselines use int (4-byte) elements whose dense rows alias the 64-byte
+cache, reproducing the parenthesised 0.97-0.999 regime.
+"""
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.kernels import (
+    make_compress,
+    make_dequant,
+    make_matmul,
+    make_pde,
+    make_sor,
+)
+
+COMBOS = [(1, 1), (2, 4), (8, 8)]  # (S, B) columns of Figure 9
+
+
+def run_table():
+    table = {}
+    for make in (make_compress, make_matmul, make_pde, make_sor, make_dequant):
+        kernel = make(element_size=4)
+        opt = MemExplorer(kernel, optimize_layout=True)
+        unopt = MemExplorer(kernel, optimize_layout=False)
+        cells = []
+        for ways, tiling in COMBOS:
+            config = CacheConfig(64, 8, ways, tiling)
+            cells.append((config, opt.evaluate(config), unopt.evaluate(config)))
+        table[kernel.name] = cells
+    return table
+
+
+def test_fig09_combined(benchmark, report):
+    table = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    rows = []
+    for name, cells in table.items():
+        for config, e_opt, e_unopt in cells:
+            rows.append(
+                (
+                    name,
+                    f"S{config.ways}B{config.tiling}",
+                    e_opt.miss_rate,
+                    f"({e_unopt.miss_rate:.3f})",
+                    round(e_opt.cycles),
+                    f"({round(e_unopt.cycles)})",
+                    round(e_opt.energy_nj),
+                    f"({round(e_unopt.energy_nj)})",
+                )
+            )
+    report(
+        "fig09_combined",
+        "Figure 9 -- SA x tiling at C64L8, optimized (unoptimized) values",
+        ("kernel", "S/B", "mr", "(mr)", "cycles", "(cycles)", "E nJ", "(E nJ)"),
+        rows,
+    )
+
+    for name, cells in table.items():
+        for config, e_opt, e_unopt in cells:
+            # The optimized layout never loses; at 8 ways the 8-line cache
+            # is fully associative, so placement cannot matter and the two
+            # columns coincide (the simulator's honest version of the
+            # paper's "tiling and set associativity have little effect").
+            assert e_opt.miss_rate <= e_unopt.miss_rate + 1e-9, (name, config)
+        # "Note that there is a significant difference between optimized
+        # and unoptimized values": the direct-mapped untiled baselines are
+        # catastrophic without the layout fix.
+        _, base_opt, base_unopt = cells[0]
+        assert base_unopt.miss_rate > 0.5, name
+        assert base_opt.miss_rate < base_unopt.miss_rate, name
+        assert base_opt.miss_rate < 0.55, name

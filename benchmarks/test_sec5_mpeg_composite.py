@@ -1,0 +1,73 @@
+"""Section 5: whole-decoder exploration of the MPEG case study.
+
+Paper claims (with its numbers): the decoder-wide minimum-energy
+configuration (C64 L4 S8 B16; 293,000 nJ at 142,000 cycles) differs from
+the minimum-time configuration (C512 L16 S8 B8; 121,000 cycles at
+1,110,000 nJ), and the whole-program optimum differs from the kernels'
+individual optima (Figure 10).
+"""
+
+from repro.core.composite import CompositeProgram
+from repro.core.config import design_space
+from repro.kernels import mpeg_decoder_kernels
+
+
+def configs():
+    return list(
+        design_space(
+            max_size=512,
+            min_size=16,
+            max_line=16,
+            ways=(1, 2, 4, 8),
+            tilings=(1, 2, 4, 8, 16),
+        )
+    )
+
+
+def run_case_study():
+    program = CompositeProgram(mpeg_decoder_kernels(macroblocks=8))
+    space = configs()
+    result = program.explore(space)
+    optima = CompositeProgram(
+        mpeg_decoder_kernels(macroblocks=2)
+    ).per_kernel_optima(space)
+    return result, optima
+
+
+def test_sec5_mpeg_composite(benchmark, report):
+    result, optima = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    min_e = result.min_energy()
+    min_t = result.min_cycles()
+    rows = [
+        ("min-energy", min_e.config.label(full=True), round(min_e.energy_nj),
+         round(min_e.cycles)),
+        ("min-time", min_t.config.label(full=True), round(min_t.energy_nj),
+         round(min_t.cycles)),
+    ]
+    for name, (config, energy) in optima.items():
+        rows.append((f"kernel:{name}", config.label(full=True), round(energy), "--"))
+    report(
+        "sec5_mpeg_composite",
+        "Section 5 -- MPEG decoder: whole-program optima vs per-kernel optima "
+        "(paper: min-E C64L4S8B16 @ 293k nJ / 142k cyc; min-T C512L16S8B8 @ "
+        "121k cyc / 1.11M nJ)",
+        ("role", "config", "energy nJ", "cycles"),
+        rows,
+    )
+
+    # The headline separations.
+    assert min_e.config != min_t.config
+    assert min_t.cycles < min_e.cycles
+    assert min_e.energy_nj < min_t.energy_nj
+    # Shape against the paper's numbers: the min-time configuration is a
+    # large cache with 16-byte lines (paper: C512L16; here C256-C512L16 --
+    # our simulated miss rates saturate one size earlier); its energy is
+    # several times the minimum-energy point's.
+    assert min_t.config.size >= 256
+    assert min_t.config.line_size == 16
+    assert min_t.energy_nj / min_e.energy_nj > 2.0
+    # Min-energy prefers a small cache with short lines.
+    assert min_e.config.size <= 128
+    assert min_e.config.line_size == 4
+    # The whole-program optimum is not a copy of every kernel's optimum.
+    assert any(cfg != min_e.config for cfg, _ in optima.values())

@@ -1,0 +1,56 @@
+"""Cache or scratchpad?  The Panda/Dutt question, answered per budget.
+
+The paper explores caches; the line of work it extends (Panda, Dutt,
+Nicolau) championed software-managed scratchpads.  This example runs both
+models over the same on-chip byte budgets and shows the crossover
+structure: under the shared energy model the scratchpad wins energy
+outright (Em*L refills never amortise energy), while the cache's automatic
+spatial locality wins *cycles* until the scratchpad can hold the working
+set -- at which point the scratchpad takes both metrics.
+
+Run with::
+
+    python examples/cache_vs_scratchpad.py
+"""
+
+from repro.kernels import make_dequant, make_matadd
+from repro.spm.allocation import allocate_arrays
+from repro.spm.explorer import compare_cache_vs_spm
+
+BUDGETS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def show(kernel) -> None:
+    print(f"=== {kernel.name} ===")
+    total = sum(decl.size_bytes for decl in kernel.nest.arrays)
+    print(f"array footprint: {total} bytes "
+          f"({', '.join(f'{d.name}={d.size_bytes}' for d in kernel.nest.arrays)})")
+    print(
+        f"{'budget':>8s} {'cache nJ':>10s} {'spm nJ':>9s} {'spm hit':>8s} "
+        f"{'cache cyc':>10s} {'spm cyc':>9s} {'E':>6s} {'time':>6s}  mapped"
+    )
+    for row in compare_cache_vs_spm(kernel, budgets=BUDGETS):
+        allocation = allocate_arrays(kernel, row.budget)
+        print(
+            f"{row.budget:>8d} {row.cache.energy_nj:>10.0f} "
+            f"{row.spm.energy_nj:>9.0f} {row.spm.hit_fraction:>8.3f} "
+            f"{row.cache.cycles:>10.0f} {row.spm.cycles:>9.0f} "
+            f"{row.energy_winner:>6s} {row.cycle_winner:>6s}  "
+            f"{','.join(allocation.mapped) or '-'}"
+        )
+    print()
+
+
+def main() -> None:
+    show(make_matadd())
+    show(make_dequant())
+    print(
+        "Reading the tables: the scratchpad's cycle count collapses to one "
+        "cycle per iteration exactly when the arrays fit -- Panda/Dutt's "
+        "crossover -- while the cache is the only option that helps at all "
+        "when the working set cannot fit on chip."
+    )
+
+
+if __name__ == "__main__":
+    main()

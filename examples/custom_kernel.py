@@ -1,0 +1,68 @@
+"""Bring your own workload: define a kernel and explore it.
+
+Shows the full public API surface for a workload the paper never shipped:
+a direct-form FIR filter.  The loop nest is written in the affine IR, the
+Section 3 analysis reports its class structure, and MemExplore picks a
+cache for a 5,000-cycle budget.
+
+Run with::
+
+    python examples/custom_kernel.py
+"""
+
+from repro import Kernel, MemExplorer, select_configuration
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.reuse import group_references
+
+
+def make_fir(n_samples: int = 256, taps: int = 16) -> Kernel:
+    """y[i] = sum_k h[k] * x[i + k] over a sliding window."""
+    i, k = var("i"), var("k")
+    nest = LoopNest(
+        name="fir16",
+        loops=(
+            Loop("i", 0, n_samples - taps),
+            Loop("k", 0, taps - 1),
+        ),
+        refs=(
+            ArrayRef("x", (i + k,)),
+            ArrayRef("h", (k,)),
+            ArrayRef("y", (i,), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("x", (n_samples,)),
+            ArrayDecl("h", (taps,)),
+            ArrayDecl("y", (n_samples,)),
+        ),
+        description="direct-form FIR filter, 16 taps",
+    )
+    return Kernel(nest=nest, source="y[i] += h[k] * x[i+k]")
+
+
+def main() -> None:
+    kernel = make_fir()
+    print(f"kernel: {kernel.nest}\n")
+
+    print("Section 3 class structure:")
+    for group in group_references(kernel.nest):
+        refs = ", ".join(str(kernel.nest.refs[r]) for r in group.ref_indices)
+        print(f"  array {group.array:2s}: {refs}")
+    for line in (4, 8, 16):
+        print(f"  minimum conflict-free cache at L={line}: "
+              f"{kernel.min_cache_size(line)} bytes")
+
+    explorer = MemExplorer(kernel)
+    result = explorer.explore(max_size=1024, ways=(1, 2), tilings=(1,))
+    print(f"\nexplored {len(result)} configurations")
+    print(f"minimum energy : {result.min_energy()}")
+    print(f"minimum time   : {result.min_cycles()}")
+
+    budget = 5_000.0
+    choice = select_configuration(
+        result.estimates, "energy", cycle_bound=budget
+    )
+    print(f"\nwith a {budget:.0f}-cycle budget: {choice}")
+
+
+if __name__ == "__main__":
+    main()

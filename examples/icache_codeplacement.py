@@ -1,0 +1,84 @@
+"""The instruction side: i-cache exploration and code placement.
+
+The paper's introduction proposes extending the data-cache exploration to
+instruction caches by merging Kirovski et al.'s application-driven method.
+This example does both halves:
+
+1. explore the instruction-cache space for a loop-dominated decoder
+   program (where is the knee?), and
+2. apply the code-side analogue of Section 4.1 -- relocating basic blocks
+   so the hot path never conflicts with itself -- and measure the win.
+
+Run with::
+
+    python examples/icache_codeplacement.py
+"""
+
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.core.config import CacheConfig
+from repro.icache import (
+    BasicBlock,
+    ControlFlowTrace,
+    ICacheExplorer,
+    Program,
+    place_blocks,
+)
+
+
+def build_decoder_program() -> ControlFlowTrace:
+    """A decoder-shaped program whose hot pair aliases in a small cache."""
+    program = Program(
+        (
+            BasicBlock("init", 0, 16),
+            BasicBlock("parse_header", 64, 8),
+            # The hot decode pair sits exactly one 256-byte span apart:
+            BasicBlock("decode_block", 128, 16),
+            BasicBlock("write_pixels", 128 + 256, 16),
+            BasicBlock("error_path", 1024, 32),
+        )
+    )
+    body = ["decode_block", "write_pixels"]
+    return ControlFlowTrace.loop(
+        program, body, iterations=300,
+        prologue=["init", "parse_header"], epilogue=["error_path"],
+    )
+
+
+def main() -> None:
+    execution = build_decoder_program()
+    print(f"dynamic instructions: {execution.dynamic_instructions}")
+    print(f"block frequencies   : {execution.block_frequencies()}\n")
+
+    print("=== i-cache exploration (original code layout) ===")
+    explorer = ICacheExplorer(execution)
+    result = explorer.explore(max_size=1024, min_size=64, min_line=16,
+                              max_line=32, ways=(1, 2))
+    for estimate in result:
+        print(f"  {estimate.config.label(full=True):>14s} "
+              f"mr={estimate.miss_rate:.4f} energy={estimate.energy_nj:.0f} nJ")
+    print(f"  minimum energy: {result.min_energy().config}\n")
+
+    cache_size, line_size = 256, 16
+    print(f"=== code placement at C{cache_size}L{line_size} ===")
+    before = CacheSimulator(CacheGeometry(cache_size, line_size, 1)).run(
+        execution.fetch_trace()
+    )
+    placement = place_blocks(execution, cache_size, line_size)
+    relocated = ControlFlowTrace(placement.program, execution.sequence)
+    after = CacheSimulator(CacheGeometry(cache_size, line_size, 1)).run(
+        relocated.fetch_trace()
+    )
+    print(f"miss rate before placement: {before.miss_rate:.4f}")
+    print(f"miss rate after placement : {after.miss_rate:.4f}")
+    print(f"padding inserted          : {placement.padding_bytes} bytes")
+    for block in sorted(placement.program.blocks, key=lambda b: b.address):
+        print(f"  {block.name:>14s} @ {block.address}")
+    print(
+        "\nThe hot decode pair aliased one cache span apart; relocation "
+        "packs it into disjoint lines -- Section 4.1's padding trick, "
+        "applied to code."
+    )
+
+
+if __name__ == "__main__":
+    main()

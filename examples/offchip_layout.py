@@ -1,0 +1,73 @@
+"""Section 4.1 walk-through: off-chip data assignment.
+
+Reproduces both worked examples of the paper --
+
+* Compress with a 4-line cache (size 8, line 2): padding the row pitch from
+  32 to 36 bytes moves class 2 to cache line 2 and eliminates every
+  conflict miss;
+* Matrix Addition with line size 2: arrays b and c are padded so the three
+  cases occupy consecutive cache lines
+
+-- and verifies the conflict elimination with the trace-driven simulator's
+three-C miss classification.
+
+Run with::
+
+    python examples/offchip_layout.py
+"""
+
+from repro import CacheSimulator, get_kernel
+from repro.cache.simulator import CacheGeometry
+
+
+def show(kernel_name: str, cache_size: int, line_size: int) -> None:
+    kernel = get_kernel(kernel_name)
+    print(f"--- {kernel.name} @ cache {cache_size} B, line {line_size} B ---")
+    print(f"minimum conflict-free size (Section 3): "
+          f"{kernel.min_cache_lines(line_size)} lines = "
+          f"{kernel.min_cache_size(line_size)} bytes")
+
+    assignment = kernel.optimized_layout(cache_size, line_size)
+    print(f"conflict-free guarantee: {assignment.conflict_free}")
+    for name, placement in assignment.layout.placements:
+        print(f"  array {name:4s} base={placement.base:<4d} "
+              f"pitches={placement.pitches}")
+    for ref_index, slot in assignment.slots:
+        ref = kernel.nest.refs[ref_index]
+        print(f"  class anchored at {ref} -> cache line {slot}")
+
+    geometry = CacheGeometry(cache_size, line_size, 1)
+    for label, layout in (
+        ("unoptimized", kernel.default_layout()),
+        ("optimized", assignment.layout),
+    ):
+        trace = kernel.trace(layout=layout)
+        sim = CacheSimulator(geometry)
+        mc = sim.classified_misses(trace)
+        stats = CacheSimulator(geometry).run(trace)
+        print(
+            f"  {label:12s} miss rate={stats.miss_rate:.3f}  "
+            f"compulsory={mc.compulsory} capacity={mc.capacity} "
+            f"conflict={mc.conflict}"
+        )
+    print()
+
+
+def main() -> None:
+    show("compress", cache_size=8, line_size=2)
+    show("matadd", cache_size=8, line_size=2)
+    # The dramatic case: int (4-byte) rows alias a 64-byte cache.
+    from repro.kernels import make_compress
+
+    kernel = make_compress(element_size=4)
+    geometry = CacheGeometry(64, 8, 1)
+    unopt = CacheSimulator(geometry).run(kernel.trace())
+    assignment = kernel.optimized_layout(64, 8)
+    opt = CacheSimulator(geometry).run(kernel.trace(layout=assignment.layout))
+    print("--- compress with int elements @ C64L8 (the Figure 9 baseline) ---")
+    print(f"unoptimized miss rate: {unopt.miss_rate:.3f}")
+    print(f"optimized miss rate  : {opt.miss_rate:.3f}")
+
+
+if __name__ == "__main__":
+    main()

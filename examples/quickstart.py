@@ -1,0 +1,46 @@
+"""Quickstart: explore the data-cache design space for one kernel.
+
+Runs Algorithm MemExplore over the paper's Compress kernel, prints the
+(T, L) grid of miss rate / cycles / energy, and reports the minimum-energy
+and minimum-time configurations plus the energy-time Pareto frontier.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CacheConfig, MemExplorer, get_kernel, pareto_front
+
+
+def main() -> None:
+    kernel = get_kernel("compress")
+    print(f"kernel: {kernel.nest}")
+    print(f"one invocation = {kernel.nest.iterations} iterations, "
+          f"{kernel.accesses_per_invocation} memory accesses\n")
+
+    explorer = MemExplorer(kernel)
+    grid = [
+        CacheConfig(size, line)
+        for size in (16, 32, 64, 128, 256, 512)
+        for line in (4, 8, 16, 32, 64)
+        if line <= size
+    ]
+    result = explorer.explore(configs=grid)
+
+    print(f"{'config':>10s} {'miss rate':>10s} {'cycles':>10s} {'energy nJ':>10s}")
+    for estimate in result:
+        print(
+            f"{estimate.config.label():>10s} {estimate.miss_rate:>10.4f} "
+            f"{estimate.cycles:>10.0f} {estimate.energy_nj:>10.0f}"
+        )
+
+    print(f"\nminimum energy : {result.min_energy()}")
+    print(f"minimum time   : {result.min_cycles()}")
+
+    print("\nenergy-time Pareto frontier:")
+    for estimate in pareto_front(result.estimates):
+        print(f"  {estimate}")
+
+
+if __name__ == "__main__":
+    main()

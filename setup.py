@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pyproject.toml`` carries all metadata; this file only enables legacy
+``pip install -e . --no-use-pep517`` installs on offline machines where
+PEP 517 build isolation cannot fetch its build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro: reproduction of Shiue & Chakrabarti, "Memory Exploration for Low
+Power, Embedded Systems" (DAC 1999).
+
+The package implements the paper's complete stack:
+
+* :mod:`repro.loops` -- affine loop-nest IR, trace generation, tiling, and
+  the Section 3 reuse analysis;
+* :mod:`repro.cache` -- a Dinero-style trace-driven cache simulator;
+* :mod:`repro.energy` -- the Section 2.3 energy model, Gray-coded bus
+  switching, and the SRAM part catalog;
+* :mod:`repro.layout` -- the Section 4.1 off-chip data assignment;
+* :mod:`repro.kernels` -- the benchmark kernels and the MPEG decoder suite;
+* :mod:`repro.core` -- Algorithm MemExplore, the cycle model, selection
+  under energy/time bounds, Pareto analysis, and the Section 5 composite
+  program model;
+* :mod:`repro.icache` -- the instruction-cache extension the paper sketches
+  in its introduction.
+
+Quickstart::
+
+    from repro import CacheConfig, MemExplorer, get_kernel
+
+    explorer = MemExplorer(get_kernel("compress"))
+    result = explorer.explore(max_size=512)
+    print(result.min_energy())           # minimum-energy configuration
+    print(result.min_cycles(5500.0))     # minimum-time under an energy bound
+"""
+
+from repro.core import (
+    AnalyticExplorer,
+    CacheConfig,
+    CompositeProgram,
+    ExplorationResult,
+    MemExplorer,
+    PerformanceEstimate,
+    Selection,
+    SelectionError,
+    design_space,
+    evaluate_trace,
+    pareto_front,
+    processor_cycles,
+    select_configuration,
+)
+from repro.cache import CacheGeometry, CacheSimulator, MemoryTrace, simulate_trace
+from repro.energy import EnergyModel, SRAM_CATALOG, SRAMPart, TechnologyParams
+from repro.kernels import (
+    PAPER_KERNELS,
+    Kernel,
+    available_kernels,
+    get_kernel,
+    mpeg_decoder_kernels,
+    paper_kernels,
+)
+from repro.layout import assign_offchip_layout, default_layout
+from repro.loops import LoopNest, generate_trace, min_cache_lines, min_cache_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticExplorer",
+    "CacheConfig",
+    "CacheGeometry",
+    "CacheSimulator",
+    "CompositeProgram",
+    "EnergyModel",
+    "ExplorationResult",
+    "Kernel",
+    "LoopNest",
+    "MemExplorer",
+    "MemoryTrace",
+    "PAPER_KERNELS",
+    "PerformanceEstimate",
+    "SRAMPart",
+    "SRAM_CATALOG",
+    "Selection",
+    "SelectionError",
+    "TechnologyParams",
+    "__version__",
+    "assign_offchip_layout",
+    "available_kernels",
+    "default_layout",
+    "design_space",
+    "evaluate_trace",
+    "generate_trace",
+    "get_kernel",
+    "min_cache_lines",
+    "min_cache_size",
+    "mpeg_decoder_kernels",
+    "paper_kernels",
+    "pareto_front",
+    "processor_cycles",
+    "select_configuration",
+    "simulate_trace",
+]

@@ -1,0 +1,88 @@
+"""Two-level cache hierarchy (extension beyond the paper).
+
+The paper explores a single on-chip data cache in front of off-chip SRAM.
+Embedded SoCs that followed it commonly added a second cache level; this
+module provides a minimal inclusive two-level model so the exploration
+machinery can be pointed at an (L1, L2) pair.  It is exercised by the
+ablation benches, not by the paper's own figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.cache.trace import MemoryTrace
+
+__all__ = ["HierarchyStats", "TwoLevelCache"]
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Hit/miss summary of a two-level run."""
+
+    accesses: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 misses over all accesses."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_local_miss_rate(self) -> float:
+        """L2 misses over L2 accesses (the L1 miss stream)."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+    @property
+    def global_miss_rate(self) -> float:
+        """Accesses that went all the way to main memory, over all accesses."""
+        return self.l2_misses / self.accesses if self.accesses else 0.0
+
+
+class TwoLevelCache:
+    """An L1 backed by an L2; L1 misses are replayed into the L2.
+
+    The model is non-exclusive and does not forward evictions; it captures
+    the first-order filtering behaviour that matters for the energy
+    trade-off (every L2 hit avoids one main-memory access).
+    """
+
+    def __init__(
+        self,
+        l1: CacheGeometry,
+        l2: CacheGeometry,
+        policy: str = "lru",
+    ) -> None:
+        if l2.size < l1.size:
+            raise ValueError("L2 must be at least as large as L1")
+        if l2.line_size < l1.line_size:
+            raise ValueError("L2 line size must be >= L1 line size")
+        self.l1 = CacheSimulator(l1, policy=policy)
+        self.l2 = CacheSimulator(l2, policy=policy)
+
+    def run(self, trace: MemoryTrace) -> HierarchyStats:
+        """Simulate the whole trace through both levels."""
+        l2_hits = 0
+        l2_misses = 0
+        for addr, wr, ref in zip(
+            trace.addresses.tolist(),
+            trace.is_write.tolist(),
+            trace.ref_ids.tolist(),
+        ):
+            if not self.l1.access(addr, wr, ref):
+                if self.l2.access(addr, wr, ref):
+                    l2_hits += 1
+                else:
+                    l2_misses += 1
+        s1 = self.l1.stats
+        return HierarchyStats(
+            accesses=s1.accesses,
+            l1_hits=s1.hits,
+            l1_misses=s1.misses,
+            l2_hits=l2_hits,
+            l2_misses=l2_misses,
+        )

@@ -1,0 +1,164 @@
+"""Replacement policies for the set-associative simulator.
+
+The paper assumes LRU (the usual choice for the small associativities it
+explores, 1..8 ways); FIFO and Random are provided for the ablation bench
+that checks how sensitive the exploration outcome is to the policy.
+
+A policy instance manages *one* cache set.  The simulator creates one
+instance per set via :meth:`ReplacementPolicy.clone`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = [
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy:
+    """State and victim selection for a single cache set.
+
+    Subclasses keep whatever recency/insertion state they need; the
+    simulator calls :meth:`touch` on every hit, :meth:`insert` on every
+    fill, and :meth:`victim` to pick the way to evict when the set is full.
+    """
+
+    name = "abstract"
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError("a cache set needs at least one way")
+        self.ways = ways
+
+    def clone(self) -> "ReplacementPolicy":
+        """A fresh instance with the same configuration (per-set state)."""
+        return type(self)(self.ways)
+
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+        raise NotImplementedError
+
+    def insert(self, way: int) -> None:
+        """Record a fill into ``way``."""
+        raise NotImplementedError
+
+    def victim(self) -> int:
+        """The way to evict; only called when every way is valid."""
+        raise NotImplementedError
+
+    def invalidate(self, way: int) -> None:
+        """Forget any state attached to ``way`` (for flushes)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way idle the longest."""
+
+    name = "lru"
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._order: List[int] = []  # most recent last
+
+    def touch(self, way: int) -> None:
+        """Move the hit way to the most-recent position."""
+        self._order.remove(way)
+        self._order.append(way)
+
+    def insert(self, way: int) -> None:
+        """Record a fill as most recent."""
+        if way in self._order:
+            self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        """The least recently used way."""
+        return self._order[0]
+
+    def invalidate(self, way: int) -> None:
+        """Drop the way from the recency order."""
+        if way in self._order:
+            self._order.remove(way)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: evict the oldest fill, ignoring hits."""
+
+    name = "fifo"
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: List[int] = []  # oldest first
+
+    def touch(self, way: int) -> None:
+        """Hits do not reorder a FIFO."""
+
+    def insert(self, way: int) -> None:
+        """Append the fill to the queue."""
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self) -> int:
+        """The oldest fill."""
+        return self._queue[0]
+
+    def invalidate(self, way: int) -> None:
+        """Drop the way from the queue."""
+        if way in self._queue:
+            self._queue.remove(way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim, with a seeded generator for repeatability."""
+
+    name = "random"
+
+    def __init__(self, ways: int, seed: Optional[int] = 0) -> None:
+        super().__init__(ways)
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._valid: List[int] = []
+
+    def clone(self) -> "RandomPolicy":
+        """A fresh instance re-seeded identically (per-set repeatability)."""
+        return RandomPolicy(self.ways, self._seed)
+
+    def touch(self, way: int) -> None:
+        """Hits carry no state for a random policy."""
+
+    def insert(self, way: int) -> None:
+        """Mark the way as holding valid data."""
+        if way not in self._valid:
+            self._valid.append(way)
+
+    def victim(self) -> int:
+        """A uniformly random valid way."""
+        return self._rng.choice(self._valid)
+
+    def invalidate(self, way: int) -> None:
+        """Drop the way from the valid set."""
+        if way in self._valid:
+            self._valid.remove(way)
+
+
+_POLICIES = {cls.name: cls for cls in (LRUPolicy, FIFOPolicy, RandomPolicy)}
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Instantiate a policy by name: ``lru``, ``fifo`` or ``random``."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(ways)

@@ -1,0 +1,245 @@
+"""Reference set-associative cache simulator.
+
+This is the Dinero-style substrate the paper chose not to build ("we chose to
+do this rather than developing a trace driven simulator"); we build it as the
+ground truth against which the analytic Section 3 expressions are validated.
+
+Geometry follows the paper's MemExplore parameters: cache size ``T``, line
+size ``L`` and set associativity ``S``, all powers of two, with
+``sets = T / (L * S)``.  The simulator models an optional write policy pair
+(write-through/write-back x allocate/no-allocate); the paper's metrics only
+consume read behaviour, which is the default accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats, MissClassification, classify_misses
+from repro.cache.trace import MemoryTrace
+
+__all__ = ["CacheGeometry", "CacheSimulator", "simulate_trace"]
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Cache geometry: total size, line size and associativity (bytes, ways).
+
+    All three follow the paper in being powers of two; a fully-associative
+    cache is expressed by ``ways == size // line_size``.
+    """
+
+    size: int
+    line_size: int
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("cache size", self.size),
+            ("line size", self.line_size),
+            ("associativity", self.ways),
+        ):
+            if not _is_pow2(value):
+                raise ValueError(f"{label} must be a power of two, got {value}")
+        if self.line_size > self.size:
+            raise ValueError(
+                f"line size {self.line_size} exceeds cache size {self.size}"
+            )
+        if self.ways * self.line_size > self.size:
+            raise ValueError(
+                f"{self.ways} ways of {self.line_size}-byte lines do not fit "
+                f"in {self.size} bytes"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 for fully associative)."""
+        return self.num_lines // self.ways
+
+    def set_of(self, address: int) -> int:
+        """Set index of a byte address."""
+        return (address // self.line_size) % self.num_sets
+
+    def tag_of(self, address: int) -> int:
+        """Tag of a byte address."""
+        return (address // self.line_size) // self.num_sets
+
+    def __str__(self) -> str:
+        return f"C{self.size}L{self.line_size}S{self.ways}"
+
+
+class _CacheSet:
+    """One set: valid/tag/dirty per way plus a replacement-policy instance."""
+
+    __slots__ = ("tags", "dirty", "policy", "lookup")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.tags: List[Optional[int]] = [None] * ways
+        self.dirty: List[bool] = [False] * ways
+        self.policy = policy
+        self.lookup: Dict[int, int] = {}  # tag -> way
+
+    def find(self, tag: int) -> Optional[int]:
+        return self.lookup.get(tag)
+
+    def fill(self, tag: int) -> "tuple[int, bool, bool]":
+        """Insert ``tag``; returns (way, evicted_valid, evicted_dirty)."""
+        for way, existing in enumerate(self.tags):
+            if existing is None:
+                self.tags[way] = tag
+                self.lookup[tag] = way
+                self.policy.insert(way)
+                return way, False, False
+        way = self.policy.victim()
+        old_tag = self.tags[way]
+        was_dirty = self.dirty[way]
+        if old_tag is not None:
+            del self.lookup[old_tag]
+        self.tags[way] = tag
+        self.dirty[way] = False
+        self.lookup[tag] = way
+        self.policy.insert(way)
+        return way, True, was_dirty
+
+
+class CacheSimulator:
+    """Trace-driven simulator for one cache geometry.
+
+    Parameters
+    ----------
+    geometry:
+        The :class:`CacheGeometry` to simulate.
+    policy:
+        Replacement policy name (``lru``, ``fifo``, ``random``) or a template
+        :class:`ReplacementPolicy` instance that is cloned per set.
+    write_allocate:
+        Whether write misses allocate a line (default True, as in Dinero's
+        default data-cache configuration).
+    write_back:
+        Write-back (True, default) or write-through accounting for the
+        ``writebacks`` counter.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: "str | ReplacementPolicy" = "lru",
+        write_allocate: bool = True,
+        write_back: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        if isinstance(policy, str):
+            template: ReplacementPolicy = make_policy(policy, geometry.ways)
+        else:
+            template = policy
+            if template.ways != geometry.ways:
+                raise ValueError(
+                    f"policy configured for {template.ways} ways, "
+                    f"geometry has {geometry.ways}"
+                )
+        self._policy_template = template
+        self.write_allocate = write_allocate
+        self.write_back = write_back
+        self.reset()
+
+    def reset(self) -> None:
+        """Empty the cache and zero all statistics."""
+        geo = self.geometry
+        self._sets = [
+            _CacheSet(geo.ways, self._policy_template.clone())
+            for _ in range(geo.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(self, address: int, is_write: bool = False, ref_id: int = 0) -> bool:
+        """Simulate one access; returns True on a hit."""
+        geo = self.geometry
+        line = address // geo.line_size
+        set_index = line % geo.num_sets
+        tag = line // geo.num_sets
+        cache_set = self._sets[set_index]
+        way = cache_set.find(tag)
+        hit = way is not None
+        if hit:
+            cache_set.policy.touch(way)
+            if is_write:
+                if self.write_back:
+                    cache_set.dirty[way] = True
+                else:
+                    self.stats.writebacks += 1  # write-through traffic
+        else:
+            if is_write and not self.write_allocate:
+                self.stats.writebacks += 1  # goes straight to memory
+            else:
+                way, evicted, was_dirty = cache_set.fill(tag)
+                if evicted:
+                    self.stats.evictions += 1
+                    if was_dirty:
+                        self.stats.writebacks += 1
+                if is_write:
+                    if self.write_back:
+                        cache_set.dirty[way] = True
+                    else:
+                        self.stats.writebacks += 1
+        self.stats.record(hit, is_write, ref_id)
+        return hit
+
+    def run(self, trace: MemoryTrace) -> CacheStats:
+        """Simulate a whole trace (continuing from current contents)."""
+        access = self.access
+        for addr, wr, ref in zip(
+            trace.addresses.tolist(),
+            trace.is_write.tolist(),
+            trace.ref_ids.tolist(),
+        ):
+            access(addr, wr, ref)
+        return self.stats
+
+    def contents(self) -> Dict[int, List[Optional[int]]]:
+        """Snapshot ``set index -> list of resident tags`` (None = invalid)."""
+        return {i: list(s.tags) for i, s in enumerate(self._sets)}
+
+    def classified_misses(self, trace: MemoryTrace) -> MissClassification:
+        """3C classification of this geometry's misses on ``trace``.
+
+        Runs a fresh simulation, derives compulsory and capacity misses from
+        the associativity-independent classifier, and attributes the
+        remainder to conflicts.  Capacity misses are clamped at the actual
+        miss count: for non-LRU policies (or pathological traces) the real
+        cache can take fewer misses than the fully-associative reference.
+        """
+        sim = CacheSimulator(
+            self.geometry,
+            self._policy_template,
+            self.write_allocate,
+            self.write_back,
+        )
+        actual = sim.run(trace).misses
+        base = classify_misses(trace, self.geometry.size, self.geometry.line_size)
+        compulsory = min(base.compulsory, actual)
+        capacity = min(base.capacity, actual - compulsory)
+        conflict = actual - compulsory - capacity
+        return MissClassification(compulsory, capacity, conflict)
+
+
+def simulate_trace(
+    trace: MemoryTrace,
+    size: int,
+    line_size: int,
+    ways: int = 1,
+    policy: str = "lru",
+) -> CacheStats:
+    """One-shot convenience wrapper: simulate ``trace`` on a fresh cache."""
+    sim = CacheSimulator(CacheGeometry(size, line_size, ways), policy=policy)
+    return sim.run(trace)

@@ -1,0 +1,134 @@
+"""Memory access traces.
+
+A :class:`MemoryTrace` is the interface between the loop-nest substrate and
+the cache simulator: a flat, ordered sequence of byte addresses annotated
+with read/write flags and the index of the source :class:`~repro.loops.ir.ArrayRef`
+that generated each access.  Traces are stored as parallel numpy arrays so
+that the vectorized simulator paths can consume them without conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MemoryAccess", "MemoryTrace"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One access: byte address, read/write, and originating reference id."""
+
+    address: int
+    is_write: bool = False
+    ref_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("addresses must be non-negative")
+
+
+class MemoryTrace:
+    """An ordered sequence of memory accesses backed by numpy arrays."""
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        is_write: Optional[Sequence[bool]] = None,
+        ref_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        if self.addresses.ndim != 1:
+            raise ValueError("trace addresses must be one-dimensional")
+        if self.addresses.size and self.addresses.min() < 0:
+            raise ValueError("trace contains a negative address")
+        n = self.addresses.size
+        if is_write is None:
+            self.is_write = np.zeros(n, dtype=bool)
+        else:
+            self.is_write = np.asarray(is_write, dtype=bool)
+        if ref_ids is None:
+            self.ref_ids = np.zeros(n, dtype=np.int32)
+        else:
+            self.ref_ids = np.asarray(ref_ids, dtype=np.int32)
+        if self.is_write.shape != (n,) or self.ref_ids.shape != (n,):
+            raise ValueError("trace arrays must all have the same length")
+
+    @staticmethod
+    def from_accesses(accesses: Iterable[MemoryAccess]) -> "MemoryTrace":
+        """Build a trace from individual :class:`MemoryAccess` records."""
+        items = list(accesses)
+        return MemoryTrace(
+            [a.address for a in items],
+            [a.is_write for a in items],
+            [a.ref_id for a in items],
+        )
+
+    @staticmethod
+    def concatenate(traces: Sequence["MemoryTrace"]) -> "MemoryTrace":
+        """Concatenate traces back to back, preserving order."""
+        if not traces:
+            return MemoryTrace([])
+        return MemoryTrace(
+            np.concatenate([t.addresses for t in traces]),
+            np.concatenate([t.is_write for t in traces]),
+            np.concatenate([t.ref_ids for t in traces]),
+        )
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for addr, wr, ref in zip(self.addresses, self.is_write, self.ref_ids):
+            yield MemoryAccess(int(addr), bool(wr), int(ref))
+
+    def __getitem__(self, i: int) -> MemoryAccess:
+        return MemoryAccess(
+            int(self.addresses[i]), bool(self.is_write[i]), int(self.ref_ids[i])
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryTrace):
+            return NotImplemented
+        return (
+            np.array_equal(self.addresses, other.addresses)
+            and np.array_equal(self.is_write, other.is_write)
+            and np.array_equal(self.ref_ids, other.ref_ids)
+        )
+
+    @property
+    def num_reads(self) -> int:
+        """Number of read accesses."""
+        return int((~self.is_write).sum())
+
+    @property
+    def num_writes(self) -> int:
+        """Number of write accesses."""
+        return int(self.is_write.sum())
+
+    def reads_only(self) -> "MemoryTrace":
+        """The sub-trace containing only read accesses, order preserved."""
+        mask = ~self.is_write
+        return MemoryTrace(
+            self.addresses[mask], self.is_write[mask], self.ref_ids[mask]
+        )
+
+    def line_ids(self, line_size: int) -> np.ndarray:
+        """Global cache-line number of each access."""
+        if line_size <= 0:
+            raise ValueError("line size must be positive")
+        return self.addresses // line_size
+
+    def footprint_bytes(self) -> int:
+        """Size of the touched address range (max - min + 1), 0 if empty."""
+        if not len(self):
+            return 0
+        return int(self.addresses.max() - self.addresses.min() + 1)
+
+    def unique_lines(self, line_size: int) -> int:
+        """Number of distinct cache lines touched at the given line size."""
+        if not len(self):
+            return 0
+        return int(np.unique(self.line_ids(line_size)).size)

@@ -1,0 +1,406 @@
+"""Command-line driver: ``memexplore`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow:
+
+``list``
+    Show the bundled kernels.
+``explore``
+    Run Algorithm MemExplore over one kernel and print the estimate table,
+    the Pareto frontier, and the bounded selections.
+``mincache``
+    The Section 3 report: equivalence classes, minimum line counts and the
+    minimum conflict-free cache size per line size.
+``layout``
+    Show the Section 4.1 off-chip assignment for a kernel and geometry.
+``mpeg``
+    The Section 5 composite case study over the MPEG decoder kernels.
+``spm``
+    Cache-vs-scratchpad comparison over on-chip byte budgets.
+``trace``
+    Export a kernel's address trace in Dinero ``din`` format, or report
+    its reuse profile and miss-ratio curve.
+``search``
+    Pruned (greedy) exploration instead of the exhaustive sweep.
+``datasheet``
+    Full per-configuration report: metrics, miss structure, area, timing
+    and the energy component breakdown.
+``codegen``
+    Emit the transformed C source (padded arrays, tiled loops) for a
+    kernel and configuration -- the exploration's practical deliverable.
+``sensitivity``
+    Tornado analysis: which model constants the chosen configuration
+    actually hinges on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.composite import CompositeProgram
+from repro.core.config import CacheConfig, design_space, powers_of_two
+from repro.core.explorer import ExplorationResult, MemExplorer
+from repro.core.pareto import pareto_front
+from repro.core.selection import SelectionError, select_configuration
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAM_CATALOG
+from repro.kernels import available_kernels, get_kernel, mpeg_decoder_kernels
+from repro.loops.reuse import group_references, min_cache_lines, min_cache_size
+
+__all__ = ["main"]
+
+
+def _add_energy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sram",
+        default="CY7C-2Mbit",
+        choices=sorted(SRAM_CATALOG),
+        help="off-chip SRAM part supplying Em (default: the paper's Cypress)",
+    )
+    parser.add_argument(
+        "--no-layout-opt",
+        action="store_true",
+        help="use the dense unoptimized off-chip layout",
+    )
+
+
+def _energy_model(args: argparse.Namespace) -> EnergyModel:
+    return EnergyModel(sram=SRAM_CATALOG[args.sram])
+
+
+def _print_table(result: ExplorationResult, stream) -> None:
+    stream.write(f"{'config':>14s} {'miss rate':>10s} {'cycles':>12s} {'energy (nJ)':>12s}\n")
+    for label, mr, cycles, energy in result.to_rows():
+        stream.write(f"{label:>14s} {mr:>10.4f} {cycles:>12.0f} {energy:>12.0f}\n")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in available_kernels():
+        kernel = get_kernel(name)
+        print(
+            f"{name:15s} loops={len(kernel.nest.loops)} refs={len(kernel.nest.refs)} "
+            f"iterations={kernel.nest.iterations} invocations={kernel.invocations}"
+        )
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.kernel)
+    explorer = MemExplorer(
+        kernel,
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+    )
+    result = explorer.explore(
+        max_size=args.max_size,
+        min_size=args.min_size,
+        ways=tuple(args.ways),
+        tilings=tuple(args.tilings) if args.tilings else None,
+    )
+    _print_table(result, sys.stdout)
+    print("\nPareto frontier (cycles vs energy):")
+    for estimate in pareto_front(result.estimates):
+        print(f"  {estimate}")
+    try:
+        selection = select_configuration(
+            result.estimates,
+            objective=args.objective,
+            cycle_bound=args.cycle_bound,
+            energy_bound=args.energy_bound,
+        )
+        print(f"\n{selection}")
+    except SelectionError as exc:
+        print(f"\nselection failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_mincache(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.kernel)
+    nest = kernel.nest
+    print(f"kernel {kernel.name}: {nest}")
+    print("\nequivalence classes / cases:")
+    for group in group_references(nest):
+        refs = ", ".join(str(nest.refs[i]) for i in group.ref_indices)
+        print(f"  array {group.array:8s} offsets {group.offsets}: {refs}")
+    print("\nminimum conflict-free cache, by line size:")
+    for line_size in args.line_sizes:
+        lines = min_cache_lines(nest, line_size)
+        size = min_cache_size(nest, line_size)
+        print(f"  L={line_size:<4d} lines={lines:<4d} size={size} bytes")
+    return 0
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.kernel)
+    assignment = kernel.optimized_layout(args.cache_size, args.line_size)
+    print(
+        f"assignment for {kernel.name} @ C{args.cache_size}L{args.line_size}: "
+        f"conflict_free={assignment.conflict_free}"
+    )
+    for name, placement in assignment.layout.placements:
+        print(f"  {name:10s} base={placement.base:<8d} pitches={placement.pitches}")
+    for ref_index, slot in assignment.slots:
+        print(f"  group anchored at ref #{ref_index} -> line slot {slot}")
+    return 0
+
+
+def _cmd_mpeg(args: argparse.Namespace) -> int:
+    program = CompositeProgram(
+        mpeg_decoder_kernels(args.macroblocks),
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+    )
+    configs = list(
+        design_space(
+            max_size=args.max_size,
+            min_size=args.min_size,
+            max_line=16,
+            tilings=(1, 2, 4, 8, 16),
+        )
+    )
+    result = program.explore(configs)
+    best_e = result.min_energy()
+    best_t = result.min_cycles()
+    print(f"explored {len(result)} configurations over {len(program.kernels)} kernels")
+    print(f"min energy: {best_e}")
+    print(f"min time:   {best_t}")
+    print("\nper-kernel minimum-energy configurations (Figure 10):")
+    for name, (config, energy) in program.per_kernel_optima(configs).items():
+        print(f"  {name:10s} {str(config):>16s} {energy:12.0f} nJ")
+    return 0
+
+
+def _cmd_spm(args: argparse.Namespace) -> int:
+    from repro.spm.explorer import compare_cache_vs_spm
+
+    kernel = get_kernel(args.kernel)
+    rows = compare_cache_vs_spm(
+        kernel, budgets=args.budgets, energy_model=_energy_model(args)
+    )
+    print(f"{'budget':>8s} {'cache nJ':>10s} {'spm nJ':>10s} "
+          f"{'spm hit':>8s} {'E winner':>9s} {'t winner':>9s}")
+    for row in rows:
+        print(
+            f"{row.budget:>8d} {row.cache.energy_nj:>10.0f} "
+            f"{row.spm.energy_nj:>10.0f} {row.spm.hit_fraction:>8.3f} "
+            f"{row.energy_winner:>9s} {row.cycle_winner:>9s}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cache.dinero import write_din_trace
+    from repro.cache.distance import miss_ratio_curve, reuse_profile
+
+    kernel = get_kernel(args.kernel)
+    if args.optimized:
+        layout = kernel.optimized_layout(args.cache_size, args.line_size).layout
+    else:
+        layout = kernel.default_layout()
+    trace = kernel.trace(layout=layout, tile=args.tile)
+    if args.din:
+        count = write_din_trace(trace, args.din)
+        print(f"wrote {count} accesses to {args.din}")
+        return 0
+    profile = reuse_profile(trace, args.line_size)
+    print(f"trace: {len(trace)} accesses ({trace.num_reads} reads)")
+    print(f"footprint: {trace.footprint_bytes()} bytes, "
+          f"{trace.unique_lines(args.line_size)} unique lines")
+    print(f"compulsory fraction: {profile['compulsory_fraction']:.4f}")
+    print(f"median / p90 stack distance: {profile['median_distance']:.0f} / "
+          f"{profile['p90_distance']:.0f} lines")
+    print(f"locality knee: {profile['knee_lines']} lines")
+    capacities = [2 ** k for k in range(0, 9)]
+    curve = miss_ratio_curve(trace, args.line_size, capacities)
+    print("\nfully-associative miss-ratio curve:")
+    for capacity in capacities:
+        print(f"  {capacity:>4d} lines: {curve[capacity]:.4f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.search import greedy_descent
+
+    kernel = get_kernel(args.kernel)
+    explorer = MemExplorer(
+        kernel,
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+    )
+    outcome = greedy_descent(
+        explorer.evaluate,
+        objective=args.objective,
+        sizes=tuple(powers_of_two(args.min_size, args.max_size)),
+    )
+    print(f"best ({args.objective}): {outcome.best}")
+    print(f"evaluations spent: {outcome.evaluations}")
+    return 0
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    from repro.core.report import datasheet, render_datasheet
+
+    kernel = get_kernel(args.kernel)
+    config = CacheConfig(args.cache_size, args.line_size, args.ways, args.tiling)
+    sheet = datasheet(
+        kernel,
+        config,
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+    )
+    print(render_datasheet(sheet))
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.loops.codegen import generate_c
+
+    kernel = get_kernel(args.kernel)
+    if args.no_layout_opt:
+        layout = kernel.default_layout()
+    else:
+        layout = kernel.optimized_layout(args.cache_size, args.line_size).layout
+    print(
+        generate_c(
+            kernel.nest, layout=layout, tile=args.tiling,
+            n_tiled=kernel.n_tiled,
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import tornado
+
+    kernel = get_kernel(args.kernel)
+    configs = [
+        CacheConfig(t, l)
+        for t in powers_of_two(args.min_size, args.max_size)
+        for l in (4, 8, 16, 32)
+        if l <= t
+    ]
+    rows = tornado(kernel, configs)
+    print(f"{'parameter':>22s} {'swing':>8s} {'E @ 0.5x':>10s} "
+          f"{'E @ 2x':>10s} {'winner?':>8s}")
+    for row in rows:
+        flag = "MOVES" if row.winner_changes else "stable"
+        print(
+            f"{row.parameter:>22s} {row.swing:>8.2%} {row.low_energy:>10.0f} "
+            f"{row.high_energy:>10.0f} {flag:>8s}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The :mod:`argparse` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="memexplore",
+        description=(
+            "Memory exploration for low-power embedded systems "
+            "(reproduction of Shiue & Chakrabarti, DAC 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled kernels").set_defaults(func=_cmd_list)
+
+    explore = sub.add_parser("explore", help="run Algorithm MemExplore on a kernel")
+    explore.add_argument("kernel")
+    explore.add_argument("--max-size", type=int, default=512)
+    explore.add_argument("--min-size", type=int, default=16)
+    explore.add_argument("--ways", type=int, nargs="+", default=[1])
+    explore.add_argument("--tilings", type=int, nargs="+", default=None)
+    explore.add_argument("--objective", choices=["energy", "cycles"], default="energy")
+    explore.add_argument("--cycle-bound", type=float, default=None)
+    explore.add_argument("--energy-bound", type=float, default=None)
+    _add_energy_args(explore)
+    explore.set_defaults(func=_cmd_explore)
+
+    mincache = sub.add_parser("mincache", help="Section 3 minimum cache size report")
+    mincache.add_argument("kernel")
+    mincache.add_argument("--line-sizes", type=int, nargs="+", default=[2, 4, 8, 16])
+    mincache.set_defaults(func=_cmd_mincache)
+
+    layout = sub.add_parser("layout", help="Section 4.1 off-chip assignment report")
+    layout.add_argument("kernel")
+    layout.add_argument("--cache-size", type=int, default=64)
+    layout.add_argument("--line-size", type=int, default=8)
+    layout.set_defaults(func=_cmd_layout)
+
+    mpeg = sub.add_parser("mpeg", help="Section 5 MPEG decoder case study")
+    mpeg.add_argument("--macroblocks", type=int, default=8)
+    mpeg.add_argument("--max-size", type=int, default=512)
+    mpeg.add_argument("--min-size", type=int, default=16)
+    _add_energy_args(mpeg)
+    mpeg.set_defaults(func=_cmd_mpeg)
+
+    spm = sub.add_parser("spm", help="cache vs scratchpad per on-chip budget")
+    spm.add_argument("kernel")
+    spm.add_argument(
+        "--budgets", type=int, nargs="+",
+        default=[16, 32, 64, 128, 256, 512, 1024],
+    )
+    _add_energy_args(spm)
+    spm.set_defaults(func=_cmd_spm)
+
+    trace = sub.add_parser(
+        "trace", help="export a din trace or report locality statistics"
+    )
+    trace.add_argument("kernel")
+    trace.add_argument("--din", default=None, help="write Dinero din file here")
+    trace.add_argument("--cache-size", type=int, default=64)
+    trace.add_argument("--line-size", type=int, default=8)
+    trace.add_argument("--tile", type=int, default=1)
+    trace.add_argument("--optimized", action="store_true",
+                       help="use the Section 4.1 layout")
+    trace.set_defaults(func=_cmd_trace)
+
+    search = sub.add_parser("search", help="greedy pruned exploration")
+    search.add_argument("kernel")
+    search.add_argument("--objective", choices=["energy", "cycles"],
+                        default="energy")
+    search.add_argument("--max-size", type=int, default=1024)
+    search.add_argument("--min-size", type=int, default=16)
+    _add_energy_args(search)
+    search.set_defaults(func=_cmd_search)
+
+    sheet = sub.add_parser("datasheet", help="full report for one configuration")
+    sheet.add_argument("kernel")
+    sheet.add_argument("--cache-size", type=int, default=64)
+    sheet.add_argument("--line-size", type=int, default=8)
+    sheet.add_argument("--ways", type=int, default=1)
+    sheet.add_argument("--tiling", type=int, default=1)
+    _add_energy_args(sheet)
+    sheet.set_defaults(func=_cmd_datasheet)
+
+    codegen = sub.add_parser(
+        "codegen", help="emit the transformed C source for a configuration"
+    )
+    codegen.add_argument("kernel")
+    codegen.add_argument("--cache-size", type=int, default=64)
+    codegen.add_argument("--line-size", type=int, default=8)
+    codegen.add_argument("--tiling", type=int, default=1)
+    codegen.add_argument("--no-layout-opt", action="store_true")
+    codegen.set_defaults(func=_cmd_codegen)
+
+    sens = sub.add_parser(
+        "sensitivity", help="tornado analysis of the model constants"
+    )
+    sens.add_argument("kernel")
+    sens.add_argument("--max-size", type=int, default=512)
+    sens.add_argument("--min-size", type=int, default=16)
+    sens.set_defaults(func=_cmd_sensitivity)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``memexplore`` and ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""Algorithm MemExplore: the paper's exploration loop.
+
+For every candidate ``(T, L, S, B)`` the explorer
+
+1. places the kernel's arrays off-chip -- by default with the Section 4.1
+   padded assignment for the candidate geometry (the paper's "largest
+   performance enhancement"), optionally with the dense unoptimized layout
+   for the parenthesised comparison columns of Figure 9;
+2. generates the exact address trace (tiled when ``B > 1``);
+3. measures the miss rate with the LRU cache substrate;
+4. evaluates the Section 2.2 cycle model and the Section 2.3 energy model
+   (Gray-coded address-bus switching measured on the same trace);
+5. records a :class:`~repro.core.metrics.PerformanceEstimate`.
+
+Traces depend only on ``(T, L, B)`` -- the associativity sweep reuses them
+-- so the explorer evaluates configurations grouped by trace and keeps a
+small memoisation window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.fastsim import fast_miss_vector
+from repro.cache.trace import MemoryTrace
+from repro.core.config import CacheConfig, design_space
+from repro.core.cycles import processor_cycles
+from repro.core.metrics import PerformanceEstimate
+from repro.energy.bus import address_bus_switching
+from repro.energy.model import EnergyModel
+from repro.kernels.base import Kernel
+
+__all__ = ["ExplorationResult", "MemExplorer", "evaluate_trace"]
+
+
+def evaluate_trace(
+    trace: MemoryTrace,
+    config: CacheConfig,
+    energy_model: Optional[EnergyModel] = None,
+    conflict_free_layout: bool = False,
+    gray_code: bool = True,
+    events: Optional[int] = None,
+) -> PerformanceEstimate:
+    """Metrics of one configuration on a concrete trace.
+
+    This is the geometry-only core of the explorer, also used directly for
+    workloads that are traces rather than loop nests (e.g. the instruction
+    streams of :mod:`repro.icache`).  The tiling field of ``config`` only
+    enters the cycle model here -- the caller is responsible for having
+    generated the trace in tiled order.
+
+    ``events`` is the paper's *trip count*: the multiplier that turns
+    per-event expectations into totals.  Loop-nest workloads pass the
+    iteration count (the paper's convention, confirmed against the legible
+    Figure 9 values); raw traces default to one event per access.
+    """
+    model = energy_model if energy_model is not None else EnergyModel()
+    line_ids = trace.line_ids(config.line_size)
+    miss = fast_miss_vector(line_ids, config.num_sets, config.ways)
+    accesses = len(trace)
+    if events is None:
+        events = accesses
+    misses = int(miss.sum())
+    miss_rate = misses / accesses if accesses else 0.0
+
+    read_mask = ~trace.is_write
+    reads = int(read_mask.sum())
+    read_misses = int((miss & read_mask).sum())
+    read_miss_rate = read_misses / reads if reads else 0.0
+
+    add_bs = address_bus_switching(trace.addresses, gray=gray_code)
+    cycles = processor_cycles(
+        miss_rate,
+        events,
+        ways=config.ways,
+        line_size=config.line_size,
+        tiling=config.tiling,
+    )
+    breakdown = model.breakdown(
+        config.size,
+        config.line_size,
+        config.ways,
+        hit_rate=1.0 - read_miss_rate,
+        miss_rate=read_miss_rate,
+        events=events,
+        add_bs=add_bs,
+    )
+    return PerformanceEstimate(
+        config=config,
+        miss_rate=miss_rate,
+        cycles=cycles,
+        energy_nj=breakdown.total,
+        events=events,
+        accesses=accesses,
+        reads=reads,
+        read_miss_rate=read_miss_rate,
+        add_bs=add_bs,
+        conflict_free_layout=conflict_free_layout,
+        energy_breakdown=breakdown,
+    )
+
+
+class ExplorationResult:
+    """Ordered collection of estimates with selection helpers."""
+
+    def __init__(self, estimates: Sequence[PerformanceEstimate]) -> None:
+        self.estimates: List[PerformanceEstimate] = list(estimates)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates)
+
+    def __getitem__(self, i: int) -> PerformanceEstimate:
+        return self.estimates[i]
+
+    def min_energy(
+        self, cycle_bound: Optional[float] = None
+    ) -> Optional[PerformanceEstimate]:
+        """Minimum-energy configuration, optionally under a cycle bound."""
+        candidates = [
+            e
+            for e in self.estimates
+            if cycle_bound is None or e.cycles <= cycle_bound
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.energy_nj, e.cycles))
+
+    def min_cycles(
+        self, energy_bound: Optional[float] = None
+    ) -> Optional[PerformanceEstimate]:
+        """Minimum-time configuration, optionally under an energy bound."""
+        candidates = [
+            e
+            for e in self.estimates
+            if energy_bound is None or e.energy_nj <= energy_bound
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.cycles, e.energy_nj))
+
+    def for_config(self, config: CacheConfig) -> PerformanceEstimate:
+        """The estimate recorded for an exact configuration."""
+        for estimate in self.estimates:
+            if estimate.config == config:
+                return estimate
+        raise KeyError(f"no estimate for configuration {config}")
+
+    def to_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(label, miss rate, cycles, energy) rows for tabular output."""
+        return [
+            (e.config.label(full=True), e.miss_rate, e.cycles, e.energy_nj)
+            for e in self.estimates
+        ]
+
+
+class MemExplorer:
+    """Run Algorithm MemExplore over one kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The workload.  Estimates cover **one** invocation; the Section 5
+        composite model applies the ``trip(j)`` weights.
+    energy_model:
+        Section 2.3 model (technology constants + off-chip ``Em``).
+    optimize_layout:
+        Apply the Section 4.1 assignment per ``(T, L)`` (default); when
+        False, use the dense unoptimized placement throughout.
+    gray_code:
+        Gray-code the address bus when measuring ``Add_bs``.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        energy_model: Optional[EnergyModel] = None,
+        optimize_layout: bool = True,
+        gray_code: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.optimize_layout = optimize_layout
+        self.gray_code = gray_code
+        self._trace_key: Optional[Tuple[int, int, int]] = None
+        self._trace: Optional[MemoryTrace] = None
+        self._trace_conflict_free = False
+
+    def _trace_for(self, config: CacheConfig) -> Tuple[MemoryTrace, bool]:
+        key = (config.size, config.line_size, config.tiling)
+        if key != self._trace_key:
+            if self.optimize_layout:
+                assignment = self.kernel.optimized_layout(
+                    config.size, config.line_size
+                )
+                layout = assignment.layout
+                conflict_free = assignment.conflict_free
+            else:
+                layout = self.kernel.default_layout()
+                conflict_free = False
+            self._trace = self.kernel.trace(layout=layout, tile=config.tiling)
+            self._trace_key = key
+            self._trace_conflict_free = conflict_free
+        return self._trace, self._trace_conflict_free
+
+    def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
+        """Estimate miss rate, cycles and energy for one configuration."""
+        trace, conflict_free = self._trace_for(config)
+        return evaluate_trace(
+            trace,
+            config,
+            energy_model=self.energy_model,
+            conflict_free_layout=conflict_free,
+            gray_code=self.gray_code,
+            events=self.kernel.nest.iterations,
+        )
+
+    def explore(
+        self,
+        configs: Optional[Iterable[CacheConfig]] = None,
+        max_size: int = 1024,
+        progress: Optional[Callable[[PerformanceEstimate], None]] = None,
+        **space_kwargs,
+    ) -> ExplorationResult:
+        """Evaluate a configuration set (default: the full MemExplore space).
+
+        ``space_kwargs`` are forwarded to
+        :func:`~repro.core.config.design_space` when ``configs`` is not
+        given.  Configurations are re-ordered so that the associativity
+        sweep shares each generated trace.
+        """
+        if configs is None:
+            configs = design_space(max_size=max_size, **space_kwargs)
+        ordered = sorted(
+            configs,
+            key=lambda c: (c.size, c.line_size, c.tiling, c.ways),
+        )
+        estimates = []
+        for config in ordered:
+            estimate = self.evaluate(config)
+            estimates.append(estimate)
+            if progress is not None:
+                progress(estimate)
+        return ExplorationResult(estimates)

@@ -1,0 +1,120 @@
+"""Performance records: the paper's three metrics per design point.
+
+:class:`PerformanceEstimate` is the result of evaluating one
+:class:`~repro.core.config.CacheConfig` on one workload: miss rate, processor
+cycles and energy (plus the supporting measurements).  It doubles as the
+Section 5 *record* ``(T, L, S, B, mr, C, E)`` that the composite-program
+model aggregates; :meth:`PerformanceEstimate.record` emits exactly that
+tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.config import CacheConfig
+from repro.energy.model import EnergyBreakdown
+
+__all__ = ["PerformanceEstimate"]
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Metrics of one configuration on one workload.
+
+    ``miss_rate`` covers all accesses and ``read_miss_rate`` follows the
+    paper's read-only energy accounting.  ``events`` is the paper's
+    *trip count* -- the number of loop iterations (or trace entries for raw
+    traces) by which the per-event expectations are scaled into the
+    ``cycles`` and ``energy_nj`` totals.  ``accesses``/``reads`` record the
+    underlying trace volume for reference.
+    """
+
+    config: CacheConfig
+    miss_rate: float
+    cycles: float
+    energy_nj: float
+    events: int
+    accesses: int
+    reads: int
+    read_miss_rate: float
+    add_bs: float
+    conflict_free_layout: bool = False
+    energy_breakdown: Optional[EnergyBreakdown] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError("miss rate must lie in [0, 1]")
+        if not 0.0 <= self.read_miss_rate <= 1.0:
+            raise ValueError("read miss rate must lie in [0, 1]")
+        if self.cycles < 0 or self.energy_nj < 0:
+            raise ValueError("cycles and energy must be non-negative")
+        if self.accesses < 0 or self.reads < 0 or self.reads > self.accesses:
+            raise ValueError("inconsistent access counts")
+        if self.events < 0:
+            raise ValueError("event count must be non-negative")
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate."""
+        return 1.0 - self.miss_rate
+
+    @property
+    def energy_per_event_nj(self) -> float:
+        """Average energy per trip-count event (0 for an empty run)."""
+        return self.energy_nj / self.events if self.events else 0.0
+
+    @property
+    def cycles_per_event(self) -> float:
+        """Average cycles per trip-count event (0 for an empty run)."""
+        return self.cycles / self.events if self.events else 0.0
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy-delay product (nJ x cycles).
+
+        The metric that succeeded this paper's era of pure-energy
+        optimisation: it penalises configurations that buy energy with
+        disproportionate slowdown, and typically lands between the
+        min-energy and min-time corners of the Pareto frontier.
+        """
+        return self.energy_nj * self.cycles
+
+    def average_power_mw(self, clock_mhz: float) -> float:
+        """Average power at a clock rate: ``E / (cycles / f)``.
+
+        The paper reports energy; embedded datasheets quote milliwatts.
+        With energy in nJ and the runtime ``cycles / f_MHz`` in
+        microseconds, the quotient is directly in mW.
+        """
+        if clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.cycles == 0:
+            return 0.0
+        runtime_us = self.cycles / clock_mhz
+        return self.energy_nj / runtime_us  # nJ/us == mW
+
+    def record(self) -> Tuple[int, int, int, int, float, float, float]:
+        """The Section 5 record ``(T, L, S, B, mr, C, E)``."""
+        return (
+            self.config.size,
+            self.config.line_size,
+            self.config.ways,
+            self.config.tiling,
+            self.miss_rate,
+            self.cycles,
+            self.energy_nj,
+        )
+
+    def dominates(self, other: "PerformanceEstimate") -> bool:
+        """Pareto dominance on (cycles, energy): no worse in both, better in one."""
+        if self.cycles > other.cycles or self.energy_nj > other.energy_nj:
+            return False
+        return self.cycles < other.cycles or self.energy_nj < other.energy_nj
+
+    def __str__(self) -> str:
+        return (
+            f"{self.config}: mr={self.miss_rate:.4f} "
+            f"cycles={self.cycles:.0f} energy={self.energy_nj:.0f} nJ"
+        )

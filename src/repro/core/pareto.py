@@ -1,0 +1,56 @@
+"""Energy-time Pareto analysis.
+
+The paper's central observation is that cycles and energy pull in different
+directions -- configurations that minimise one are usually not minimal in
+the other -- so the useful summary of an exploration is the (cycles, energy)
+Pareto frontier from which a designer picks once the bounds are known.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.metrics import PerformanceEstimate
+
+__all__ = ["dominated_by_any", "pareto_front", "tradeoff_range"]
+
+
+def dominated_by_any(
+    estimate: PerformanceEstimate, others: Sequence[PerformanceEstimate]
+) -> bool:
+    """True when some other estimate Pareto-dominates this one."""
+    return any(other.dominates(estimate) for other in others)
+
+
+def pareto_front(
+    estimates: Sequence[PerformanceEstimate],
+) -> List[PerformanceEstimate]:
+    """Non-dominated estimates, sorted by increasing cycles.
+
+    Duplicate (cycles, energy) points keep a single representative (the
+    first in input order), so the frontier is strictly improving in energy
+    as cycles increase.
+    """
+    ordered = sorted(
+        enumerate(estimates), key=lambda pair: (pair[1].cycles, pair[1].energy_nj, pair[0])
+    )
+    front: List[PerformanceEstimate] = []
+    best_energy = float("inf")
+    last_point: Tuple[float, float] = (float("nan"), float("nan"))
+    for _, estimate in ordered:
+        point = (estimate.cycles, estimate.energy_nj)
+        if estimate.energy_nj < best_energy and point != last_point:
+            front.append(estimate)
+            best_energy = estimate.energy_nj
+            last_point = point
+    return front
+
+
+def tradeoff_range(
+    estimates: Sequence[PerformanceEstimate],
+) -> Tuple[PerformanceEstimate, PerformanceEstimate]:
+    """The two ends of the frontier: (min-time point, min-energy point)."""
+    if not estimates:
+        raise ValueError("no estimates to analyse")
+    front = pareto_front(estimates)
+    return front[0], front[-1]

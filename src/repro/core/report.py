@@ -1,0 +1,123 @@
+"""Per-configuration datasheets: every model's view of one design point.
+
+The exploration's three metrics answer "which configuration"; a designer
+committing to one also wants the supporting numbers -- area (tag overhead
+included), access time, the energy component breakdown, and the miss
+structure.  :func:`datasheet` gathers all of it for one
+``(kernel, configuration)`` pair, and :func:`render_datasheet` formats it
+for terminals and docs (used by the ``memexplore datasheet`` subcommand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.cache.stats import MissClassification
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.core.metrics import PerformanceEstimate
+from repro.energy.area import cache_area_bits, tag_bits_per_line
+from repro.energy.model import EnergyModel
+from repro.energy.timing import AccessTimeModel
+from repro.kernels.base import Kernel
+
+__all__ = ["ConfigDatasheet", "datasheet", "render_datasheet"]
+
+
+@dataclass(frozen=True)
+class ConfigDatasheet:
+    """Everything the models say about one (kernel, configuration) pair."""
+
+    kernel_name: str
+    estimate: PerformanceEstimate
+    miss_classes: MissClassification
+    area_bits: int
+    tag_bits: int
+    relative_hit_time: float
+    min_cache_size: int
+
+    @property
+    def config(self) -> CacheConfig:
+        """The configuration described."""
+        return self.estimate.config
+
+    @property
+    def tag_overhead_fraction(self) -> float:
+        """Share of the storage bits spent on tags and status."""
+        data_bits = self.config.size * 8
+        return 1.0 - data_bits / self.area_bits
+
+
+def datasheet(
+    kernel: Kernel,
+    config: CacheConfig,
+    energy_model: Optional[EnergyModel] = None,
+    optimize_layout: bool = True,
+    timing_model: Optional[AccessTimeModel] = None,
+) -> ConfigDatasheet:
+    """Assemble the full datasheet for one configuration."""
+    explorer = MemExplorer(
+        kernel, energy_model=energy_model, optimize_layout=optimize_layout
+    )
+    estimate = explorer.evaluate(config)
+    if optimize_layout:
+        layout = kernel.optimized_layout(config.size, config.line_size).layout
+    else:
+        layout = kernel.default_layout()
+    trace = kernel.trace(layout=layout, tile=config.tiling)
+    sim = CacheSimulator(CacheGeometry(config.size, config.line_size, config.ways))
+    miss_classes = sim.classified_misses(trace)
+    timing = timing_model if timing_model is not None else AccessTimeModel()
+    return ConfigDatasheet(
+        kernel_name=kernel.name,
+        estimate=estimate,
+        miss_classes=miss_classes,
+        area_bits=cache_area_bits(config.size, config.line_size, config.ways),
+        tag_bits=tag_bits_per_line(config.size, config.line_size, config.ways),
+        relative_hit_time=timing.relative_hit_time(
+            config.size, config.line_size, config.ways
+        ),
+        min_cache_size=kernel.min_cache_size(config.line_size),
+    )
+
+
+def render_datasheet(sheet: ConfigDatasheet) -> str:
+    """Human-readable multi-line rendering of a datasheet."""
+    e = sheet.estimate
+    breakdown = e.energy_breakdown
+    lines: List[str] = [
+        f"=== {sheet.kernel_name} @ {sheet.config} ===",
+        "",
+        "metrics",
+        f"  miss rate        : {e.miss_rate:.4f} "
+        f"(reads only: {e.read_miss_rate:.4f})",
+        f"  cycles           : {e.cycles:.0f} "
+        f"({e.cycles_per_event:.2f}/iteration)",
+        f"  energy           : {e.energy_nj:.0f} nJ "
+        f"({e.energy_per_event_nj:.3f} nJ/iteration)",
+        "",
+        "miss structure",
+        f"  compulsory       : {sheet.miss_classes.compulsory}",
+        f"  capacity         : {sheet.miss_classes.capacity}",
+        f"  conflict         : {sheet.miss_classes.conflict}"
+        + ("  (conflict-free layout)" if e.conflict_free_layout else ""),
+        f"  Sec-3 min size   : {sheet.min_cache_size} bytes at this line size",
+        "",
+        "implementation",
+        f"  storage          : {sheet.area_bits} bits "
+        f"({sheet.tag_overhead_fraction:.1%} tag/status overhead)",
+        f"  tag width        : {sheet.tag_bits} bits",
+        f"  relative hit time: {sheet.relative_hit_time:.3f}x direct-mapped",
+    ]
+    if breakdown is not None:
+        lines += [
+            "",
+            "energy components (per read access)",
+            f"  E_dec  : {breakdown.e_dec:.5f} nJ",
+            f"  E_cell : {breakdown.e_cell:.4f} nJ",
+            f"  E_io   : {breakdown.e_io:.4f} nJ (per miss)",
+            f"  E_main : {breakdown.e_main:.4f} nJ (per miss)",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Exploration strategies: exhaustive vs pruned search.
+
+Algorithm MemExplore is exhaustive -- fine for the paper's few hundred
+configurations, but the point of "design automation" is scaling to spaces
+where evaluations are expensive (each one is a trace simulation).  This
+module adds two classic pruned strategies on top of any evaluator:
+
+* **Greedy coordinate descent** -- start from a seed configuration, repeat
+  sweeps over one parameter at a time (T, then L, then S, then B), keeping
+  the best neighbour, until a full round improves nothing.  Evaluates
+  ``O(rounds * (|T|+|L|+|S|+|B|))`` points instead of the product.
+* **Bound pruning** -- during an exhaustive sweep, skip whole ``(T, L)``
+  groups whose *lower bound* on energy (the all-hit energy, which only
+  grows with ``T``) already exceeds the best total seen; sound for the
+  minimum-energy objective because hit energy is a true lower bound.
+
+Both return the same :class:`~repro.core.explorer.ExplorationResult`
+interface plus an evaluation count, so the efficiency/optimality trade-off
+is measurable (``benchmarks/test_ablation_search.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig, powers_of_two
+from repro.core.explorer import ExplorationResult
+from repro.core.metrics import PerformanceEstimate
+
+__all__ = ["SearchOutcome", "greedy_descent", "pruned_min_energy"]
+
+Evaluator = Callable[[CacheConfig], PerformanceEstimate]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Best point found plus the cost of finding it."""
+
+    best: PerformanceEstimate
+    evaluations: int
+    visited: Tuple[CacheConfig, ...]
+
+    @property
+    def result(self) -> ExplorationResult:
+        """The visited estimates are not retained; expose the best only."""
+        return ExplorationResult([self.best])
+
+
+def _candidate_values(
+    kind: str,
+    config: CacheConfig,
+    sizes: Sequence[int],
+    line_sizes: Sequence[int],
+    ways: Sequence[int],
+    tilings: Sequence[int],
+) -> List[CacheConfig]:
+    candidates = []
+    if kind == "size":
+        pool = [CacheConfig(v, config.line_size, config.ways, config.tiling)
+                for v in sizes if v >= config.line_size * config.ways]
+    elif kind == "line":
+        pool = [CacheConfig(config.size, v, config.ways, config.tiling)
+                for v in line_sizes if v * config.ways <= config.size]
+    elif kind == "ways":
+        pool = [CacheConfig(config.size, config.line_size, v, config.tiling)
+                for v in ways if v * config.line_size <= config.size]
+    else:
+        pool = [CacheConfig(config.size, config.line_size, config.ways, v)
+                for v in tilings]
+    for candidate in pool:
+        try:
+            candidates.append(candidate)
+        except ValueError:
+            continue
+    return candidates
+
+
+def greedy_descent(
+    evaluator: Evaluator,
+    objective: str = "energy",
+    seed: Optional[CacheConfig] = None,
+    sizes: Sequence[int] = powers_of_two(16, 1024),
+    line_sizes: Sequence[int] = (4, 8, 16, 32, 64),
+    ways: Sequence[int] = (1, 2, 4, 8),
+    tilings: Sequence[int] = (1, 2, 4, 8),
+    max_rounds: int = 8,
+) -> SearchOutcome:
+    """Coordinate-descent search for the best configuration.
+
+    ``objective`` is ``"energy"`` or ``"cycles"``.  Finds a local optimum
+    of the design space; on the bundled kernels' well-behaved surfaces it
+    reaches the global optimum with ~10x fewer evaluations (measured by
+    the search ablation bench).
+    """
+    if objective not in ("energy", "cycles"):
+        raise ValueError("objective must be 'energy' or 'cycles'")
+    key = (
+        (lambda e: (e.energy_nj, e.cycles))
+        if objective == "energy"
+        else (lambda e: (e.cycles, e.energy_nj))
+    )
+    if seed is None:
+        seed = CacheConfig(sizes[len(sizes) // 2], line_sizes[0])
+    cache: dict = {}
+    visited: List[CacheConfig] = []
+
+    def evaluate(config: CacheConfig) -> PerformanceEstimate:
+        if config not in cache:
+            cache[config] = evaluator(config)
+            visited.append(config)
+        return cache[config]
+
+    best = evaluate(seed)
+    for _ in range(max_rounds):
+        improved = False
+        for kind in ("size", "line", "ways", "tiling"):
+            candidates = _candidate_values(
+                kind, best.config, sizes, line_sizes, ways, tilings
+            )
+            for candidate in candidates:
+                estimate = evaluate(candidate)
+                if key(estimate) < key(best):
+                    best = estimate
+                    improved = True
+        if not improved:
+            break
+    return SearchOutcome(
+        best=best, evaluations=len(visited), visited=tuple(visited)
+    )
+
+
+def pruned_min_energy(
+    evaluator: Evaluator,
+    configs: Sequence[CacheConfig],
+    hit_energy_bound: Callable[[CacheConfig], float],
+) -> SearchOutcome:
+    """Exhaustive minimum-energy sweep with sound lower-bound pruning.
+
+    ``hit_energy_bound(config)`` must be a true lower bound on the total
+    energy of ``config`` (the all-hit energy ``events * E_hit`` is one:
+    misses only add energy).  Configurations whose bound exceeds the best
+    total seen are skipped without evaluation, preserving optimality.
+    """
+    best: Optional[PerformanceEstimate] = None
+    visited: List[CacheConfig] = []
+    ordered = sorted(configs, key=lambda c: (c.size, c.line_size, c.tiling, c.ways))
+    for config in ordered:
+        if best is not None and hit_energy_bound(config) > best.energy_nj:
+            continue
+        estimate = evaluator(config)
+        visited.append(config)
+        if best is None or (estimate.energy_nj, estimate.cycles) < (
+            best.energy_nj,
+            best.cycles,
+        ):
+            best = estimate
+    if best is None:
+        raise ValueError("no configurations to search")
+    return SearchOutcome(
+        best=best, evaluations=len(visited), visited=tuple(visited)
+    )

@@ -1,0 +1,92 @@
+"""Constraint-driven configuration selection.
+
+The exploration's purpose: "find the minimum energy cache configuration if
+time is the hard constraint, or the minimum time cache configuration if
+energy is the hard constraint".  The paper's Compress walk-through: the
+unconstrained minimum-energy point is C16L4 and minimum-time is C512L64;
+bounding cycles at 5,000 moves the minimum-energy choice to C64L16, and
+bounding energy at 5,500 nJ keeps C512L64 as the minimum-time choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.metrics import PerformanceEstimate
+
+__all__ = ["SelectionError", "Selection", "select_configuration"]
+
+
+class SelectionError(ValueError):
+    """No configuration satisfies the requested bounds."""
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of a constrained selection."""
+
+    chosen: PerformanceEstimate
+    objective: str
+    cycle_bound: Optional[float] = None
+    energy_bound: Optional[float] = None
+
+    def __str__(self) -> str:
+        bounds = []
+        if self.cycle_bound is not None:
+            bounds.append(f"cycles <= {self.cycle_bound:g}")
+        if self.energy_bound is not None:
+            bounds.append(f"energy <= {self.energy_bound:g} nJ")
+        suffix = f" s.t. {', '.join(bounds)}" if bounds else ""
+        return f"min {self.objective}{suffix}: {self.chosen}"
+
+
+def _feasible(
+    estimates: Sequence[PerformanceEstimate],
+    cycle_bound: Optional[float],
+    energy_bound: Optional[float],
+) -> Sequence[PerformanceEstimate]:
+    return [
+        e
+        for e in estimates
+        if (cycle_bound is None or e.cycles <= cycle_bound)
+        and (energy_bound is None or e.energy_nj <= energy_bound)
+    ]
+
+
+def select_configuration(
+    estimates: Sequence[PerformanceEstimate],
+    objective: str = "energy",
+    cycle_bound: Optional[float] = None,
+    energy_bound: Optional[float] = None,
+) -> Selection:
+    """Pick the best configuration under the paper's three scenarios.
+
+    ``objective`` is ``"energy"`` (minimise energy, typically with a cycle
+    bound), ``"cycles"`` (minimise time, typically with an energy bound),
+    or ``"edp"`` (minimise the energy-delay product -- the balanced metric
+    that needs no bound at all).
+    Raises :class:`SelectionError` when no configuration meets the bounds.
+    """
+    if objective not in ("energy", "cycles", "edp"):
+        raise ValueError("objective must be 'energy', 'cycles' or 'edp'")
+    if not estimates:
+        raise SelectionError("no configurations were explored")
+    feasible = _feasible(estimates, cycle_bound, energy_bound)
+    if not feasible:
+        raise SelectionError(
+            f"no configuration satisfies cycle_bound={cycle_bound}, "
+            f"energy_bound={energy_bound}"
+        )
+    if objective == "energy":
+        chosen = min(feasible, key=lambda e: (e.energy_nj, e.cycles))
+    elif objective == "cycles":
+        chosen = min(feasible, key=lambda e: (e.cycles, e.energy_nj))
+    else:
+        chosen = min(feasible, key=lambda e: (e.energy_delay_product, e.cycles))
+    return Selection(
+        chosen=chosen,
+        objective=objective,
+        cycle_bound=cycle_bound,
+        energy_bound=energy_bound,
+    )

@@ -1,0 +1,130 @@
+"""Sensitivity analysis: how robust is the chosen configuration?
+
+Every constant in the Section 2 models is a 1999 measurement or an
+assumption; a designer committing silicon wants to know which ones the
+decision actually hinges on.  :func:`tornado` perturbs each model
+parameter over a factor band (classic tornado-diagram analysis), re-runs
+the exploration, and reports per parameter (a) the energy swing at the
+nominal winner and (b) whether the winner itself changes -- separating
+"changes the number" from "changes the decision".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAMPart
+from repro.kernels.base import Kernel
+
+__all__ = ["ParameterSweep", "SensitivityRow", "tornado"]
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """One parameter axis: a name and a model factory per factor."""
+
+    name: str
+    build: Callable[[float], EnergyModel]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Tornado result for one parameter."""
+
+    parameter: str
+    low_energy: float
+    nominal_energy: float
+    high_energy: float
+    winner_changes: bool
+
+    @property
+    def swing(self) -> float:
+        """Relative energy swing across the band at the nominal winner."""
+        if not self.nominal_energy:
+            return 0.0
+        return (self.high_energy - self.low_energy) / self.nominal_energy
+
+
+def _default_sweeps(nominal: EnergyModel) -> List[ParameterSweep]:
+    tech = nominal.tech
+    sram = nominal.sram
+
+    def with_em(factor: float) -> EnergyModel:
+        part = SRAMPart(
+            name=f"{sram.name}*{factor}",
+            size_bits=sram.size_bits,
+            energy_per_access_nj=sram.energy_per_access_nj * factor,
+        )
+        return EnergyModel(tech=tech, sram=part)
+
+    def with_tech(field: str) -> Callable[[float], EnergyModel]:
+        def build(factor: float) -> EnergyModel:
+            return EnergyModel(
+                tech=replace(tech, **{field: getattr(tech, field) * factor}),
+                sram=sram,
+            )
+        return build
+
+    def with_activity(factor: float) -> EnergyModel:
+        activity = min(1.0, tech.data_bus_activity * factor)
+        return EnergyModel(tech=tech.with_activity(activity), sram=sram)
+
+    return [
+        ParameterSweep("Em (main memory)", with_em),
+        ParameterSweep("beta (cell array)", with_tech("beta")),
+        ParameterSweep("gamma (I/O pads)", with_tech("gamma")),
+        ParameterSweep("alpha (decoder)", with_tech("alpha")),
+        ParameterSweep("data-bus activity", with_activity),
+    ]
+
+
+def tornado(
+    kernel: Kernel,
+    configs: Sequence[CacheConfig],
+    band: Tuple[float, float] = (0.5, 2.0),
+    sweeps: Optional[Sequence[ParameterSweep]] = None,
+    nominal_model: Optional[EnergyModel] = None,
+) -> List[SensitivityRow]:
+    """Tornado analysis over the default (or given) parameter axes.
+
+    Returns one row per parameter, sorted by decreasing swing -- the
+    tornado's classic presentation.
+    """
+    low_factor, high_factor = band
+    if not 0 < low_factor <= 1 <= high_factor:
+        raise ValueError("band must bracket the nominal factor 1.0")
+    nominal = nominal_model if nominal_model is not None else EnergyModel()
+    if sweeps is None:
+        sweeps = _default_sweeps(nominal)
+
+    nominal_result = MemExplorer(kernel, energy_model=nominal).explore(
+        configs=list(configs)
+    )
+    nominal_best = nominal_result.min_energy()
+    rows: List[SensitivityRow] = []
+    for sweep in sweeps:
+        energies: Dict[float, float] = {}
+        winner_changes = False
+        for factor in (low_factor, high_factor):
+            model = sweep.build(factor)
+            result = MemExplorer(kernel, energy_model=model).explore(
+                configs=list(configs)
+            )
+            energies[factor] = result.for_config(nominal_best.config).energy_nj
+            if result.min_energy().config != nominal_best.config:
+                winner_changes = True
+        rows.append(
+            SensitivityRow(
+                parameter=sweep.name,
+                low_energy=energies[low_factor],
+                nominal_energy=nominal_best.energy_nj,
+                high_energy=energies[high_factor],
+                winner_changes=winner_changes,
+            )
+        )
+    rows.sort(key=lambda r: abs(r.swing), reverse=True)
+    return rows

@@ -1,0 +1,166 @@
+"""Persistence for exploration results (CSV and JSON).
+
+An exploration of a large program is expensive enough to be worth saving;
+the Section 5 workflow in particular wants per-kernel record tables
+``(T, L, S, B, mr, C, E)`` written once and re-aggregated under different
+trip counts.  This module round-trips :class:`ExplorationResult` objects
+through CSV (the record table, human-diffable) and JSON (full estimates,
+including the supporting measurements).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, List, Union
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import ExplorationResult
+from repro.core.metrics import PerformanceEstimate
+
+__all__ = [
+    "load_results_csv",
+    "load_results_json",
+    "save_results_csv",
+    "save_results_json",
+]
+
+PathOrFile = Union[str, Path, IO[str]]
+
+_CSV_HEADER = [
+    "size", "line_size", "ways", "tiling",
+    "miss_rate", "cycles", "energy_nj",
+    "events", "accesses", "reads", "read_miss_rate", "add_bs",
+    "conflict_free_layout",
+]
+
+
+def _open(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, encoding="utf-8", newline=""), True
+    return target, False
+
+
+def save_results_csv(result: ExplorationResult, target: PathOrFile) -> int:
+    """Write the estimates as a CSV record table; returns the row count."""
+    fh, owned = _open(target, "w")
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_HEADER)
+        for e in result:
+            writer.writerow(
+                [
+                    e.config.size, e.config.line_size, e.config.ways,
+                    e.config.tiling,
+                    repr(e.miss_rate), repr(e.cycles), repr(e.energy_nj),
+                    e.events, e.accesses, e.reads,
+                    repr(e.read_miss_rate), repr(e.add_bs),
+                    int(e.conflict_free_layout),
+                ]
+            )
+    finally:
+        if owned:
+            fh.close()
+    return len(result)
+
+
+def load_results_csv(source: PathOrFile) -> ExplorationResult:
+    """Read a CSV record table back into an :class:`ExplorationResult`."""
+    fh, owned = _open(source, "r")
+    try:
+        reader = csv.DictReader(fh)
+        missing = set(_CSV_HEADER) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"results CSV is missing columns: {sorted(missing)}")
+        estimates: List[PerformanceEstimate] = []
+        for row in reader:
+            estimates.append(
+                PerformanceEstimate(
+                    config=CacheConfig(
+                        int(row["size"]), int(row["line_size"]),
+                        int(row["ways"]), int(row["tiling"]),
+                    ),
+                    miss_rate=float(row["miss_rate"]),
+                    cycles=float(row["cycles"]),
+                    energy_nj=float(row["energy_nj"]),
+                    events=int(row["events"]),
+                    accesses=int(row["accesses"]),
+                    reads=int(row["reads"]),
+                    read_miss_rate=float(row["read_miss_rate"]),
+                    add_bs=float(row["add_bs"]),
+                    conflict_free_layout=bool(int(row["conflict_free_layout"])),
+                )
+            )
+    finally:
+        if owned:
+            fh.close()
+    return ExplorationResult(estimates)
+
+
+def _estimate_to_dict(e: PerformanceEstimate) -> dict:
+    return {
+        "config": {
+            "size": e.config.size,
+            "line_size": e.config.line_size,
+            "ways": e.config.ways,
+            "tiling": e.config.tiling,
+        },
+        "miss_rate": e.miss_rate,
+        "cycles": e.cycles,
+        "energy_nj": e.energy_nj,
+        "events": e.events,
+        "accesses": e.accesses,
+        "reads": e.reads,
+        "read_miss_rate": e.read_miss_rate,
+        "add_bs": e.add_bs,
+        "conflict_free_layout": e.conflict_free_layout,
+    }
+
+
+def save_results_json(result: ExplorationResult, target: PathOrFile) -> int:
+    """Write the estimates as JSON; returns the estimate count."""
+    payload = {
+        "format": "repro.exploration/1",
+        "estimates": [_estimate_to_dict(e) for e in result],
+    }
+    fh, owned = _open(target, "w")
+    try:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+    return len(result)
+
+
+def load_results_json(source: PathOrFile) -> ExplorationResult:
+    """Read estimates previously written by :func:`save_results_json`."""
+    fh, owned = _open(source, "r")
+    try:
+        payload = json.load(fh)
+    finally:
+        if owned:
+            fh.close()
+    if payload.get("format") != "repro.exploration/1":
+        raise ValueError("not a repro exploration results file")
+    estimates = []
+    for item in payload["estimates"]:
+        cfg = item["config"]
+        estimates.append(
+            PerformanceEstimate(
+                config=CacheConfig(
+                    cfg["size"], cfg["line_size"], cfg["ways"], cfg["tiling"]
+                ),
+                miss_rate=item["miss_rate"],
+                cycles=item["cycles"],
+                energy_nj=item["energy_nj"],
+                events=item["events"],
+                accesses=item["accesses"],
+                reads=item["reads"],
+                read_miss_rate=item["read_miss_rate"],
+                add_bs=item["add_bs"],
+                conflict_free_layout=item["conflict_free_layout"],
+            )
+        )
+    return ExplorationResult(estimates)

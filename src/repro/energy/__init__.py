@@ -1,0 +1,57 @@
+"""Energy substrate (Section 2.3 of the paper).
+
+The paper rectifies the cache-energy model of Hicks, Walnock and Owens
+(itself extending Su and Despain) and pairs it with datasheet numbers for
+off-chip Cypress SRAMs.  This subpackage implements:
+
+* :mod:`repro.energy.params` -- technology constants (alpha, beta, gamma for
+  0.8 um CMOS) and the off-chip SRAM part catalog (the paper's Em points),
+* :mod:`repro.energy.bus` -- Gray-code address encoding and bus switching
+  activity measured on real traces,
+* :mod:`repro.energy.model` -- the E_dec / E_cell / E_io / E_main model and
+  per-run energy totals,
+* :mod:`repro.energy.area` -- a simple area estimate (data + tag + status
+  bits) backing the paper's "cache size" metric.
+"""
+
+from repro.energy.params import (
+    CY7C_2MBIT,
+    LOW_POWER_2MBIT,
+    SRAM_16MBIT,
+    SRAM_CATALOG,
+    SRAMPart,
+    TechnologyParams,
+)
+from repro.energy.bus import (
+    address_bus_switching,
+    bus_switching,
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.kamble_ghose import KambleGhoseModel
+from repro.energy.dram import DramModel, DramStats, miss_stream_energy
+from repro.energy.area import cache_area_bits, tag_bits_per_line
+
+__all__ = [
+    "CY7C_2MBIT",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "DramModel",
+    "DramStats",
+    "KambleGhoseModel",
+    "LOW_POWER_2MBIT",
+    "SRAMPart",
+    "SRAM_16MBIT",
+    "SRAM_CATALOG",
+    "TechnologyParams",
+    "address_bus_switching",
+    "bus_switching",
+    "cache_area_bits",
+    "gray_decode",
+    "gray_encode",
+    "hamming_distance",
+    "miss_stream_energy",
+    "tag_bits_per_line",
+]

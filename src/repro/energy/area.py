@@ -1,0 +1,50 @@
+"""Cache area estimate backing the paper's "cache size" metric.
+
+The paper's first performance metric is simply the cache capacity ``T``, but
+comparing configurations of equal capacity and different organisation still
+differs in *real* area because of tag and status overhead: smaller lines and
+more sets mean more tags.  This module provides the standard bit-level
+estimate (data bits + tag bits + valid bits per line) used by the ablation
+benches when ranking configurations under an area budget.
+"""
+
+from __future__ import annotations
+
+__all__ = ["cache_area_bits", "tag_bits_per_line"]
+
+
+def _log2_exact(n: int, label: str) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"{label} must be a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def tag_bits_per_line(
+    size: int, line_size: int, ways: int, address_bits: int = 32
+) -> int:
+    """Tag width for a ``(T, L, S)`` cache with the given address width."""
+    offset_bits = _log2_exact(line_size, "line size")
+    num_sets = size // (line_size * ways)
+    if num_sets * line_size * ways != size:
+        raise ValueError("geometry does not tile the cache size")
+    index_bits = _log2_exact(num_sets, "number of sets")
+    tag = address_bits - offset_bits - index_bits
+    if tag < 0:
+        raise ValueError("address width too small for this geometry")
+    return tag
+
+
+def cache_area_bits(
+    size: int, line_size: int, ways: int, address_bits: int = 32
+) -> int:
+    """Total storage bits: data + tag + valid bit per line.
+
+    Dirty bits are omitted (the paper's metrics are read-dominated); adding
+    one more status bit per line shifts every configuration equally.
+    """
+    num_lines = size // line_size
+    if num_lines * line_size != size:
+        raise ValueError("line size must divide cache size")
+    data_bits = size * 8
+    tag = tag_bits_per_line(size, line_size, ways, address_bits)
+    return data_bits + num_lines * (tag + 1)

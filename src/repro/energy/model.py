@@ -1,0 +1,218 @@
+"""The Section 2.3 cache energy model.
+
+The paper rectifies Hicks/Walnock/Owens' extension of Su and Despain's model.
+Per READ access::
+
+    Energy      = hit_rate * Energy_hit + miss_rate * Energy_miss
+    Energy_hit  = E_dec + E_cell
+    Energy_miss = E_dec + E_cell + E_io + E_main
+
+    E_dec  = alpha * Add_bs
+    E_cell = beta  * word_line_size * bit_line_size
+    E_io   = gamma * (data_bs * L + Add_bs)
+    E_main = gamma * (data_bs * L) + Em * L
+
+with ``Add_bs`` the (Gray-coded) address-bus switching per access, ``data_bs``
+the data-bus switching per transferred byte, ``L`` the cache line size and
+``Em`` the main-memory energy per access.  Only READ accesses are charged,
+"because reads dominate processor cache accesses"; set-associative control
+overhead is deliberately ignored ("the amount is not significant [3]").
+
+The cell array of a ``(T, L, S)`` cache is organised as
+``num_sets = T/(L*S)`` rows of ``8*L*S`` cells, so
+``word_line_size * bit_line_size = 8*T``: hit energy grows linearly with
+cache size and is independent of how the bytes are arranged into lines and
+ways.  That linear-in-``T`` hit term versus the miss term shrinking with
+``T`` is exactly the tension behind Figure 1.
+
+Switching-weighted sums (the alpha/beta/gamma terms) are interpreted as
+picojoules and scaled by ``TechnologyParams.capacitive_scale_nj`` into
+nanojoules so they can be combined with the datasheet ``Em`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.energy.params import CY7C_2MBIT, SRAMPart, TechnologyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-access components (nJ) and run totals for one configuration."""
+
+    e_dec: float
+    e_cell: float
+    e_io: float
+    e_main: float
+    hit_rate: float
+    miss_rate: float
+    events: int
+
+    @property
+    def e_hit(self) -> float:
+        """Energy of one read hit (nJ)."""
+        return self.e_dec + self.e_cell
+
+    @property
+    def e_miss(self) -> float:
+        """Energy of one read miss (nJ)."""
+        return self.e_hit + self.e_io + self.e_main
+
+    @property
+    def per_access(self) -> float:
+        """Expected energy of one read access (nJ)."""
+        return self.hit_rate * self.e_hit + self.miss_rate * self.e_miss
+
+    @property
+    def total(self) -> float:
+        """Total read energy of the run (nJ)."""
+        return self.per_access * self.events
+
+
+class EnergyModel:
+    """Evaluate the paper's energy expressions for a cache geometry.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants (defaults to the paper's 0.8 um values).
+    sram:
+        Off-chip part providing ``Em`` (defaults to the Cypress 2 Mbit,
+        4.95 nJ).
+    subbanks:
+        Cell-array sub-banking factor (default 1 = the paper's monolithic
+        array).  A sub-banked array precharges only the accessed bank, so
+        ``E_cell`` divides by the factor -- the classic low-power layout
+        from the Su/Despain and Kamble/Ghose lineage the paper cites.
+        Must divide the number of sets of any geometry evaluated.
+    phased:
+        Phased (tag-first) access: probe the tags, then read only the
+        hitting way's data.  Cuts the per-access cell energy of an S-way
+        cache by reading one way instead of S, at the cost of one extra
+        hit cycle (applied by the caller via
+        :func:`~repro.core.cycles.cycles_per_hit` + 1; see the phased
+        bench).  No effect on direct-mapped caches.
+    """
+
+    def __init__(
+        self,
+        tech: Optional[TechnologyParams] = None,
+        sram: Optional[SRAMPart] = None,
+        subbanks: int = 1,
+        phased: bool = False,
+    ) -> None:
+        if subbanks < 1:
+            raise ValueError("sub-banking factor must be at least 1")
+        self.tech = tech if tech is not None else TechnologyParams()
+        self.sram = sram if sram is not None else CY7C_2MBIT
+        self.subbanks = subbanks
+        self.phased = phased
+
+    @property
+    def em(self) -> float:
+        """Main-memory energy per access, nJ."""
+        return self.sram.energy_per_access_nj
+
+    def cell_geometry(self, size: int, line_size: int, ways: int) -> "tuple[int, int]":
+        """``(word_line_size, bit_line_size)`` in cells for the geometry."""
+        if size <= 0 or line_size <= 0 or ways <= 0:
+            raise ValueError("geometry parameters must be positive")
+        if line_size * ways > size:
+            raise ValueError("ways of this line size do not fit in the cache")
+        word_line = 8 * line_size * ways
+        bit_line = size // (line_size * ways)
+        return word_line, bit_line
+
+    def e_dec(self, add_bs: float) -> float:
+        """Address-decoding-path energy per access, nJ."""
+        return self.tech.alpha * add_bs * self.tech.capacitive_scale_nj
+
+    def e_cell(self, size: int, line_size: int, ways: int) -> float:
+        """Cell-array (word/bit line precharge) energy per access, nJ.
+
+        Sub-banking divides the precharged array by the bank factor;
+        phased access reads a single way's data instead of all ``S``
+        (approximated as dividing the array term by the way count, with
+        the tag side ignored as in the paper's simplified model).
+        """
+        word_line, bit_line = self.cell_geometry(size, line_size, ways)
+        cells = word_line * bit_line
+        if self.subbanks > 1:
+            if bit_line % self.subbanks:
+                raise ValueError(
+                    f"{self.subbanks} sub-banks do not divide the "
+                    f"{bit_line} sets of this geometry"
+                )
+            cells //= self.subbanks
+        if self.phased and ways > 1:
+            cells //= ways
+        return self.tech.beta * cells * self.tech.capacitive_scale_nj
+
+    def e_io(self, line_size: int, add_bs: float) -> float:
+        """Host-processor I/O pad energy per miss, nJ."""
+        switched = self.tech.data_bs * line_size + add_bs
+        return self.tech.gamma * switched * self.tech.capacitive_scale_nj
+
+    def e_main(self, line_size: int) -> float:
+        """Main-memory access energy per miss, nJ (includes its bus term)."""
+        bus = self.tech.gamma * self.tech.data_bs * line_size
+        return bus * self.tech.capacitive_scale_nj + self.em * line_size
+
+    def breakdown(
+        self,
+        size: int,
+        line_size: int,
+        ways: int,
+        hit_rate: float,
+        miss_rate: float,
+        events: int,
+        add_bs: float,
+    ) -> EnergyBreakdown:
+        """Full per-access breakdown and totals for one configuration.
+
+        ``hit_rate``/``miss_rate`` are READ rates, per the paper's
+        accounting; ``events`` is the trip count that scales the per-event
+        expectation into a total; ``add_bs`` is the measured Gray-coded
+        address-bus switching of the run.
+        """
+        if not 0 <= miss_rate <= 1 or not 0 <= hit_rate <= 1:
+            raise ValueError("rates must lie in [0, 1]")
+        if abs(hit_rate + miss_rate - 1.0) > 1e-9 and (hit_rate or miss_rate):
+            raise ValueError("hit and miss rates must sum to 1")
+        if events < 0:
+            raise ValueError("event count must be non-negative")
+        if add_bs < 0:
+            raise ValueError("address switching must be non-negative")
+        return EnergyBreakdown(
+            e_dec=self.e_dec(add_bs),
+            e_cell=self.e_cell(size, line_size, ways),
+            e_io=self.e_io(line_size, add_bs),
+            e_main=self.e_main(line_size),
+            hit_rate=hit_rate,
+            miss_rate=miss_rate,
+            events=events,
+        )
+
+    def total_energy(
+        self,
+        size: int,
+        line_size: int,
+        ways: int,
+        miss_rate: float,
+        events: int,
+        add_bs: float,
+    ) -> float:
+        """Total run energy in nJ (convenience over :meth:`breakdown`)."""
+        return self.breakdown(
+            size,
+            line_size,
+            ways,
+            hit_rate=1.0 - miss_rate,
+            miss_rate=miss_rate,
+            events=events,
+            add_bs=add_bs,
+        ).total

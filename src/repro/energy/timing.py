@@ -1,0 +1,125 @@
+"""Cache access-time model after Wilton and Jouppi (paper reference [4]).
+
+The paper's Section 2.2 hit latencies (1 / 1.1 / 1.12 / 1.14 cycles for
+1/2/4/8 ways) come from Hennessy & Patterson, who in turn lean on
+enhanced-CACTI-style access-time models.  This module implements a
+simplified structural version of that model so the fixed table can be
+*cross-checked* rather than taken as given:
+
+    t_access = t_decode + t_wordline + t_bitline + t_sense
+             + (t_compare + t_mux  if set-associative)
+
+with each component scaling the way the physical structure does --
+decoder with ``log2(sets)``, word line with the row's cell count, bit line
+with the column's cell count, and the associative overhead with the tag
+width and the way count.  Outputs are in arbitrary delay units;
+:func:`relative_hit_time` normalises against the direct-mapped
+configuration of the same capacity, which is the quantity the paper's
+table encodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.area import tag_bits_per_line
+
+__all__ = ["AccessTimeModel", "AccessTimeBreakdown"]
+
+
+@dataclass(frozen=True)
+class AccessTimeBreakdown:
+    """Delay components (arbitrary units) for one geometry."""
+
+    decode: float
+    wordline: float
+    bitline: float
+    sense: float
+    compare: float
+    mux: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end access time."""
+        return (
+            self.decode + self.wordline + self.bitline
+            + self.sense + self.compare + self.mux
+        )
+
+
+class AccessTimeModel:
+    """Structural access-time estimates for ``(T, L, S)`` caches.
+
+    The default component weights were fitted once so the relative hit
+    times of a 64-byte cache land on the paper's 1 / 1.1 / 1.12 / 1.14
+    ladder within a few percent (see ``tests/test_timing.py``); everything
+    downstream only uses ratios, so the absolute unit is immaterial.
+    """
+
+    def __init__(
+        self,
+        decode_weight: float = 1.0,
+        wordline_weight: float = 0.01,
+        bitline_weight: float = 0.05,
+        sense_delay: float = 3.0,
+        compare_weight: float = 0.0215,
+        mux_weight: float = 0.118,
+        address_bits: int = 32,
+    ) -> None:
+        weights = (decode_weight, wordline_weight, bitline_weight,
+                   sense_delay, compare_weight, mux_weight)
+        if any(w < 0 for w in weights):
+            raise ValueError("delay weights must be non-negative")
+        self.decode_weight = decode_weight
+        self.wordline_weight = wordline_weight
+        self.bitline_weight = bitline_weight
+        self.sense_delay = sense_delay
+        self.compare_weight = compare_weight
+        self.mux_weight = mux_weight
+        self.address_bits = address_bits
+
+    def breakdown(self, size: int, line_size: int, ways: int) -> AccessTimeBreakdown:
+        """Component delays for one geometry.
+
+        The data array is modelled as one bank per way, each with the
+        direct-mapped organisation of the full capacity divided by the
+        way count replicated in parallel -- so the array path is the
+        direct-mapped one and associativity only adds the comparator and
+        the way-select mux, which is the structure behind the paper's
+        size-independent 1/1.1/1.12/1.14 ladder.
+        """
+        if size <= 0 or line_size <= 0 or ways <= 0 or line_size * ways > size:
+            raise ValueError("invalid cache geometry")
+        array_rows = size // line_size  # banked per way: array path as DM
+        columns = 8 * line_size
+        decode = self.decode_weight * max(1.0, math.log2(max(array_rows, 2)))
+        wordline = self.wordline_weight * columns
+        bitline = self.bitline_weight * array_rows
+        compare = 0.0
+        mux = 0.0
+        if ways > 1:
+            tag = tag_bits_per_line(size, line_size, ways, self.address_bits)
+            compare = self.compare_weight * tag
+            mux = self.mux_weight * math.log2(ways)
+        return AccessTimeBreakdown(
+            decode=decode,
+            wordline=wordline,
+            bitline=bitline,
+            sense=self.sense_delay,
+            compare=compare,
+            mux=mux,
+        )
+
+    def access_time(self, size: int, line_size: int, ways: int) -> float:
+        """Total access time (arbitrary units)."""
+        return self.breakdown(size, line_size, ways).total
+
+    def relative_hit_time(self, size: int, line_size: int, ways: int) -> float:
+        """Hit time normalised to the direct-mapped cache of equal size.
+
+        This is the quantity the paper's 1 / 1.1 / 1.12 / 1.14 ladder
+        tabulates.
+        """
+        base = self.access_time(size, line_size, 1)
+        return self.access_time(size, line_size, ways) / base

@@ -1,0 +1,28 @@
+"""Instruction-cache extension.
+
+"The exploration procedure described here for data caches can be extended
+to instruction caches by merging the method of Kirovski et al [8] with
+ours" (Section 1).  This subpackage implements that extension: a basic-block
+program model generates instruction-fetch traces (Kirovski's
+application-driven view of code as weighted basic blocks), and the same
+MemExplore metrics rank instruction-cache configurations.  Tiling does not
+apply to instruction streams, so the sweep is over ``(T, L, S)`` only.
+"""
+
+from repro.icache.blocks import BasicBlock, ControlFlowTrace, Program
+from repro.icache.explorer import ICacheExplorer
+from repro.icache.placement import PlacementResult, place_blocks, temporal_affinity
+from repro.icache.unified import SplitComparison, merged_trace, split_vs_unified
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowTrace",
+    "ICacheExplorer",
+    "PlacementResult",
+    "Program",
+    "SplitComparison",
+    "merged_trace",
+    "place_blocks",
+    "split_vs_unified",
+    "temporal_affinity",
+]

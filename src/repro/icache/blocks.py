@@ -1,0 +1,144 @@
+"""Basic-block program model for instruction traces.
+
+A :class:`Program` is a set of basic blocks placed in instruction memory;
+a :class:`ControlFlowTrace` is the dynamic sequence of blocks executed
+(loops are expressed by repetition).  Expanding the block sequence into
+per-instruction fetch addresses gives the instruction analogue of the data
+traces of :mod:`repro.loops.trace_gen`, which the shared metric machinery
+then scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.trace import MemoryTrace
+
+__all__ = ["BasicBlock", "ControlFlowTrace", "Program"]
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A straight-line code region: name, byte address, instruction count."""
+
+    name: str
+    address: int
+    instructions: int
+    instruction_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"block {self.name!r}: negative address")
+        if self.instructions <= 0:
+            raise ValueError(f"block {self.name!r}: needs at least 1 instruction")
+        if self.instruction_size <= 0:
+            raise ValueError(f"block {self.name!r}: bad instruction size")
+
+    @property
+    def size_bytes(self) -> int:
+        """Byte footprint of the block."""
+        return self.instructions * self.instruction_size
+
+    def fetch_addresses(self) -> np.ndarray:
+        """Fetch address of every instruction in the block, in order."""
+        return self.address + self.instruction_size * np.arange(
+            self.instructions, dtype=np.int64
+        )
+
+
+@dataclass(frozen=True)
+class Program:
+    """Basic blocks laid out in instruction memory."""
+
+    blocks: Tuple[BasicBlock, ...]
+
+    def __post_init__(self) -> None:
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            raise ValueError("basic block names must be unique")
+        spans = sorted((b.address, b.address + b.size_bytes) for b in self.blocks)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            if start < end:
+                raise ValueError("basic blocks overlap in instruction memory")
+
+    @staticmethod
+    def sequential(
+        sizes: Sequence[Tuple[str, int]],
+        base: int = 0,
+        instruction_size: int = 4,
+    ) -> "Program":
+        """Lay blocks back to back starting at ``base``."""
+        blocks: List[BasicBlock] = []
+        cursor = base
+        for name, instructions in sizes:
+            block = BasicBlock(name, cursor, instructions, instruction_size)
+            blocks.append(block)
+            cursor += block.size_bytes
+        return Program(tuple(blocks))
+
+    def block(self, name: str) -> BasicBlock:
+        """Look up a block by name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"program has no basic block {name!r}")
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes from the lowest block start to the highest block end."""
+        if not self.blocks:
+            return 0
+        start = min(b.address for b in self.blocks)
+        end = max(b.address + b.size_bytes for b in self.blocks)
+        return end - start
+
+
+@dataclass(frozen=True)
+class ControlFlowTrace:
+    """A dynamic execution: the sequence of basic blocks entered."""
+
+    program: Program
+    sequence: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        known = {b.name for b in self.program.blocks}
+        unknown = set(self.sequence) - known
+        if unknown:
+            raise ValueError(f"trace references unknown blocks {sorted(unknown)}")
+
+    @staticmethod
+    def loop(
+        program: Program,
+        body: Sequence[str],
+        iterations: int,
+        prologue: Sequence[str] = (),
+        epilogue: Sequence[str] = (),
+    ) -> "ControlFlowTrace":
+        """A simple loop execution: prologue, body x iterations, epilogue."""
+        if iterations < 0:
+            raise ValueError("iteration count must be non-negative")
+        sequence = tuple(prologue) + tuple(body) * iterations + tuple(epilogue)
+        return ControlFlowTrace(program, sequence)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        """Total instructions fetched."""
+        return sum(self.program.block(name).instructions for name in self.sequence)
+
+    def block_frequencies(self) -> Dict[str, int]:
+        """How many times each block is entered (Kirovski's weights)."""
+        freq: Dict[str, int] = {}
+        for name in self.sequence:
+            freq[name] = freq.get(name, 0) + 1
+        return freq
+
+    def fetch_trace(self) -> MemoryTrace:
+        """Expand to the instruction-fetch address trace (all reads)."""
+        if not self.sequence:
+            return MemoryTrace([])
+        parts = [self.program.block(name).fetch_addresses() for name in self.sequence]
+        addresses = np.concatenate(parts)
+        return MemoryTrace(addresses)

@@ -1,0 +1,82 @@
+"""Benchmark kernels: the paper's five loop kernels, the two worked
+examples, and the nine-kernel MPEG decoder suite.
+
+:data:`PAPER_KERNELS` lists the five benchmarks of Figures 2, 6, 8 and 9 in
+the paper's column order.  :func:`get_kernel` builds any bundled kernel by
+name with its default (paper) parameters.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.kernels.base import Kernel
+from repro.kernels.compress import make_compress
+from repro.kernels.conv2d import make_conv2d
+from repro.kernels.dequant import make_dequant
+from repro.kernels.matadd import make_matadd
+from repro.kernels.matmul import make_matmul
+from repro.kernels.mpeg import (
+    MPEG_KERNEL_NAMES,
+    make_mpeg_kernel,
+    mpeg_decoder_kernels,
+    mpeg_trip_counts,
+)
+from repro.kernels.pde import make_pde
+from repro.kernels.sor import make_sor
+from repro.kernels.transpose import make_transpose
+
+__all__ = [
+    "Kernel",
+    "MPEG_KERNEL_NAMES",
+    "PAPER_KERNELS",
+    "available_kernels",
+    "get_kernel",
+    "make_compress",
+    "make_conv2d",
+    "make_dequant",
+    "make_matadd",
+    "make_matmul",
+    "make_mpeg_kernel",
+    "make_pde",
+    "make_sor",
+    "make_transpose",
+    "mpeg_decoder_kernels",
+    "mpeg_trip_counts",
+    "paper_kernels",
+]
+
+#: The five benchmarks of the paper's figures, in column order.
+PAPER_KERNELS = ("compress", "matmul", "pde", "sor", "dequant")
+
+_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "compress": make_compress,
+    "conv2d": make_conv2d,
+    "matmul": make_matmul,
+    "matadd": make_matadd,
+    "pde": make_pde,
+    "sor": make_sor,
+    "dequant": make_dequant,
+    "transpose": make_transpose,
+}
+
+
+def available_kernels() -> List[str]:
+    """Names accepted by :func:`get_kernel`."""
+    return sorted(_FACTORIES) + [f"mpeg:{name}" for name in MPEG_KERNEL_NAMES]
+
+
+def get_kernel(name: str) -> Kernel:
+    """Build a bundled kernel by name (``mpeg:<kernel>`` for MPEG kernels)."""
+    if name.startswith("mpeg:"):
+        return make_mpeg_kernel(name.split(":", 1)[1])
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {available_kernels()}"
+        ) from None
+    return factory()
+
+
+def paper_kernels() -> List[Kernel]:
+    """The five figure benchmarks with paper-default parameters."""
+    return [get_kernel(name) for name in PAPER_KERNELS]

@@ -1,0 +1,50 @@
+"""The Compress kernel (Example 1 of the paper).
+
+::
+
+    int a[32][32];
+    for i = 1, 31:
+        for j = 1, 31:
+            a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1];
+
+All five references share the identity linear part, so the nest is fully
+compatible and Section 4.1 can eliminate its conflict misses completely.
+Section 3 derives two equivalence classes -- class 1 ``{a[i-1][j-1],
+a[i-1][j]}`` and class 2 ``{a[i][j-1], a[i][j]}`` -- needing two cache lines
+each, hence a minimum cache size of ``4 * L``.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_compress"]
+
+_SOURCE = """\
+int a[32][32];
+for i = 1, 31:
+    for j = 1, 31:
+        a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1];
+"""
+
+
+def make_compress(n: int = 31, element_size: int = 1) -> Kernel:
+    """Build Compress over an ``(n+1) x (n+1)`` array (paper: n = 31)."""
+    if n < 1:
+        raise ValueError("Compress needs at least one interior row/column")
+    i, j = var("i"), var("j")
+    nest = LoopNest(
+        name="compress",
+        loops=(Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(
+            ArrayRef("a", (i, j)),
+            ArrayRef("a", (i - 1, j)),
+            ArrayRef("a", (i, j - 1)),
+            ArrayRef("a", (i - 1, j - 1)),
+            ArrayRef("a", (i, j), is_write=True),
+        ),
+        arrays=(ArrayDecl("a", (n + 1, n + 1), element_size),),
+        description="lossless predictor update (paper Example 1)",
+    )
+    return Kernel(nest=nest, source=_SOURCE)

@@ -1,0 +1,65 @@
+"""2D convolution kernel (beyond the paper's five benchmarks).
+
+::
+
+    int img[36][36], coef[4][4], out[32][32];
+    for i = 0, 31:
+        for j = 0, 31:
+            for ki = 0, 3:
+                for kj = 0, 3:
+                    out[i][j] += coef[ki][kj] * img[i+ki][j+kj];
+
+The workhorse of embedded imaging pipelines and a natural stress case for
+the exploration: the image reference mixes two loop indices per subscript
+dimension (``i+ki``, ``j+kj``), giving heavy short-distance reuse that a
+few cache lines capture, while the coefficient array is tiny and hot.
+Added as an out-of-paper workload for the tiling and scratchpad studies.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_conv2d"]
+
+_SOURCE = """\
+int img[n+k][n+k], coef[k][k], out[n][n];
+for i = 0, n-1:
+    for j = 0, n-1:
+        for ki = 0, k-1:
+            for kj = 0, k-1:
+                out[i][j] += coef[ki][kj] * img[i+ki][j+kj];
+"""
+
+
+def make_conv2d(n: int = 32, taps: int = 4, element_size: int = 1) -> Kernel:
+    """Build an ``n x n`` convolution with a ``taps x taps`` kernel."""
+    if n < 1 or taps < 1:
+        raise ValueError("convolution extents must be positive")
+    i, j, ki, kj = var("i"), var("j"), var("ki"), var("kj")
+    nest = LoopNest(
+        name="conv2d",
+        loops=(
+            Loop("i", 0, n - 1),
+            Loop("j", 0, n - 1),
+            Loop("ki", 0, taps - 1),
+            Loop("kj", 0, taps - 1),
+        ),
+        refs=(
+            ArrayRef("coef", (ki, kj)),
+            ArrayRef("img", (i + ki, j + kj)),
+            ArrayRef("out", (i, j)),
+            ArrayRef("out", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("img", (n + taps, n + taps), element_size),
+            ArrayDecl("coef", (taps, taps), element_size),
+            ArrayDecl("out", (n, n), element_size),
+        ),
+        description="2D convolution (dense, direct form)",
+    )
+    # Tiling applies to all four loops; the tap loops clip at their tiny
+    # extents, so in effect a tile of B >= taps blocks the spatial (i, j)
+    # plane -- the standard convolution blocking.
+    return Kernel(nest=nest, source=_SOURCE)

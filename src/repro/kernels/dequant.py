@@ -1,0 +1,52 @@
+"""Dequant benchmark: MPEG coefficient dequantisation.
+
+::
+
+    int coef[32][32], qt[32][32], out[32][32];
+    for i = 1, 31:
+        for j = 1, 31:
+            out[i][j] = coef[i][j] * qt[i][j];
+
+The dequantisation step of the MPEG decoder (from Panda's study, reference
+[1] of the paper), flattened to the same 31x31 iteration space the paper
+quotes for all the small benchmarks: each transform coefficient is scaled
+by the corresponding entry of the quantisation table.  Three arrays, one
+shared identity linear part -- three *cases* of one class, fully compatible.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_dequant"]
+
+_SOURCE = """\
+int coef[32][32], qt[32][32], out[32][32];
+for i = 1, 31:
+    for j = 1, 31:
+        out[i][j] = coef[i][j] * qt[i][j];
+"""
+
+
+def make_dequant(n: int = 31, element_size: int = 1) -> Kernel:
+    """Build Dequant over ``(n+1) x (n+1)`` arrays (paper: n = 31)."""
+    if n < 1:
+        raise ValueError("Dequant needs positive extent")
+    i, j = var("i"), var("j")
+    nest = LoopNest(
+        name="dequant",
+        loops=(Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(
+            ArrayRef("coef", (i, j)),
+            ArrayRef("qt", (i, j)),
+            ArrayRef("out", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("coef", (n + 1, n + 1), element_size),
+            ArrayDecl("qt", (n + 1, n + 1), element_size),
+            ArrayDecl("out", (n + 1, n + 1), element_size),
+        ),
+        description="MPEG coefficient dequantisation",
+    )
+    return Kernel(nest=nest, source=_SOURCE)

@@ -1,0 +1,271 @@
+"""MPEG decoder kernel suite (Section 5 case study).
+
+The paper's case study decomposes an MPEG-1 decoder (Thordarson's behavioural
+description, reference [7]) into nine kernels: VLD, Dequant, IDCT, Plus,
+Display, Store, and the Prediction trio Addr, Fetch, Compute.  The original
+C sources are not published; following the substitution rule of DESIGN.md we
+model each kernel as an affine loop nest with the array shapes and reference
+patterns of the textbook MPEG-1 pipeline:
+
+* **VLD** -- sequential scan of the bitstream buffer against the VLC table,
+  emitting one coefficient per step.  (Real VLD does data-dependent table
+  walks; the affine model keeps the stream/table/output *traffic pattern*,
+  which is all the exploration consumes.)
+* **Dequant** -- 8x8 coefficient block scaled by the quantisation matrix.
+* **IDCT** -- 8x8 block times 8x8 cosine basis (one separable pass as a
+  small matrix multiply; two passes per block are counted via invocations).
+* **Plus** -- reconstruction add of prediction and residual blocks.
+* **Display** -- linear copy of the reconstructed frame to the display
+  buffer.
+* **Store** -- 2D copy of the frame into the reference-frame store.
+* **Addr** -- motion-vector fetch and address formation (short linear scan).
+* **Fetch** -- 9x9 reference-window load from the frame store (8x8 block
+  plus one row/column of half-pel margin).
+* **Compute** -- half-pel interpolation over the fetched window (four
+  neighbour reads per output pixel).
+
+Invocation counts follow one macroblock row of a small frame
+(``macroblocks`` macroblocks of 6 blocks each); the Section 5 aggregation
+only consumes the relative ``trip(j)`` weights, so the frame scale is a
+tunable, not a result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["MPEG_KERNEL_NAMES", "make_mpeg_kernel", "mpeg_decoder_kernels"]
+
+MPEG_KERNEL_NAMES = (
+    "vld",
+    "dequant",
+    "idct",
+    "plus",
+    "display",
+    "store",
+    "addr",
+    "fetch",
+    "compute",
+)
+
+_BLOCK = 8  # MPEG block edge
+
+
+def _vld() -> LoopNest:
+    k = var("k")
+    return LoopNest(
+        name="vld",
+        loops=(Loop("k", 0, 63),),
+        refs=(
+            ArrayRef("bits", (k,)),
+            ArrayRef("vlc", (k,)),
+            ArrayRef("coef", (k,), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("bits", (64,)),
+            ArrayDecl("vlc", (64,)),
+            ArrayDecl("coef", (64,)),
+        ),
+        description="variable-length decode of one block's coefficients",
+    )
+
+
+def _dequant() -> LoopNest:
+    i, j = var("i"), var("j")
+    return LoopNest(
+        name="dequant",
+        loops=(Loop("i", 0, _BLOCK - 1), Loop("j", 0, _BLOCK - 1)),
+        refs=(
+            ArrayRef("coef", (i, j)),
+            ArrayRef("qt", (i, j)),
+            ArrayRef("dq", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("coef", (_BLOCK, _BLOCK)),
+            ArrayDecl("qt", (_BLOCK, _BLOCK)),
+            ArrayDecl("dq", (_BLOCK, _BLOCK)),
+        ),
+        description="8x8 dequantisation",
+    )
+
+
+def _idct() -> LoopNest:
+    i, j, k = var("i"), var("j"), var("k")
+    return LoopNest(
+        name="idct",
+        loops=(
+            Loop("i", 0, _BLOCK - 1),
+            Loop("j", 0, _BLOCK - 1),
+            Loop("k", 0, _BLOCK - 1),
+        ),
+        refs=(
+            ArrayRef("dq", (i, k)),
+            ArrayRef("cos", (k, j)),
+            ArrayRef("pix", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("dq", (_BLOCK, _BLOCK)),
+            ArrayDecl("cos", (_BLOCK, _BLOCK)),
+            ArrayDecl("pix", (_BLOCK, _BLOCK)),
+        ),
+        description="one separable 8x8 IDCT pass",
+    )
+
+
+def _plus() -> LoopNest:
+    i, j = var("i"), var("j")
+    return LoopNest(
+        name="plus",
+        loops=(Loop("i", 0, _BLOCK - 1), Loop("j", 0, _BLOCK - 1)),
+        refs=(
+            ArrayRef("pred", (i, j)),
+            ArrayRef("pix", (i, j)),
+            ArrayRef("rec", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("pred", (_BLOCK, _BLOCK)),
+            ArrayDecl("pix", (_BLOCK, _BLOCK)),
+            ArrayDecl("rec", (_BLOCK, _BLOCK)),
+        ),
+        description="reconstruction add (prediction + residual)",
+    )
+
+
+def _display(frame_bytes: int) -> LoopNest:
+    k = var("k")
+    return LoopNest(
+        name="display",
+        loops=(Loop("k", 0, frame_bytes - 1),),
+        refs=(
+            ArrayRef("frame", (k,)),
+            ArrayRef("screen", (k,), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("frame", (frame_bytes,)),
+            ArrayDecl("screen", (frame_bytes,)),
+        ),
+        description="linear frame-to-display copy",
+    )
+
+
+def _store(edge: int) -> LoopNest:
+    i, j = var("i"), var("j")
+    return LoopNest(
+        name="store",
+        loops=(Loop("i", 0, edge - 1), Loop("j", 0, edge - 1)),
+        refs=(
+            ArrayRef("frame", (i, j)),
+            ArrayRef("refstore", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("frame", (edge, edge)),
+            ArrayDecl("refstore", (edge, edge)),
+        ),
+        description="2D copy into the reference-frame store",
+    )
+
+
+def _addr() -> LoopNest:
+    k = var("k")
+    return LoopNest(
+        name="addr",
+        loops=(Loop("k", 0, 15),),
+        refs=(
+            ArrayRef("mv", (k,)),
+            ArrayRef("mbinfo", (k,)),
+            ArrayRef("addrs", (k,), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("mv", (16,)),
+            ArrayDecl("mbinfo", (16,)),
+            ArrayDecl("addrs", (16,)),
+        ),
+        description="motion-vector fetch and address formation",
+    )
+
+
+def _fetch(edge: int) -> LoopNest:
+    i, j = var("i"), var("j")
+    window = _BLOCK + 1  # one half-pel margin row/column
+    return LoopNest(
+        name="fetch",
+        loops=(Loop("i", 0, window - 1), Loop("j", 0, window - 1)),
+        refs=(
+            ArrayRef("refstore", (i, j)),
+            ArrayRef("win", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("refstore", (edge, edge)),
+            ArrayDecl("win", (window, window)),
+        ),
+        description="9x9 reference-window fetch",
+    )
+
+
+def _compute() -> LoopNest:
+    i, j = var("i"), var("j")
+    window = _BLOCK + 1
+    return LoopNest(
+        name="compute",
+        loops=(Loop("i", 0, _BLOCK - 1), Loop("j", 0, _BLOCK - 1)),
+        refs=(
+            ArrayRef("win", (i, j)),
+            ArrayRef("win", (i, j + 1)),
+            ArrayRef("win", (i + 1, j)),
+            ArrayRef("win", (i + 1, j + 1)),
+            ArrayRef("pred", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("win", (window, window)),
+            ArrayDecl("pred", (_BLOCK, _BLOCK)),
+        ),
+        description="half-pel interpolation of the prediction block",
+    )
+
+
+def make_mpeg_kernel(name: str, macroblocks: int = 8) -> Kernel:
+    """Build one MPEG kernel with its per-frame invocation count.
+
+    ``macroblocks`` scales the frame: each macroblock carries 6 blocks, the
+    frame store is sized to hold them, and invocation counts follow the
+    pipeline (block kernels run once per block, prediction kernels once per
+    macroblock or block, Display/Store once per frame).
+    """
+    if macroblocks <= 0:
+        raise ValueError("macroblock count must be positive")
+    blocks = 6 * macroblocks
+    edge = 32
+    frame_bytes = 1024
+    builders = {
+        "vld": (_vld(), blocks),
+        "dequant": (_dequant(), blocks),
+        "idct": (_idct(), 2 * blocks),  # row pass + column pass
+        "plus": (_plus(), blocks),
+        "display": (_display(frame_bytes), 1),
+        "store": (_store(edge), 1),
+        "addr": (_addr(), macroblocks),
+        "fetch": (_fetch(edge), macroblocks),
+        "compute": (_compute(), blocks),
+    }
+    if name not in builders:
+        raise KeyError(
+            f"unknown MPEG kernel {name!r}; choose from {MPEG_KERNEL_NAMES}"
+        )
+    nest, invocations = builders[name]
+    return Kernel(nest=nest, invocations=invocations)
+
+
+def mpeg_decoder_kernels(macroblocks: int = 8) -> List[Kernel]:
+    """All nine kernels of the decoder, in pipeline order."""
+    return [make_mpeg_kernel(name, macroblocks) for name in MPEG_KERNEL_NAMES]
+
+
+def mpeg_trip_counts(macroblocks: int = 8) -> Dict[str, int]:
+    """``kernel name -> trip count`` (the Section 5 ``trip(j)`` weights)."""
+    return {
+        kernel.name: kernel.invocations
+        for kernel in mpeg_decoder_kernels(macroblocks)
+    }

@@ -1,0 +1,50 @@
+"""SOR benchmark: in-place successive over-relaxation (Gauss-Seidel) sweep.
+
+::
+
+    int a[32][32];
+    for i = 1, 31:
+        for j = 1, 31:
+            a[i][j] = (a[i][j] + a[i-1][j] + a[i][j-1]) / 3;
+
+The in-place over-relaxation update in its causal (Gauss-Seidel) form --
+only already-updated neighbours are read, which keeps the paper's full
+31x31 iteration space inside a 32x32 array with a power-of-two row pitch.
+Like PDE it is a multi-class stencil, but updating in place puts *all*
+classes on one array, stressing the row-pitch padding of the Section 4.1
+assignment rather than its inter-array padding.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_sor"]
+
+_SOURCE = """\
+int a[32][32];
+for i = 1, 31:
+    for j = 1, 31:
+        a[i][j] = (a[i][j] + a[i-1][j] + a[i][j-1]) / 3;
+"""
+
+
+def make_sor(n: int = 31, element_size: int = 1) -> Kernel:
+    """Build SOR over an ``(n+1) x (n+1)`` array (paper: n = 31)."""
+    if n < 1:
+        raise ValueError("SOR needs at least one interior point")
+    i, j = var("i"), var("j")
+    nest = LoopNest(
+        name="sor",
+        loops=(Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(
+            ArrayRef("a", (i, j)),
+            ArrayRef("a", (i - 1, j)),
+            ArrayRef("a", (i, j - 1)),
+            ArrayRef("a", (i, j), is_write=True),
+        ),
+        arrays=(ArrayDecl("a", (n + 1, n + 1), element_size),),
+        description="in-place Gauss-Seidel over-relaxation sweep",
+    )
+    return Kernel(nest=nest, source=_SOURCE)

@@ -1,0 +1,54 @@
+"""Transpose kernel (Example 3 of the paper -- the tiling motivator).
+
+::
+
+    int a[n][n], b[n][n];
+    for i = 1, n:
+        for j = 1, n:
+            a[i][j] = b[j][i];
+
+"With the j loop innermost, access to array b[] is stride-1 ... access to
+array a[] is stride-n.  Interchanging does not help"; tiling both loops
+(Example 3(b)) is what fixes it.  Note the reference roles relative to the
+paper's sentence: the *written* array ``a[i][j]`` walks stride-1 in ``j``
+while the *read* array ``b[j][i]`` walks stride-n, so the read stream is
+the one tiling rescues -- the paper quotes the miss rate dropping from 0.44
+to 0.06 with a tiling size of two.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_transpose"]
+
+_SOURCE = """\
+int a[n][n], b[n][n];
+for ti = 1, n, B:
+    for tj = 1, n, B:
+        for i = ti, min(ti+B-1, n):
+            for j = tj, min(tj+B-1, n):
+                a[i][j] = b[j][i];
+"""
+
+
+def make_transpose(n: int = 32, element_size: int = 1) -> Kernel:
+    """Build the transpose copy over ``(n+1) x (n+1)`` arrays."""
+    if n < 1:
+        raise ValueError("Transpose needs positive extent")
+    i, j = var("i"), var("j")
+    nest = LoopNest(
+        name="transpose",
+        loops=(Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(
+            ArrayRef("b", (j, i)),
+            ArrayRef("a", (i, j), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("a", (n + 1, n + 1), element_size),
+            ArrayDecl("b", (n + 1, n + 1), element_size),
+        ),
+        description="matrix transpose copy (paper Example 3)",
+    )
+    return Kernel(nest=nest, source=_SOURCE)

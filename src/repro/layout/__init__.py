@@ -1,0 +1,34 @@
+"""Off-chip data placement substrate (Section 4.1 of the paper).
+
+:mod:`repro.layout.address_map` defines :class:`DataLayout` -- the mapping
+from array subscripts to main-memory byte addresses (base address plus
+per-dimension pitches, allowing padding) -- and small helpers for mapping
+addresses to cache lines and sets.
+
+:mod:`repro.layout.assignment` implements the paper's off-chip memory
+assignment: choose bases and row pitches so that references belonging to
+different equivalence classes/cases never collide in the cache, eliminating
+conflict misses for compatible access patterns.
+"""
+
+from repro.layout.address_map import (
+    ArrayPlacement,
+    DataLayout,
+    cache_line_of,
+    cache_set_of,
+    default_layout,
+)
+from repro.layout.assignment import (
+    AssignmentResult,
+    assign_offchip_layout,
+)
+
+__all__ = [
+    "ArrayPlacement",
+    "AssignmentResult",
+    "DataLayout",
+    "assign_offchip_layout",
+    "cache_line_of",
+    "cache_set_of",
+    "default_layout",
+]

@@ -1,0 +1,148 @@
+"""Array-to-address mapping and cache-geometry helpers.
+
+A :class:`DataLayout` records, for each array of a loop nest, where it lives
+in off-chip memory: a byte ``base`` address and per-dimension ``pitches``
+measured in *elements*.  A dense row-major placement has
+``pitches == ArrayDecl.row_major_strides()``; the Section 4.1 assignment
+algorithm produces layouts whose bases and row pitches include padding.
+
+The byte address of element ``a[s_0]...[s_{r-1}]`` is::
+
+    base + element_size * sum(pitches[d] * s_d)
+
+which is exactly the addressing the paper uses in its Compress example
+(element size 1, row pitch 32: ``a[1][0]`` is at byte 32 before padding, 36
+after).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence, Tuple
+
+if TYPE_CHECKING:  # imported lazily to avoid a loops <-> layout import cycle
+    from repro.loops.ir import ArrayDecl, LoopNest
+
+__all__ = [
+    "ArrayPlacement",
+    "DataLayout",
+    "cache_line_of",
+    "cache_set_of",
+    "default_layout",
+]
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """Placement of one array: byte base plus per-dimension element pitches."""
+
+    base: int
+    pitches: Tuple[int, ...]
+    element_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("array base address must be non-negative")
+        if any(p <= 0 for p in self.pitches):
+            raise ValueError("array pitches must be positive")
+        if self.element_size <= 0:
+            raise ValueError("element size must be positive")
+
+    def address_of(self, subscripts: Sequence[int]) -> int:
+        """Byte address of the element at ``subscripts``."""
+        if len(subscripts) != len(self.pitches):
+            raise ValueError(
+                f"expected {len(self.pitches)} subscripts, got {len(subscripts)}"
+            )
+        offset = sum(p * s for p, s in zip(self.pitches, subscripts))
+        return self.base + self.element_size * offset
+
+    def extent_bytes(self, dims: Sequence[int]) -> int:
+        """Bytes from ``base`` to one past the last element of ``dims``."""
+        last = sum(p * (d - 1) for p, d in zip(self.pitches, dims))
+        return self.element_size * (last + 1)
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """Off-chip placement of every array of a nest."""
+
+    placements: Tuple[Tuple[str, ArrayPlacement], ...]
+
+    @staticmethod
+    def from_dict(placements: Mapping[str, ArrayPlacement]) -> "DataLayout":
+        """Build a layout from a ``name -> placement`` mapping."""
+        return DataLayout(tuple(sorted(placements.items())))
+
+    def placement(self, array: str) -> ArrayPlacement:
+        """Placement of the named array."""
+        for name, placement in self.placements:
+            if name == array:
+                return placement
+        raise KeyError(f"layout has no placement for array {array!r}")
+
+    def as_dict(self) -> Dict[str, ArrayPlacement]:
+        """The placements as a plain dictionary."""
+        return dict(self.placements)
+
+    def address_of(self, array: str, subscripts: Sequence[int]) -> int:
+        """Byte address of ``array[subscripts]`` under this layout."""
+        return self.placement(array).address_of(subscripts)
+
+
+def default_layout(nest: "LoopNest", align: int = 1) -> DataLayout:
+    """Dense row-major layout with arrays placed back to back.
+
+    This is the *unoptimized* placement the paper compares against: no
+    padding anywhere, each array starting right after the previous one
+    (optionally rounded up to ``align`` bytes).
+    """
+    if align <= 0:
+        raise ValueError("alignment must be positive")
+    placements: Dict[str, ArrayPlacement] = {}
+    cursor = 0
+    for decl in nest.arrays:
+        cursor = -(-cursor // align) * align
+        placements[decl.name] = ArrayPlacement(
+            base=cursor,
+            pitches=decl.row_major_strides(),
+            element_size=decl.element_size,
+        )
+        cursor += decl.size_bytes
+    return DataLayout.from_dict(placements)
+
+
+def cache_line_of(address: int, line_size: int) -> int:
+    """Global line number (address divided by line size)."""
+    if line_size <= 0:
+        raise ValueError("line size must be positive")
+    return address // line_size
+
+
+def cache_set_of(address: int, line_size: int, num_sets: int) -> int:
+    """Cache set index of a byte address for the given geometry."""
+    if num_sets <= 0:
+        raise ValueError("number of sets must be positive")
+    return (address // line_size) % num_sets
+
+
+def _array_span(decl: "ArrayDecl", placement: ArrayPlacement) -> Tuple[int, int]:
+    """Inclusive byte span ``(first, last)`` occupied by the array."""
+    first = placement.base
+    last = placement.base + placement.extent_bytes(decl.dims) - 1
+    return first, last
+
+
+def layouts_overlap(nest: "LoopNest", layout: DataLayout) -> bool:
+    """True when any two arrays' byte spans intersect under ``layout``.
+
+    Padding moves arrays around; this check guards against an assignment
+    accidentally folding two arrays onto the same memory.
+    """
+    spans = sorted(
+        _array_span(decl, layout.placement(decl.name)) for decl in nest.arrays
+    )
+    for (_, last), (first, _) in zip(spans, spans[1:]):
+        if first <= last:
+            return True
+    return False

@@ -1,0 +1,69 @@
+"""Affine loop-nest substrate.
+
+The paper's workloads are small affine loop kernels (Compress, Matrix
+Multiplication, PDE, SOR, Dequant, and the MPEG decoder kernels).  This
+subpackage provides:
+
+* :mod:`repro.loops.ir` -- a tiny intermediate representation for perfectly
+  nested affine loops over multi-dimensional arrays,
+* :mod:`repro.loops.trace_gen` -- exact address-trace generation from a nest,
+* :mod:`repro.loops.tiling` -- the Section 4.2 tiling transformation,
+* :mod:`repro.loops.reuse` -- the Section 3 equivalence-class analysis and
+  minimum-cache-size procedure,
+* :mod:`repro.loops.compat` -- the Section 4.1 compatibility test for array
+  access patterns.
+"""
+
+from repro.loops.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    const,
+    var,
+)
+from repro.loops.tiling import tile_nest
+from repro.loops.trace_gen import generate_trace, iteration_space
+from repro.loops.reuse import (
+    ReferenceGroup,
+    group_references,
+    min_cache_lines,
+    min_cache_size,
+)
+from repro.loops.bounds import BoundsViolation, check_bounds
+from repro.loops.codegen import generate_c, generate_python
+from repro.loops.compat import are_compatible, nest_is_compatible
+from repro.loops.fusion import fuse, fusion_is_safe
+from repro.loops.interchange import interchange, interchange_is_safe, stride_profile
+from repro.loops.normalize import is_normalized, normalize
+
+__all__ = [
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "ReferenceGroup",
+    "BoundsViolation",
+    "are_compatible",
+    "check_bounds",
+    "const",
+    "generate_c",
+    "generate_python",
+    "generate_trace",
+    "fuse",
+    "fusion_is_safe",
+    "interchange",
+    "interchange_is_safe",
+    "is_normalized",
+    "normalize",
+    "group_references",
+    "iteration_space",
+    "min_cache_lines",
+    "min_cache_size",
+    "nest_is_compatible",
+    "stride_profile",
+    "tile_nest",
+    "var",
+]

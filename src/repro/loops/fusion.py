@@ -1,0 +1,87 @@
+"""Loop fusion: merging producer/consumer nests.
+
+Embedded pipelines are chains of loop nests (the MPEG decoder's Dequant ->
+IDCT -> Plus); running them separately streams every intermediate array
+through the cache twice.  Fusing nests with identical iteration spaces
+executes both bodies per iteration point, so a value produced at (i, j) is
+consumed while its line is still resident -- the intermediate array's
+traffic collapses from "whole-array write + whole-array read with a
+full-sweep reuse distance" to back-to-back touches.
+
+Legality here is the conservative textbook condition: the nests must share
+the exact loop structure, and for every array both nests touch, the
+consumer at iteration ``p`` may only read what the producer wrote at the
+*same* ``p`` or earlier points already executed (non-negative dependence
+distances); :func:`fusion_is_safe` checks it with the same machinery as
+loop interchange.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.loops.interchange import _dependence_distances, _lex_sign
+from repro.loops.ir import ArrayDecl, LoopNest
+
+__all__ = ["fuse", "fusion_is_safe"]
+
+
+def _merged_arrays(a: LoopNest, b: LoopNest) -> Tuple[ArrayDecl, ...]:
+    merged: Dict[str, ArrayDecl] = {}
+    for decl in a.arrays + b.arrays:
+        existing = merged.get(decl.name)
+        if existing is None:
+            merged[decl.name] = decl
+        elif existing != decl:
+            raise ValueError(
+                f"array {decl.name!r} declared differently in the two nests"
+            )
+    return tuple(merged.values())
+
+
+def fusion_is_safe(producer: LoopNest, consumer: LoopNest) -> bool:
+    """Conservative legality: fusing must not read values not yet written.
+
+    For every array written by the producer and read by the consumer, the
+    consumer at iteration ``p`` may only touch elements the producer wrote
+    at iterations ``q <= p``.  The uniform-dependence solver returns
+    ``d = q - p`` (the write-iteration offset), so legality is
+    ``lex_sign(d) <= 0``.  Non-uniform pairs are rejected outright.
+    """
+    if producer.index_order != consumer.index_order:
+        return False
+    if tuple(lp for lp in producer.loops) != tuple(lp for lp in consumer.loops):
+        return False
+    written = {ref.array for ref in producer.writes}
+    for write in producer.writes:
+        for read in consumer.refs:
+            if read.array != write.array or read.array not in written:
+                continue
+            try:
+                distances = _dependence_distances(producer, write, read)
+            except ValueError:
+                return False
+            for distance in distances:
+                if _lex_sign(distance) > 0:
+                    return False
+    return True
+
+
+def fuse(producer: LoopNest, consumer: LoopNest, name: str = "") -> LoopNest:
+    """The fused nest: both bodies at every iteration point, producer first.
+
+    Raises when :func:`fusion_is_safe` rejects the pair.
+    """
+    if not fusion_is_safe(producer, consumer):
+        raise ValueError(
+            f"fusing {producer.name!r} and {consumer.name!r} is not legal"
+        )
+    return LoopNest(
+        name=name or f"{producer.name}_{consumer.name}_fused",
+        loops=producer.loops,
+        refs=producer.refs + consumer.refs,
+        arrays=_merged_arrays(producer, consumer),
+        description=(
+            f"fusion of {producer.name} and {consumer.name}"
+        ),
+    )

@@ -1,0 +1,145 @@
+"""Loop interchange (the transformation the paper's Example 3 rules out).
+
+"With the loop innermost, access to array b[] is stride-1, while access to
+array a[] is stride-n.  Interchanging does not help, since it makes access
+to array b[] stride-n" -- which is why the paper reaches for tiling.  This
+module implements interchange so that claim can be *measured*: permute the
+loop order of a nest (the body is order-independent for the addressing
+the exploration cares about) and re-run the metrics.
+
+Interchange is only valid when it preserves the nest's data dependences;
+:func:`interchange_is_safe` implements the standard direction-vector test
+for the affine references the IR can express (a conservative check: any
+pair of accesses to the same array with a write involved must not have its
+dependence direction reversed by the permutation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.loops.ir import ArrayRef, Loop, LoopNest
+
+__all__ = [
+    "interchange",
+    "interchange_is_safe",
+    "stride_profile",
+]
+
+
+def interchange(nest: LoopNest, order: Sequence[str]) -> LoopNest:
+    """A new nest with its loops permuted into ``order`` (outermost first).
+
+    The references are untouched -- only the traversal order changes, so
+    the generated trace visits the same multiset of addresses in a
+    different sequence (asserted by the property tests).
+    """
+    if sorted(order) != sorted(nest.index_order):
+        raise ValueError(
+            f"order {tuple(order)} is not a permutation of {nest.index_order}"
+        )
+    loops = tuple(nest.loop(index) for index in order)
+    return LoopNest(
+        name=f"{nest.name}_ic_{'_'.join(order)}",
+        loops=loops,
+        refs=nest.refs,
+        arrays=nest.arrays,
+        description=f"{nest.description} (interchanged to {tuple(order)})",
+    )
+
+
+def _dependence_distances(
+    nest: LoopNest, ref_a: ArrayRef, ref_b: ArrayRef
+) -> List[Tuple[int, ...]]:
+    """Constant dependence distance vectors between two uniform references.
+
+    For uniformly generated references (same ``H``) the iteration-space
+    distance of a dependence is the constant vector solving
+    ``H d = c_b - c_a`` -- for the bundled kernels ``H`` is a permutation
+    of the identity on the used indices, so the solution is read off
+    directly.  Returns an empty list when the references cannot alias, and
+    ``None``-like sentinel handling is avoided by raising for non-uniform
+    pairs (the caller treats those conservatively).
+    """
+    order = nest.index_order
+    h_a = ref_a.linear_matrix(order)
+    h_b = ref_b.linear_matrix(order)
+    if h_a != h_b:
+        raise ValueError("non-uniform reference pair")
+    delta = [cb - ca for ca, cb in zip(ref_a.constant_vector(), ref_b.constant_vector())]
+    # Solve H d = delta for integer d assuming H has full column support on
+    # the indices it uses (true for the affine kernels here): each index
+    # appears in at least one subscript row with a non-zero coefficient.
+    distance: List[Optional[int]] = [None] * len(order)
+    for row, rhs in zip(h_a, delta):
+        nonzero = [(k, coeff) for k, coeff in enumerate(row) if coeff]
+        if len(nonzero) == 1:
+            k, coeff = nonzero[0]
+            if rhs % coeff:
+                return []  # no integer dependence
+            value = rhs // coeff
+            if distance[k] is not None and distance[k] != value:
+                return []  # inconsistent: references never alias
+            distance[k] = value
+    return [tuple(0 if d is None else d for d in distance)]
+
+
+def interchange_is_safe(nest: LoopNest, order: Sequence[str]) -> bool:
+    """Conservative dependence test for permuting ``nest`` into ``order``.
+
+    A permutation is safe when every (write involved) dependence distance
+    vector stays lexicographically non-negative after permutation.  Pairs
+    whose dependence cannot be expressed as a constant distance (different
+    linear parts) are treated as unsafe unless they can never alias.
+    """
+    if sorted(order) != sorted(nest.index_order):
+        raise ValueError("order must be a permutation of the nest's indices")
+    positions = [nest.index_order.index(index) for index in order]
+    for i, ref_a in enumerate(nest.refs):
+        for ref_b in nest.refs[i:]:
+            if ref_a.array != ref_b.array:
+                continue
+            if not (ref_a.is_write or ref_b.is_write):
+                continue
+            try:
+                distances = _dependence_distances(nest, ref_a, ref_b)
+            except ValueError:
+                return False  # non-uniform pair: be conservative
+            for distance in distances:
+                permuted = tuple(distance[p] for p in positions)
+                original_dir = _lex_sign(distance)
+                if original_dir == 0:
+                    continue  # loop-independent dependence: any order works
+                if _lex_sign(permuted) != original_dir:
+                    return False
+    return True
+
+
+def _lex_sign(vector: Tuple[int, ...]) -> int:
+    for value in vector:
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+    return 0
+
+
+def stride_profile(nest: LoopNest) -> List[Tuple[str, int]]:
+    """Innermost-loop byte stride of each reference (the Example 3 lens).
+
+    Returns ``(reference, stride_bytes)`` in program order; stride-1
+    references exploit spatial locality, stride-n references defeat it.
+    """
+    if not nest.loops:
+        return [(str(ref), 0) for ref in nest.refs]
+    innermost = nest.loops[-1].index
+    profile = []
+    for ref in nest.refs:
+        decl = nest.array(ref.array)
+        strides = decl.row_major_strides()
+        elements = sum(
+            stride * expr.coeff(innermost)
+            for stride, expr in zip(strides, ref.indices)
+        )
+        profile.append((str(ref), elements * decl.element_size))
+    return profile

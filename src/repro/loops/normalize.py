@@ -1,0 +1,67 @@
+"""Loop normalization: zero-based, unit-step nests.
+
+Transformations (tiling, interchange, fusion) and analyses are simplest on
+*normalized* loops -- lower bound 0, step 1.  Normalizing ``for i = L, U
+step S`` introduces ``i' = (i - L) / S`` and rewrites every subscript
+``a*i + c`` as ``a*S*i' + (a*L + c)``: the linear part absorbs the step,
+the constant absorbs the base.  The trace is unchanged by construction
+(asserted in the tests by address-for-address comparison), so normalized
+and original nests are interchangeable everywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.loops.ir import AffineExpr, ArrayRef, Loop, LoopNest
+
+__all__ = ["is_normalized", "normalize"]
+
+
+def is_normalized(nest: LoopNest) -> bool:
+    """True when every loop starts at 0 with step 1."""
+    return all(loop.lower == 0 and loop.step == 1 for loop in nest.loops)
+
+
+def _rewrite(expr: AffineExpr, loops: Dict[str, Loop]) -> AffineExpr:
+    coeffs: Dict[str, int] = {}
+    constant = expr.constant
+    for name, coeff in expr.coeffs:
+        loop = loops.get(name)
+        if loop is None:
+            coeffs[name] = coeffs.get(name, 0) + coeff
+            continue
+        # i = lower + step * i'  =>  coeff*i = coeff*step*i' + coeff*lower
+        coeffs[name] = coeffs.get(name, 0) + coeff * loop.step
+        constant += coeff * loop.lower
+    normalized = tuple(sorted((k, v) for k, v in coeffs.items() if v))
+    return AffineExpr(normalized, constant)
+
+
+def normalize(nest: LoopNest) -> LoopNest:
+    """The equivalent nest with all loops zero-based and unit-step.
+
+    Index names are preserved (the new index ranges over the normalized
+    trip count), so downstream code that names loops keeps working.
+    """
+    if is_normalized(nest):
+        return nest
+    loops = {loop.index: loop for loop in nest.loops}
+    new_loops = tuple(
+        Loop(loop.index, 0, loop.trip_count - 1, 1) for loop in nest.loops
+    )
+    new_refs: Tuple[ArrayRef, ...] = tuple(
+        ArrayRef(
+            ref.array,
+            tuple(_rewrite(expr, loops) for expr in ref.indices),
+            is_write=ref.is_write,
+        )
+        for ref in nest.refs
+    )
+    return LoopNest(
+        name=f"{nest.name}_norm",
+        loops=new_loops,
+        refs=new_refs,
+        arrays=nest.arrays,
+        description=f"{nest.description} (normalized)",
+    )

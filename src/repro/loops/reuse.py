@@ -1,0 +1,193 @@
+"""Section 3: equivalence classes, cases, and the minimum cache size.
+
+Following Wolf and Lam, two references ``a[f(i)]`` and ``a[g(i)]`` are
+*uniformly generated* when ``f(i) = H i + c_f`` and ``g(i) = H i + c_g`` for
+the same linear transformation ``H``.  The paper partitions the references
+of a loop nest into:
+
+* **classes** -- references with the same ``H`` operating on the *same*
+  array (Compress has two: ``{a[i-1][j-1], a[i-1][j]}`` and
+  ``{a[i][j-1], a[i][j]}``), and
+* **cases** -- references with the same ``H`` on *different* arrays (the
+  three arrays of Matrix Addition are three cases of one ``H``).
+
+Members of one class travel together: as the innermost loop advances they
+walk the same stretch of memory a constant distance apart (Compress class 1
+stays on row ``i-1``, class 2 on row ``i``).  References that differ in an
+*outer* dimension belong to different classes even on the same array.
+Operationally a group is keyed by ``(array, H, constants of the subscript
+dimensions not driven by the innermost loop)``; "case" describes the
+relation between groups that share ``H`` across arrays.  Each group needs a
+number of private cache lines computed by the paper's distance formula::
+
+    distance = floor(|difference of constant vectors| / loop stride) + 1
+    lines    = floor(distance / L) + 1   if distance mod L in {0, 1}
+               floor(distance / L) + 2   otherwise
+
+and the minimum conflict-free cache size is ``L * sum(lines over groups)``
+(4 lines, hence ``4L`` bytes, for Compress).
+
+The "difference of constant vectors" is measured along the memory layout:
+constant vectors are linearized with the array's row-major strides so that
+multi-dimensional references reduce to a one-dimensional span, exactly as in
+the paper's worked examples.  Distances count *elements* (the paper's
+1-byte-element examples make elements and bytes coincide); for wider
+elements the line size is converted to elements before the formula is
+applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.loops.ir import ArrayRef, LoopNest
+
+__all__ = [
+    "ReferenceGroup",
+    "group_references",
+    "groups_by_linear_part",
+    "min_cache_lines",
+    "min_cache_size",
+]
+
+
+@dataclass(frozen=True)
+class ReferenceGroup:
+    """References sharing one class/case key.
+
+    ``ref_indices`` point into ``nest.refs``; ``offsets`` are the
+    row-major-linearized constant vectors (in elements) of each reference;
+    ``element_size`` is the array's element width in bytes.
+    """
+
+    array: str
+    h_matrix: Tuple[Tuple[int, ...], ...]
+    ref_indices: Tuple[int, ...]
+    offsets: Tuple[int, ...]
+    element_size: int = 1
+
+    @property
+    def span(self) -> int:
+        """Element distance between the extreme references of the group."""
+        return max(self.offsets) - min(self.offsets)
+
+    def distance(self, loop_stride: int = 1) -> int:
+        """The paper's ``distance`` quantity for this group (elements)."""
+        if loop_stride <= 0:
+            raise ValueError("loop stride must be positive")
+        return abs(self.span) // loop_stride + 1
+
+    def cache_lines(self, line_size: int, loop_stride: int = 1) -> int:
+        """Number of cache lines the group needs to be conflict-free.
+
+        ``line_size`` is in bytes; the distance formula operates on the line
+        capacity in *elements* (at least one element per line).
+        """
+        if line_size <= 0:
+            raise ValueError("line size must be positive")
+        line_elements = max(1, line_size // self.element_size)
+        distance = self.distance(loop_stride)
+        remainder = distance % line_elements
+        base = distance // line_elements
+        if remainder in (0, 1):
+            return base + 1
+        return base + 2
+
+
+def _innermost_stride(nest: LoopNest, refs: List[ArrayRef]) -> int:
+    """Step of the innermost loop index used by the group's subscripts.
+
+    The paper's formula divides by "the stride of the loop"; for the bundled
+    kernels this is the step of the innermost loop whose index appears in
+    the references (1 in every paper example).  Groups that use no loop
+    index at all (pure constants) default to stride 1.
+    """
+    used = set()
+    for ref in refs:
+        for expr in ref.indices:
+            used.update(expr.indices)
+    for loop in reversed(nest.loops):
+        if loop.index in used:
+            return loop.step
+    return 1
+
+
+def _outer_constants(nest: LoopNest, ref_index: int) -> Tuple[int, ...]:
+    """Constants of the subscript dimensions not driven by the innermost loop.
+
+    These identify the class: Compress's ``a[i-1][j]`` and ``a[i-1][j-1]``
+    share the row constant ``-1`` (their column subscripts are the ones the
+    ``j`` loop drives), while ``a[i][...]`` references carry ``0``.
+    """
+    ref = nest.refs[ref_index]
+    if not nest.loops:
+        return ref.constant_vector()
+    innermost = nest.loops[-1].index
+    return tuple(
+        expr.constant for expr in ref.indices if expr.coeff(innermost) == 0
+    )
+
+
+def group_references(nest: LoopNest) -> List[ReferenceGroup]:
+    """Partition ``nest.refs`` into classes/cases, in program order.
+
+    The key is ``(array, H, outer-dimension constants)``: uniformly
+    generated references on one array that differ only along the
+    innermost-driven dimension travel together and form one class.
+    """
+    index_order = nest.index_order
+    Key = Tuple[str, Tuple[Tuple[int, ...], ...], Tuple[int, ...]]
+    buckets: Dict[Key, List[int]] = {}
+    order: List[Key] = []
+    for i, ref in enumerate(nest.refs):
+        key = (ref.array, ref.linear_matrix(index_order), _outer_constants(nest, i))
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(i)
+
+    groups = []
+    for array, h_matrix, _ in order:
+        indices = buckets[(array, h_matrix, _)]
+        decl = nest.array(array)
+        strides = decl.row_major_strides()
+        offsets = []
+        for i in indices:
+            c = nest.refs[i].constant_vector()
+            offsets.append(sum(s * v for s, v in zip(strides, c)))
+        groups.append(
+            ReferenceGroup(
+                array=array,
+                h_matrix=h_matrix,
+                ref_indices=tuple(indices),
+                offsets=tuple(offsets),
+                element_size=decl.element_size,
+            )
+        )
+    return groups
+
+
+def groups_by_linear_part(
+    nest: LoopNest,
+) -> Dict[Tuple[Tuple[int, ...], ...], List[ReferenceGroup]]:
+    """Groups bucketed by ``H``; buckets with >1 array are the paper's cases."""
+    result: Dict[Tuple[Tuple[int, ...], ...], List[ReferenceGroup]] = {}
+    for group in group_references(nest):
+        result.setdefault(group.h_matrix, []).append(group)
+    return result
+
+
+def min_cache_lines(nest: LoopNest, line_size: int) -> int:
+    """Total cache lines needed so no two groups conflict (Section 3)."""
+    total = 0
+    for group in group_references(nest):
+        refs = [nest.refs[i] for i in group.ref_indices]
+        stride = _innermost_stride(nest, refs)
+        total += group.cache_lines(line_size, stride)
+    return total
+
+
+def min_cache_size(nest: LoopNest, line_size: int) -> int:
+    """Minimum conflict-free cache size in bytes (``lines * L``)."""
+    return min_cache_lines(nest, line_size) * line_size

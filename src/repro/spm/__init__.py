@@ -1,0 +1,31 @@
+"""Scratchpad (software-managed on-chip SRAM) substrate.
+
+The paper builds directly on Panda, Dutt and Nicolau's local-memory
+exploration [1, 2], whose central alternative to a cache is a *scratchpad*:
+a software-managed on-chip SRAM holding the hottest arrays outright, with
+no tags, no misses and no conflict behaviour.  This subpackage implements
+that comparator so the cache-based exploration can be judged against the
+design point the original work came from:
+
+* :mod:`repro.spm.model` -- scratchpad energy/latency model (tagless array
+  access on-chip; per-access off-chip cost for everything unmapped);
+* :mod:`repro.spm.allocation` -- the knapsack array-to-scratchpad
+  allocation maximising captured accesses under the capacity;
+* :mod:`repro.spm.explorer` -- size sweep and the cache-vs-scratchpad
+  comparison.
+"""
+
+from repro.spm.allocation import Allocation, allocate_arrays, array_access_counts
+from repro.spm.explorer import CacheVsSpmRow, ScratchpadExplorer, compare_cache_vs_spm
+from repro.spm.model import ScratchpadEstimate, ScratchpadModel
+
+__all__ = [
+    "Allocation",
+    "CacheVsSpmRow",
+    "ScratchpadEstimate",
+    "ScratchpadExplorer",
+    "ScratchpadModel",
+    "allocate_arrays",
+    "array_access_counts",
+    "compare_cache_vs_spm",
+]

@@ -1,0 +1,94 @@
+"""Scratchpad size sweep and the cache-vs-scratchpad comparison.
+
+The question the Panda/Dutt line of work asks -- and the one this paper's
+cache exploration implicitly answers the other way -- is whether a given
+on-chip byte budget is better spent on a tagless scratchpad or on a cache.
+:func:`compare_cache_vs_spm` runs both explorations over the same sizes
+and reports the winner per budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import CacheConfig, powers_of_two
+from repro.core.explorer import MemExplorer
+from repro.core.metrics import PerformanceEstimate
+from repro.energy.model import EnergyModel
+from repro.kernels.base import Kernel
+from repro.spm.model import ScratchpadEstimate, ScratchpadModel
+
+__all__ = ["ScratchpadExplorer", "CacheVsSpmRow", "compare_cache_vs_spm"]
+
+
+class ScratchpadExplorer:
+    """Sweep scratchpad capacities for one kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        model: Optional[ScratchpadModel] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.model = model if model is not None else ScratchpadModel()
+
+    def explore(self, capacities: Sequence[int]) -> List[ScratchpadEstimate]:
+        """Evaluate every capacity (bytes)."""
+        return [self.model.evaluate(self.kernel, c) for c in capacities]
+
+    def min_energy(self, capacities: Sequence[int]) -> ScratchpadEstimate:
+        """The capacity minimising energy."""
+        estimates = self.explore(capacities)
+        return min(estimates, key=lambda e: (e.energy_nj, e.cycles))
+
+
+@dataclass(frozen=True)
+class CacheVsSpmRow:
+    """One on-chip budget: the best cache and the scratchpad, side by side."""
+
+    budget: int
+    cache: PerformanceEstimate
+    spm: ScratchpadEstimate
+
+    @property
+    def energy_winner(self) -> str:
+        """``"cache"`` or ``"spm"`` by total energy."""
+        return "cache" if self.cache.energy_nj <= self.spm.energy_nj else "spm"
+
+    @property
+    def cycle_winner(self) -> str:
+        """``"cache"`` or ``"spm"`` by cycle count."""
+        return "cache" if self.cache.cycles <= self.spm.cycles else "spm"
+
+
+def compare_cache_vs_spm(
+    kernel: Kernel,
+    budgets: Optional[Sequence[int]] = None,
+    energy_model: Optional[EnergyModel] = None,
+    line_sizes: Sequence[int] = (4, 8, 16, 32),
+) -> List[CacheVsSpmRow]:
+    """Best cache vs scratchpad at every on-chip byte budget.
+
+    For each budget the cache side picks its best line size (direct-mapped,
+    untiled -- the same footing as the tagless scratchpad); the scratchpad
+    side allocates arrays optimally.
+    """
+    if budgets is None:
+        budgets = powers_of_two(16, 1024)
+    cache_explorer = MemExplorer(kernel, energy_model=energy_model)
+    spm_model = ScratchpadModel(
+        tech=energy_model.tech if energy_model else None,
+        sram=energy_model.sram if energy_model else None,
+    )
+    rows = []
+    for budget in budgets:
+        candidates = [
+            cache_explorer.evaluate(CacheConfig(budget, line))
+            for line in line_sizes
+            if line <= budget
+        ]
+        best_cache = min(candidates, key=lambda e: (e.energy_nj, e.cycles))
+        spm = spm_model.evaluate(kernel, budget)
+        rows.append(CacheVsSpmRow(budget=budget, cache=best_cache, spm=spm))
+    return rows

@@ -1,0 +1,109 @@
+"""Scratchpad energy and cycle model.
+
+A scratchpad is a tagless on-chip SRAM: an access to a mapped array costs
+one processor cycle and the cell-array energy of an equally sized SRAM --
+no tags, no comparators, no miss machinery.  Accesses to unmapped arrays go
+straight to the off-chip part, costing the paper's main-memory energy
+(``Em`` per element plus the I/O-pad term for one element of traffic) and
+the 4-byte-line miss latency of the Section 2.2 table (an off-chip word
+access pays the latency part of a miss without any refill benefit).
+
+The on-chip term reuses the paper's ``E_cell`` geometry with a tagless
+array (ways = 1, "line" = one element), scaled by the same calibration
+constant, so the cache-vs-scratchpad comparison shares every assumption
+except the one under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cycles import cycles_per_miss
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAMPart, TechnologyParams
+from repro.kernels.base import Kernel
+from repro.spm.allocation import Allocation, allocate_arrays
+
+__all__ = ["ScratchpadEstimate", "ScratchpadModel"]
+
+
+@dataclass(frozen=True)
+class ScratchpadEstimate:
+    """Metrics of one kernel on one scratchpad capacity."""
+
+    capacity: int
+    allocation: Allocation
+    cycles: float
+    energy_nj: float
+    events: int
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of accesses served on-chip."""
+        return self.allocation.hit_fraction
+
+    def __str__(self) -> str:
+        return (
+            f"SPM{self.capacity}: hit={self.hit_fraction:.3f} "
+            f"cycles={self.cycles:.0f} energy={self.energy_nj:.0f} nJ "
+            f"mapped={list(self.allocation.mapped)}"
+        )
+
+
+class ScratchpadModel:
+    """Evaluate a kernel against a scratchpad of a given capacity."""
+
+    def __init__(
+        self,
+        tech: Optional[TechnologyParams] = None,
+        sram: Optional[SRAMPart] = None,
+        element_bytes: int = 1,
+    ) -> None:
+        if element_bytes <= 0:
+            raise ValueError("element width must be positive")
+        self._energy = EnergyModel(tech=tech, sram=sram)
+        self.element_bytes = element_bytes
+
+    @property
+    def tech(self) -> TechnologyParams:
+        """Technology constants in use."""
+        return self._energy.tech
+
+    def on_chip_access_nj(self, capacity: int) -> float:
+        """Energy of one scratchpad access (tagless array of ``capacity`` B)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        # Tagless array: rows x (8 * element) cells, product = 8 * capacity.
+        return self._energy.e_cell(capacity, self.element_bytes, 1)
+
+    def off_chip_access_nj(self) -> float:
+        """Energy of one off-chip element access (Em + pad traffic)."""
+        width = self.element_bytes
+        return self._energy.e_main(width) + self._energy.e_io(width, 0.0)
+
+    def off_chip_access_cycles(self) -> float:
+        """Latency of one off-chip element access (the miss-latency base)."""
+        return cycles_per_miss(4)
+
+    def evaluate(self, kernel: Kernel, capacity: int) -> ScratchpadEstimate:
+        """Metrics of one kernel invocation with an optimal allocation.
+
+        Per the framework's convention, totals are scaled by the paper's
+        trip count (loop iterations): each iteration is charged the
+        access-weighted mix of on- and off-chip costs.
+        """
+        allocation = allocate_arrays(kernel, capacity)
+        events = kernel.nest.iterations
+        hit = allocation.hit_fraction
+        on_nj = self.on_chip_access_nj(capacity) if capacity else 0.0
+        off_nj = self.off_chip_access_nj()
+        energy = events * (hit * on_nj + (1.0 - hit) * off_nj)
+        cycles = events * (hit * 1.0 + (1.0 - hit) * self.off_chip_access_cycles())
+        return ScratchpadEstimate(
+            capacity=capacity,
+            allocation=allocation,
+            cycles=cycles,
+            energy_nj=energy,
+            events=events,
+        )

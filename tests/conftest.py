@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cache.trace import MemoryTrace
+from repro.kernels import (
+    make_compress,
+    make_dequant,
+    make_matadd,
+    make_matmul,
+    make_pde,
+    make_sor,
+    make_transpose,
+)
+
+
+@pytest.fixture
+def compress():
+    """The paper's Example 1 kernel (1-byte elements, 31x31)."""
+    return make_compress()
+
+
+@pytest.fixture
+def compress_small():
+    """A reduced Compress (7x7) for tests that iterate many geometries."""
+    return make_compress(n=7)
+
+
+@pytest.fixture
+def matadd():
+    """The paper's Example 2 kernel."""
+    return make_matadd()
+
+
+@pytest.fixture
+def matmul_small():
+    """A reduced Matrix Multiplication (7x7x7)."""
+    return make_matmul(n=7)
+
+
+@pytest.fixture
+def all_small_kernels():
+    """Reduced instances of every 2D/3D bundled kernel."""
+    return [
+        make_compress(n=7),
+        make_matadd(n=6),
+        make_matmul(n=5),
+        make_pde(n=7),
+        make_sor(n=7),
+        make_dequant(n=7),
+        make_transpose(n=8),
+    ]
+
+
+@pytest.fixture
+def sequential_trace():
+    """64 sequential byte addresses, all reads."""
+    return MemoryTrace(np.arange(64))
+
+
+@pytest.fixture
+def strided_trace():
+    """Strided accesses that alias heavily in small caches."""
+    return MemoryTrace(np.arange(0, 64 * 32, 32))

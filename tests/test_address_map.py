@@ -1,0 +1,111 @@
+"""Tests for array placements and address mapping."""
+
+import pytest
+
+from repro.layout.address_map import (
+    ArrayPlacement,
+    DataLayout,
+    cache_line_of,
+    cache_set_of,
+    default_layout,
+    layouts_overlap,
+)
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+
+def two_array_nest():
+    i = var("i")
+    return LoopNest(
+        name="t",
+        loops=(Loop("i", 0, 3),),
+        refs=(ArrayRef("a", (i,)), ArrayRef("b", (i,))),
+        arrays=(ArrayDecl("a", (10,)), ArrayDecl("b", (6,), element_size=2)),
+    )
+
+
+class TestArrayPlacement:
+    def test_address_of_row_major(self):
+        p = ArrayPlacement(base=100, pitches=(8, 1))
+        assert p.address_of((0, 0)) == 100
+        assert p.address_of((2, 3)) == 100 + 19
+
+    def test_element_size(self):
+        p = ArrayPlacement(base=0, pitches=(4, 1), element_size=4)
+        assert p.address_of((1, 1)) == 20
+
+    def test_padded_pitch(self):
+        """The paper's Compress padding: pitch 36 puts a[1][0] at byte 36."""
+        p = ArrayPlacement(base=0, pitches=(36, 1))
+        assert p.address_of((1, 0)) == 36
+
+    def test_extent(self):
+        p = ArrayPlacement(base=0, pitches=(8, 1))
+        assert p.extent_bytes((4, 5)) == 3 * 8 + 4 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPlacement(base=-1, pitches=(1,))
+        with pytest.raises(ValueError):
+            ArrayPlacement(base=0, pitches=(0,))
+        with pytest.raises(ValueError):
+            ArrayPlacement(base=0, pitches=(1,), element_size=0)
+        with pytest.raises(ValueError):
+            ArrayPlacement(base=0, pitches=(1,)).address_of((1, 2))
+
+
+class TestDataLayout:
+    def test_lookup_and_dict(self):
+        layout = DataLayout.from_dict({"a": ArrayPlacement(0, (1,))})
+        assert layout.placement("a").base == 0
+        assert "a" in layout.as_dict()
+        with pytest.raises(KeyError):
+            layout.placement("zzz")
+
+    def test_address_of(self):
+        layout = DataLayout.from_dict({"a": ArrayPlacement(64, (8, 1))})
+        assert layout.address_of("a", (1, 2)) == 74
+
+
+class TestDefaultLayout:
+    def test_arrays_back_to_back(self):
+        nest = two_array_nest()
+        layout = default_layout(nest)
+        assert layout.placement("a").base == 0
+        assert layout.placement("b").base == 10  # right after a's 10 bytes
+
+    def test_alignment(self):
+        nest = two_array_nest()
+        layout = default_layout(nest, align=16)
+        assert layout.placement("b").base == 16
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            default_layout(two_array_nest(), align=0)
+
+    def test_no_overlap(self):
+        nest = two_array_nest()
+        assert not layouts_overlap(nest, default_layout(nest))
+
+    def test_overlap_detected(self):
+        nest = two_array_nest()
+        bad = DataLayout.from_dict(
+            {
+                "a": ArrayPlacement(0, (1,)),
+                "b": ArrayPlacement(5, (1,), element_size=2),
+            }
+        )
+        assert layouts_overlap(nest, bad)
+
+
+class TestCacheMapping:
+    def test_line_of(self):
+        assert cache_line_of(0, 8) == 0
+        assert cache_line_of(15, 8) == 1
+        with pytest.raises(ValueError):
+            cache_line_of(0, 0)
+
+    def test_set_of(self):
+        assert cache_set_of(36, 2, 4) == 2  # the paper's padded a[1][0]
+        assert cache_set_of(32, 2, 4) == 0  # the conflicting dense address
+        with pytest.raises(ValueError):
+            cache_set_of(0, 2, 0)

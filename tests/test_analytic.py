@@ -1,0 +1,100 @@
+"""Tests for the closed-form (paper-methodology) miss model."""
+
+import pytest
+
+from repro.core.analytic import (
+    AnalyticExplorer,
+    analytic_miss_rate,
+    analytic_misses,
+)
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.kernels import make_compress, make_dequant, make_matadd, make_sor
+
+
+class TestAnalyticMisses:
+    def test_compress_counts(self):
+        """Compress at L=4: 2 classes x 31 sweeps x 8 lines = 496 misses."""
+        nest = make_compress().nest
+        assert analytic_misses(nest, 4) == 496
+        assert analytic_miss_rate(nest, 4) == pytest.approx(496 / 4805)
+
+    def test_line_size_halves_misses(self):
+        nest = make_compress().nest
+        assert analytic_misses(nest, 8) == analytic_misses(nest, 4) / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_misses(make_compress().nest, 0)
+
+    def test_miss_rate_capped_at_one(self):
+        # A tiny line on a strided kernel cannot exceed 100% misses.
+        nest = make_matadd().nest
+        assert analytic_miss_rate(nest, 1) <= 1.0
+
+
+class TestAgainstSimulator:
+    """At the minimum conflict-free size, the two methods agree exactly
+    for kernels without cross-sweep retention."""
+
+    @pytest.mark.parametrize("make,line", [
+        (make_compress, 2), (make_compress, 4), (make_compress, 8),
+        (make_sor, 2), (make_sor, 4), (make_sor, 8),
+        (make_dequant, 2), (make_dequant, 4), (make_dequant, 8),
+        (make_matadd, 2), (make_matadd, 4),
+    ])
+    def test_exact_at_minimum_size(self, make, line):
+        kernel = make()
+        min_size = kernel.min_cache_size(line)
+        size = 1
+        while size < max(min_size, line):
+            size *= 2
+        simulated = MemExplorer(kernel).evaluate(CacheConfig(size, line))
+        assert analytic_miss_rate(kernel.nest, line) == pytest.approx(
+            simulated.miss_rate
+        )
+
+    def test_simulator_never_worse_above_minimum(self):
+        """Cross-sweep retention only lowers the real miss rate."""
+        kernel = make_compress()
+        for line in (2, 4, 8, 16):
+            analytic = analytic_miss_rate(kernel.nest, line)
+            for size in (64, 128, 256):
+                if size < kernel.min_cache_size(line):
+                    continue
+                simulated = MemExplorer(kernel).evaluate(CacheConfig(size, line))
+                assert simulated.miss_rate <= analytic + 1e-9
+
+
+class TestAnalyticExplorer:
+    def test_below_minimum_size_thrashes(self):
+        explorer = AnalyticExplorer(make_compress())
+        # C16L8: minimum for L=8 is 32 bytes.
+        assert explorer.miss_rate(CacheConfig(16, 8)) == 1.0
+        assert explorer.miss_rate(CacheConfig(32, 8)) < 0.1
+
+    def test_estimate_fields(self):
+        explorer = AnalyticExplorer(make_compress())
+        est = explorer.evaluate(CacheConfig(64, 8))
+        assert est.events == 961
+        assert est.conflict_free_layout
+        assert est.energy_nj > 0
+        assert est.cycles > est.events  # at least one cycle per iteration
+
+    def test_explore_and_selection(self):
+        explorer = AnalyticExplorer(make_compress())
+        result = explorer.explore(max_size=512, ways=(1,), tilings=(1,))
+        assert result.min_energy() is not None
+        # The analytic layer reproduces the C16L4 minimum-energy anchor.
+        assert result.min_energy().config == CacheConfig(16, 4)
+
+    def test_matches_memexplorer_ranking_coarsely(self):
+        kernel = make_dequant()
+        grid = [CacheConfig(t, l) for t in (32, 64, 128) for l in (4, 8)]
+        fast = AnalyticExplorer(kernel).explore(configs=grid)
+        slow = MemExplorer(kernel).explore(configs=grid)
+        assert fast.min_energy().config == slow.min_energy().config
+
+    def test_negative_add_bs_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticExplorer(make_compress(), add_bs=-1.0)

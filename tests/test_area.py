@@ -1,0 +1,43 @@
+"""Tests for the cache area estimate."""
+
+import pytest
+
+from repro.energy.area import cache_area_bits, tag_bits_per_line
+
+
+class TestTagBits:
+    def test_direct_mapped(self):
+        # 64B cache, 8B lines, 8 sets: 32 - 3 - 3 = 26 tag bits.
+        assert tag_bits_per_line(64, 8, 1) == 26
+
+    def test_associative_needs_wider_tags(self):
+        # Same size, 2 ways -> half the sets -> one more tag bit.
+        assert tag_bits_per_line(64, 8, 2) == tag_bits_per_line(64, 8, 1) + 1
+
+    def test_fully_associative(self):
+        assert tag_bits_per_line(64, 8, 8) == 32 - 3
+
+    def test_custom_address_width(self):
+        assert tag_bits_per_line(64, 8, 1, address_bits=16) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tag_bits_per_line(48, 8, 1)
+        with pytest.raises(ValueError):
+            tag_bits_per_line(64, 8, 1, address_bits=4)
+
+
+class TestArea:
+    def test_composition(self):
+        # 64B data + 8 lines x (26 tag + 1 valid).
+        assert cache_area_bits(64, 8, 1) == 64 * 8 + 8 * 27
+
+    def test_smaller_lines_cost_more_area(self):
+        assert cache_area_bits(64, 4, 1) > cache_area_bits(64, 8, 1)
+
+    def test_grows_with_size(self):
+        assert cache_area_bits(128, 8, 1) > cache_area_bits(64, 8, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cache_area_bits(60, 8, 1)

@@ -1,0 +1,89 @@
+"""Tests for static bounds checking."""
+
+import pytest
+
+from repro.kernels import available_kernels, get_kernel
+from repro.loops.bounds import check_bounds, subscript_range
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+
+class TestSubscriptRange:
+    def _nest(self):
+        i, j = var("i"), var("j")
+        return LoopNest(
+            name="t",
+            loops=(Loop("i", 1, 5), Loop("j", 2, 4)),
+            refs=(ArrayRef("a", (i, j)),),
+            arrays=(ArrayDecl("a", (6, 5)),),
+        )
+
+    def test_positive_coefficients(self):
+        nest = self._nest()
+        assert subscript_range(nest, var("i") + var("j")) == (3, 9)
+
+    def test_negative_coefficients(self):
+        nest = self._nest()
+        assert subscript_range(nest, -1 * var("i") + 10) == (5, 9)
+
+    def test_mixed(self):
+        nest = self._nest()
+        assert subscript_range(nest, 2 * var("i") - var("j")) == (-2, 8)
+
+    def test_constant(self):
+        nest = self._nest()
+        assert subscript_range(nest, var("i") * 0 + 7) == (7, 7)
+
+
+class TestCheckBounds:
+    def test_all_bundled_kernels_are_in_bounds(self):
+        """The guard that keeps every figure honest: no kernel generates
+        addresses outside its declared arrays."""
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            assert check_bounds(kernel.nest) == [], name
+
+    def test_underflow_detected(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i - 1,)),),
+            arrays=(ArrayDecl("a", (4,)),),
+        )
+        violations = check_bounds(nest)
+        assert len(violations) == 1
+        assert violations[0].lowest == -1
+        assert "outside" in str(violations[0])
+
+    def test_overflow_detected(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i + 1,)),),
+            arrays=(ArrayDecl("a", (4,)),),
+        )
+        violations = check_bounds(nest)
+        assert violations[0].highest == 4
+        assert violations[0].extent == 4
+
+    def test_multiple_dimensions_reported_independently(self):
+        i, j = var("i"), var("j")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3), Loop("j", 0, 3)),
+            refs=(ArrayRef("a", (i - 1, j + 1)),),
+            arrays=(ArrayDecl("a", (4, 4)),),
+        )
+        violations = check_bounds(nest)
+        assert {(v.ref_index, v.dimension) for v in violations} == {(0, 0), (0, 1)}
+
+    def test_in_bounds_reference_clean(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 1, 3),),
+            refs=(ArrayRef("a", (i - 1,)),),
+            arrays=(ArrayDecl("a", (3,)),),
+        )
+        assert check_bounds(nest) == []

@@ -1,0 +1,76 @@
+"""Tests for the MemoryTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.cache.trace import MemoryAccess, MemoryTrace
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        a = MemoryAccess(10)
+        assert not a.is_write
+        assert a.ref_id == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(-1)
+
+
+class TestMemoryTrace:
+    def test_basic_construction(self):
+        t = MemoryTrace([1, 2, 3], [False, True, False], [0, 1, 2])
+        assert len(t) == 3
+        assert t.num_reads == 2
+        assert t.num_writes == 1
+
+    def test_defaults_all_reads(self):
+        t = MemoryTrace([5, 6])
+        assert t.num_reads == 2
+        assert t.ref_ids.tolist() == [0, 0]
+
+    def test_indexing_and_iteration(self):
+        t = MemoryTrace([1, 2], [False, True], [3, 4])
+        assert t[1] == MemoryAccess(2, True, 4)
+        assert [a.address for a in t] == [1, 2]
+
+    def test_equality(self):
+        assert MemoryTrace([1, 2]) == MemoryTrace([1, 2])
+        assert MemoryTrace([1, 2]) != MemoryTrace([1, 3])
+        assert MemoryTrace([1], [True]) != MemoryTrace([1], [False])
+
+    def test_from_accesses_round_trip(self):
+        accesses = [MemoryAccess(1), MemoryAccess(2, True, 7)]
+        t = MemoryTrace.from_accesses(accesses)
+        assert list(t) == accesses
+
+    def test_concatenate(self):
+        t = MemoryTrace.concatenate([MemoryTrace([1]), MemoryTrace([2, 3])])
+        assert t.addresses.tolist() == [1, 2, 3]
+        assert MemoryTrace.concatenate([]) == MemoryTrace([])
+
+    def test_reads_only(self):
+        t = MemoryTrace([1, 2, 3], [False, True, False])
+        assert t.reads_only().addresses.tolist() == [1, 3]
+
+    def test_line_ids(self):
+        t = MemoryTrace([0, 3, 4, 8])
+        assert t.line_ids(4).tolist() == [0, 0, 1, 2]
+        with pytest.raises(ValueError):
+            t.line_ids(0)
+
+    def test_footprint_and_unique_lines(self):
+        t = MemoryTrace([10, 20, 30])
+        assert t.footprint_bytes() == 21
+        assert t.unique_lines(16) == 2
+        empty = MemoryTrace([])
+        assert empty.footprint_bytes() == 0
+        assert empty.unique_lines(16) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTrace([-1])
+        with pytest.raises(ValueError):
+            MemoryTrace([1, 2], [True])
+        with pytest.raises(ValueError):
+            MemoryTrace(np.zeros((2, 2)))

@@ -1,0 +1,146 @@
+"""Tests for the memexplore CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["explore", "compress"],
+            ["mincache", "compress"],
+            ["layout", "compress"],
+            ["mpeg"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "mpeg:idct" in out
+
+    def test_mincache_reports_paper_numbers(self, capsys):
+        assert main(["mincache", "compress", "--line-sizes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lines=4" in out
+        assert "size=16 bytes" in out
+
+    def test_layout_reports_padding(self, capsys):
+        assert main(
+            ["layout", "compress", "--cache-size", "8", "--line-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "conflict_free=True" in out
+        assert "(36, 1)" in out
+
+    def test_explore_small_sweep(self, capsys):
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "64", "--min-size", "32",
+                "--tilings", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "min energy" in out
+
+    def test_explore_infeasible_bound_fails(self, capsys):
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "32", "--min-size", "32",
+                "--tilings", "1",
+                "--cycle-bound", "1",
+            ]
+        )
+        assert code == 1
+        assert "selection failed" in capsys.readouterr().err
+
+    def test_explore_unoptimized_layout_flag(self, capsys):
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "32", "--min-size", "32",
+                "--tilings", "1", "--no-layout-opt",
+            ]
+        )
+        assert code == 0
+
+    def test_explore_alternative_sram(self, capsys):
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "32", "--min-size", "32",
+                "--tilings", "1", "--sram", "16Mbit",
+            ]
+        )
+        assert code == 0
+
+
+class TestNewCommands:
+    def test_spm(self, capsys):
+        assert main(["spm", "matadd", "--budgets", "32", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "spm" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace", "compress", "--line-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "compulsory fraction" in out
+        assert "miss-ratio curve" in out
+
+    def test_trace_din_export(self, tmp_path, capsys):
+        target = tmp_path / "t.din"
+        assert main(["trace", "matadd", "--din", str(target)]) == 0
+        content = target.read_text().splitlines()
+        assert len(content) == 108  # 36 iterations x 3 refs
+        assert content[0].split()[0] in ("0", "1")
+
+    def test_trace_optimized_layout(self, capsys):
+        assert main(
+            ["trace", "compress", "--optimized", "--cache-size", "16",
+             "--line-size", "4"]
+        ) == 0
+
+    def test_search(self, capsys):
+        assert main(["search", "compress", "--max-size", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "best (energy)" in out
+        assert "evaluations spent" in out
+
+    def test_codegen(self, capsys):
+        assert main(
+            ["codegen", "compress", "--cache-size", "8", "--line-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "void compress(void)" in out
+        assert "36*(" in out  # the paper's padded pitch
+
+    def test_codegen_tiled_dense(self, capsys):
+        assert main(
+            ["codegen", "matmul", "--tiling", "4", "--no-layout-opt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "for (int tj" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(
+            ["sensitivity", "compress", "--max-size", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Em (main memory)" in out
+        assert "swing" in out

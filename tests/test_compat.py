@@ -1,0 +1,74 @@
+"""Tests for the Section 4.1 compatibility predicate."""
+
+from repro.kernels import (
+    make_compress,
+    make_dequant,
+    make_matadd,
+    make_matmul,
+    make_pde,
+    make_sor,
+    make_transpose,
+)
+from repro.loops.compat import are_compatible, nest_is_compatible
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+
+class TestAreCompatible:
+    def test_shifted_references_compatible(self):
+        """The paper's example: a[i] and a[i-2] are compatible."""
+        i = var("i")
+        assert are_compatible(
+            ArrayRef("a", (i,)), ArrayRef("a", (i - 2,)), ("i",)
+        )
+
+    def test_different_arrays_same_h_compatible(self):
+        i = var("i")
+        assert are_compatible(ArrayRef("a", (i,)), ArrayRef("b", (i + 5,)), ("i",))
+
+    def test_different_linear_parts_incompatible(self):
+        i, j = var("i"), var("j")
+        assert not are_compatible(
+            ArrayRef("a", (i, j)), ArrayRef("a", (j, i)), ("i", "j")
+        )
+
+    def test_scaled_index_incompatible(self):
+        i = var("i")
+        assert not are_compatible(
+            ArrayRef("a", (i,)), ArrayRef("a", (2 * i,)), ("i",)
+        )
+
+    def test_rank_mismatch_incompatible(self):
+        i = var("i")
+        assert not are_compatible(
+            ArrayRef("a", (i,)), ArrayRef("b", (i, i)), ("i",)
+        )
+
+
+class TestNestCompatibility:
+    def test_fully_compatible_kernels(self):
+        for kernel in (
+            make_compress(),
+            make_matadd(),
+            make_pde(),
+            make_sor(),
+            make_dequant(),
+        ):
+            assert nest_is_compatible(kernel.nest), kernel.name
+
+    def test_incompatible_kernels(self):
+        assert not nest_is_compatible(make_matmul().nest)
+        assert not nest_is_compatible(make_transpose().nest)
+
+    def test_trivial_nests_compatible(self):
+        i = var("i")
+        single = LoopNest(
+            name="one",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i,)),),
+            arrays=(ArrayDecl("a", (4,)),),
+        )
+        assert nest_is_compatible(single)
+        empty = LoopNest(
+            name="none", loops=(Loop("i", 0, 3),), refs=(), arrays=()
+        )
+        assert nest_is_compatible(empty)

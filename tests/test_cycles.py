@@ -1,0 +1,78 @@
+"""Tests for the Section 2.2 cycle model."""
+
+import pytest
+
+from repro.core.cycles import (
+    CYCLES_PER_HIT,
+    CYCLES_PER_MISS,
+    cycles_per_hit,
+    cycles_per_miss,
+    processor_cycles,
+)
+
+
+class TestTables:
+    def test_paper_hit_latencies(self):
+        assert CYCLES_PER_HIT == {1: 1.0, 2: 1.1, 4: 1.12, 8: 1.14}
+
+    def test_paper_miss_penalties(self):
+        assert CYCLES_PER_MISS == {
+            4: 40, 8: 40, 16: 42, 32: 44, 64: 48, 128: 56, 256: 72,
+        }
+
+
+class TestLookups:
+    def test_tabulated_values(self):
+        assert cycles_per_hit(2) == 1.1
+        assert cycles_per_miss(64) == 48.0
+
+    def test_hit_extrapolation(self):
+        assert cycles_per_hit(16) == pytest.approx(1.16)
+        assert cycles_per_hit(32) == pytest.approx(1.18)
+
+    def test_miss_extrapolation(self):
+        assert cycles_per_miss(512) == 88.0
+        assert cycles_per_miss(2) == 40.0
+        assert cycles_per_miss(1) == 40.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            cycles_per_hit(3)
+        with pytest.raises(ValueError):
+            cycles_per_hit(0)
+        with pytest.raises(ValueError):
+            cycles_per_miss(24)
+
+
+class TestProcessorCycles:
+    def test_all_hits(self):
+        assert processor_cycles(0.0, 1000, ways=1, line_size=4) == 1000.0
+
+    def test_all_misses(self):
+        # miss cost = tiling + penalty = 1 + 40.
+        assert processor_cycles(1.0, 100, ways=1, line_size=4) == 4100.0
+
+    def test_paper_formula(self):
+        """cycles = hr*trip*cph + mr*trip*(B + cpm)."""
+        mr, trip, ways, line, tile = 0.25, 961, 2, 16, 8
+        expected = 961 * (0.75 * 1.1 + 0.25 * (8 + 42))
+        assert processor_cycles(mr, trip, ways, line, tile) == pytest.approx(expected)
+
+    def test_figure9_anchor(self):
+        """The legible Figure 9 baseline: Compress unoptimized at C64L8 has
+        miss rate 0.969 and ~37,300 cycles over 961 iterations."""
+        cycles = processor_cycles(0.969, 961, ways=1, line_size=8, tiling=1)
+        assert cycles == pytest.approx(38200, rel=0.05)
+
+    def test_tiling_enters_miss_penalty(self):
+        base = processor_cycles(0.5, 100, 1, 8, tiling=1)
+        tiled = processor_cycles(0.5, 100, 1, 8, tiling=8)
+        assert tiled - base == pytest.approx(0.5 * 100 * 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            processor_cycles(1.5, 100)
+        with pytest.raises(ValueError):
+            processor_cycles(0.5, -1)
+        with pytest.raises(ValueError):
+            processor_cycles(0.5, 100, tiling=0)

@@ -1,0 +1,62 @@
+"""Tests for Dinero ``din`` trace I/O."""
+
+import io
+
+import pytest
+
+from repro.cache.dinero import read_din_trace, write_din_trace
+from repro.cache.trace import MemoryTrace
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        trace = MemoryTrace([0, 255, 4096], [False, True, False])
+        path = tmp_path / "trace.din"
+        count = write_din_trace(trace, path)
+        assert count == 3
+        back = read_din_trace(path)
+        assert back.addresses.tolist() == [0, 255, 4096]
+        assert back.is_write.tolist() == [False, True, False]
+
+    def test_string_io(self):
+        buf = io.StringIO()
+        write_din_trace(MemoryTrace([16], [True]), buf)
+        assert buf.getvalue() == "1 10\n"
+
+
+class TestReading:
+    def test_hex_addresses(self):
+        trace = read_din_trace(io.StringIO("0 ff\n1 100\n"))
+        assert trace.addresses.tolist() == [255, 256]
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_ifetch_skipped_by_default(self):
+        src = "0 10\n2 20\n0 30\n"
+        assert len(read_din_trace(io.StringIO(src))) == 2
+        assert len(read_din_trace(io.StringIO(src), include_ifetch=True)) == 3
+
+    def test_escape_labels_skipped(self):
+        trace = read_din_trace(io.StringIO("0 10\n3 0\n4 0\n0 20\n"))
+        assert len(trace) == 2
+
+    def test_comments_and_blank_lines(self):
+        trace = read_din_trace(io.StringIO("# header\n\n0 10 # inline\n"))
+        assert trace.addresses.tolist() == [16]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="din line 1"):
+            read_din_trace(io.StringIO("0\n"))
+        with pytest.raises(ValueError, match="din line 2"):
+            read_din_trace(io.StringIO("0 10\n0 zz\n"))
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError, match="unknown label"):
+            read_din_trace(io.StringIO("9 10\n"))
+
+    def test_kernel_trace_round_trip(self, tmp_path, compress_small):
+        trace = compress_small.trace()
+        path = tmp_path / "compress.din"
+        write_din_trace(trace, path)
+        back = read_din_trace(path)
+        assert back.addresses.tolist() == trace.addresses.tolist()
+        assert back.is_write.tolist() == trace.is_write.tolist()

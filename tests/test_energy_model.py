@@ -1,0 +1,153 @@
+"""Tests for the Section 2.3 energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAM_16MBIT, TechnologyParams
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestComponents:
+    def test_cell_geometry(self, model):
+        assert model.cell_geometry(64, 8, 1) == (64, 8)
+        assert model.cell_geometry(64, 8, 2) == (128, 4)
+
+    def test_cell_geometry_validation(self, model):
+        with pytest.raises(ValueError):
+            model.cell_geometry(0, 8, 1)
+        with pytest.raises(ValueError):
+            model.cell_geometry(16, 8, 4)
+
+    def test_e_cell_scales_linearly_with_size(self, model):
+        """word_line * bit_line == 8T: hit energy is linear in capacity."""
+        e64 = model.e_cell(64, 8, 1)
+        e128 = model.e_cell(128, 8, 1)
+        e128_assoc = model.e_cell(128, 8, 4)
+        assert e128 == pytest.approx(2 * e64)
+        assert e128_assoc == pytest.approx(e128)  # independent of S and L
+
+    def test_e_dec_proportional_to_switching(self, model):
+        assert model.e_dec(4.0) == pytest.approx(2 * model.e_dec(2.0))
+        assert model.e_dec(0.0) == 0.0
+
+    def test_e_io_and_e_main_grow_with_line_size(self, model):
+        assert model.e_io(32, 2.0) > model.e_io(8, 2.0)
+        assert model.e_main(32) > model.e_main(8)
+
+    def test_e_main_dominated_by_em_times_line(self, model):
+        # Em * L is the headline term: 4.95 * 8 = 39.6 nJ at L=8.
+        assert model.e_main(8) == pytest.approx(39.6, rel=0.05)
+
+    def test_em_from_catalog(self):
+        assert EnergyModel(sram=SRAM_16MBIT).em == 43.56
+
+
+class TestBreakdown:
+    def test_total_composition(self, model):
+        b = model.breakdown(64, 8, 1, hit_rate=0.9, miss_rate=0.1,
+                            events=100, add_bs=2.0)
+        assert b.e_hit == pytest.approx(b.e_dec + b.e_cell)
+        assert b.e_miss == pytest.approx(b.e_hit + b.e_io + b.e_main)
+        expected = 100 * (0.9 * b.e_hit + 0.1 * b.e_miss)
+        assert b.total == pytest.approx(expected)
+
+    def test_all_hits_cost_hit_energy(self, model):
+        b = model.breakdown(64, 8, 1, 1.0, 0.0, 10, 1.0)
+        assert b.per_access == pytest.approx(b.e_hit)
+
+    def test_all_misses_cost_miss_energy(self, model):
+        b = model.breakdown(64, 8, 1, 0.0, 1.0, 10, 1.0)
+        assert b.per_access == pytest.approx(b.e_miss)
+
+    def test_total_energy_convenience(self, model):
+        direct = model.total_energy(64, 8, 1, miss_rate=0.25, events=40, add_bs=1.0)
+        b = model.breakdown(64, 8, 1, 0.75, 0.25, 40, 1.0)
+        assert direct == pytest.approx(b.total)
+
+    def test_monotone_in_miss_rate(self, model):
+        low = model.total_energy(64, 8, 1, 0.1, 100, 2.0)
+        high = model.total_energy(64, 8, 1, 0.5, 100, 2.0)
+        assert high > low
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hit_rate": 1.2, "miss_rate": 0.0},
+            {"hit_rate": 0.5, "miss_rate": 0.3},
+            {"hit_rate": 0.9, "miss_rate": 0.1, "events": -1},
+            {"hit_rate": 0.9, "miss_rate": 0.1, "add_bs": -0.5},
+        ],
+    )
+    def test_validation(self, model, kwargs):
+        args = {"hit_rate": 0.9, "miss_rate": 0.1, "events": 10, "add_bs": 1.0}
+        args.update(kwargs)
+        with pytest.raises(ValueError):
+            model.breakdown(64, 8, 1, **args)
+
+
+class TestEmRegimes:
+    """Section 3's point: the Em value flips the energy-vs-geometry trend."""
+
+    def test_high_em_rewards_miss_reduction(self):
+        small_em = EnergyModel()
+        big_em = EnergyModel(sram=SRAM_16MBIT)
+        # Pay 1% miss rate at T=512 versus 10% at T=16.
+        e_small_cache = {
+            "low": small_em.total_energy(16, 8, 1, 0.10, 1000, 1.0),
+            "high": big_em.total_energy(16, 8, 1, 0.10, 1000, 1.0),
+        }
+        e_big_cache = {
+            "low": small_em.total_energy(512, 8, 1, 0.01, 1000, 1.0),
+            "high": big_em.total_energy(512, 8, 1, 0.01, 1000, 1.0),
+        }
+        # With the big Em the big cache wins; with the small Em it loses.
+        assert e_big_cache["high"] < e_small_cache["high"]
+        assert e_big_cache["low"] > e_small_cache["low"]
+
+    def test_custom_scale_propagates(self):
+        tech = TechnologyParams(capacitive_scale_nj=1e-3)
+        scaled = EnergyModel(tech=tech)
+        default = EnergyModel()
+        assert scaled.e_cell(64, 8, 1) == pytest.approx(
+            default.e_cell(64, 8, 1) / 2
+        )
+
+
+class TestSubbankingAndPhased:
+    def test_subbanking_divides_cell_energy(self):
+        mono = EnergyModel()
+        banked = EnergyModel(subbanks=4)
+        assert banked.e_cell(512, 8, 1) == pytest.approx(
+            mono.e_cell(512, 8, 1) / 4
+        )
+
+    def test_subbanking_must_divide_sets(self):
+        banked = EnergyModel(subbanks=8)
+        with pytest.raises(ValueError, match="sub-banks"):
+            banked.e_cell(32, 8, 1)  # 4 sets, 8 banks
+
+    def test_phased_divides_by_ways(self):
+        normal = EnergyModel()
+        phased = EnergyModel(phased=True)
+        assert phased.e_cell(64, 8, 4) == pytest.approx(
+            normal.e_cell(64, 8, 4) / 4
+        )
+
+    def test_phased_no_effect_direct_mapped(self):
+        normal = EnergyModel()
+        phased = EnergyModel(phased=True)
+        assert phased.e_cell(64, 8, 1) == normal.e_cell(64, 8, 1)
+
+    def test_off_chip_terms_untouched(self):
+        banked = EnergyModel(subbanks=4, phased=True)
+        plain = EnergyModel()
+        assert banked.e_main(16) == plain.e_main(16)
+        assert banked.e_io(16, 2.0) == plain.e_io(16, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(subbanks=0)

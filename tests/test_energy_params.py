@@ -1,0 +1,69 @@
+"""Tests for technology parameters and the SRAM catalog."""
+
+import pytest
+
+from repro.energy.params import (
+    CY7C_2MBIT,
+    LOW_POWER_2MBIT,
+    SRAM_16MBIT,
+    SRAM_CATALOG,
+    SRAMPart,
+    TechnologyParams,
+)
+
+
+class TestSRAMCatalog:
+    def test_paper_em_values(self):
+        """The three Em points quoted in the paper."""
+        assert CY7C_2MBIT.energy_per_access_nj == 4.95
+        assert LOW_POWER_2MBIT.energy_per_access_nj == 2.31
+        assert SRAM_16MBIT.energy_per_access_nj == 43.56
+
+    def test_cypress_datasheet_consistency(self):
+        """3.3 V x 375 mA x 4 ns = 4.95 nJ, exactly as the paper states."""
+        assert CY7C_2MBIT.datasheet_energy_nj() == pytest.approx(4.95)
+
+    def test_datasheet_energy_none_when_unknown(self):
+        assert SRAM_16MBIT.datasheet_energy_nj() is None
+
+    def test_catalog_keys(self):
+        assert set(SRAM_CATALOG) == {"CY7C-2Mbit", "low-power-2Mbit", "16Mbit"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRAMPart("bad", 0, 1.0)
+        with pytest.raises(ValueError):
+            SRAMPart("bad", 1024, 0.0)
+
+
+class TestTechnologyParams:
+    def test_paper_defaults(self):
+        t = TechnologyParams()
+        assert t.alpha == 0.001
+        assert t.beta == 2.0
+        assert t.gamma == 20.0
+        assert t.data_bus_activity == 0.5
+
+    def test_data_bs(self):
+        t = TechnologyParams(data_bus_activity=0.5, data_bus_width_bits=8)
+        assert t.data_bs == 4.0
+
+    def test_with_activity(self):
+        t = TechnologyParams().with_activity(0.25)
+        assert t.data_bus_activity == 0.25
+        assert t.alpha == 0.001  # other fields preserved
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": -1},
+            {"data_bus_activity": 1.5},
+            {"data_bus_activity": -0.1},
+            {"address_bus_width": 0},
+            {"data_bus_width_bits": 0},
+            {"capacitive_scale_nj": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TechnologyParams(**kwargs)

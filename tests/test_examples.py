@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()  # every example prints its findings
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "mpeg_decoder",
+        "energy_time_tradeoff",
+        "offchip_layout",
+        "custom_kernel",
+        "cache_vs_scratchpad",
+    } <= names

@@ -1,0 +1,144 @@
+"""Failure-injection tests: every public entry point must fail loudly.
+
+A miss-rate study corrupted by a silently-accepted bad input is worse than
+a crash; these tests drive malformed inputs through every layer and assert
+the errors are raised at the boundary, with messages a user can act on.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cache.dinero import read_din_trace
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.cache.trace import MemoryTrace
+from repro.core.composite import CompositeProgram
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer, evaluate_trace
+from repro.core.selection import SelectionError, select_configuration
+from repro.kernels import Kernel, make_compress
+from repro.layout.address_map import ArrayPlacement, DataLayout
+from repro.layout.assignment import assign_offchip_layout
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.trace_gen import generate_trace
+
+
+class TestTraceLayerFailures:
+    def test_mismatched_trace_arrays(self):
+        with pytest.raises(ValueError, match="same length"):
+            MemoryTrace([1, 2, 3], is_write=[True])
+
+    def test_trace_with_negative_addresses(self):
+        with pytest.raises(ValueError, match="negative"):
+            MemoryTrace([-5])
+
+    def test_layout_missing_an_array(self):
+        nest = make_compress().nest
+        incomplete = DataLayout.from_dict({"wrong": ArrayPlacement(0, (32, 1))})
+        with pytest.raises(KeyError, match="no placement"):
+            generate_trace(nest, layout=incomplete)
+
+    def test_layout_with_wrong_rank(self):
+        nest = make_compress().nest
+        bad = DataLayout.from_dict({"a": ArrayPlacement(0, (1,))})
+        with pytest.raises(ValueError):
+            generate_trace(nest, layout=bad)
+
+
+class TestDineroFailures:
+    @pytest.mark.parametrize("payload,match", [
+        ("garbage\n", "expected"),
+        ("0\n", "expected"),
+        ("0 xyz_not_hex_ok\n", "din line 1"),
+        ("7 10\n", "unknown label"),
+    ])
+    def test_malformed_inputs(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            read_din_trace(io.StringIO(payload))
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ValueError, match="din line 3"):
+            read_din_trace(io.StringIO("0 10\n0 20\nbroken line here\n"))
+
+
+class TestGeometryFailures:
+    def test_simulator_rejects_impossible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(64, 8, 16)  # 16 ways of 8B in 64B
+
+    def test_config_rejects_line_bigger_than_cache(self):
+        with pytest.raises(ValueError, match="exceeds cache size"):
+            CacheConfig(16, 32)
+
+    def test_evaluate_trace_survives_single_access(self):
+        est = evaluate_trace(MemoryTrace([0]), CacheConfig(16, 4))
+        assert est.miss_rate == 1.0
+        assert est.add_bs == 0.0  # no transitions to switch
+
+
+class TestExplorerFailures:
+    def test_selection_error_names_the_bounds(self):
+        explorer = MemExplorer(make_compress(n=3))
+        result = explorer.explore(configs=[CacheConfig(16, 4)])
+        with pytest.raises(SelectionError, match="cycle_bound=1"):
+            select_configuration(result.estimates, "energy", cycle_bound=1)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError, match="at least one kernel"):
+            CompositeProgram([])
+
+    def test_composite_trip_for_unknown_kernel_ignored(self):
+        # Trips for kernels not in the program are silently irrelevant --
+        # but trips covering the kernels must be positive.
+        program = CompositeProgram(
+            [make_compress(n=3)], trips={"compress": 2, "ghost": 5}
+        )
+        assert program.trips == {"compress": 2}
+
+
+class TestAssignmentFailures:
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ValueError, match="multiple of line size"):
+            assign_offchip_layout(make_compress().nest, 10, 4)
+
+    def test_empty_nest_is_trivially_fine(self):
+        nest = LoopNest(name="empty", loops=(Loop("i", 0, 3),), refs=(),
+                        arrays=())
+        result = assign_offchip_layout(nest, 16, 4)
+        assert result.conflict_free
+        assert result.slots == ()
+
+    def test_scalar_like_single_element_arrays(self):
+        i = var("i")
+        nest = LoopNest(
+            name="scalars",
+            loops=(Loop("i", 0, 7),),
+            refs=(ArrayRef("x", (0,)), ArrayRef("y", (0,), is_write=True)),
+            arrays=(ArrayDecl("x", (1,)), ArrayDecl("y", (1,))),
+        )
+        del i
+        result = assign_offchip_layout(nest, 16, 4)
+        trace = generate_trace(nest, layout=result.layout)
+        stats = CacheSimulator(CacheGeometry(16, 4, 1)).run(trace)
+        assert stats.misses <= 2  # both scalars resident after warmup
+
+
+class TestKernelFailures:
+    def test_kernel_with_zero_iterations_impossible(self):
+        # Loop validation prevents the degenerate case at construction.
+        with pytest.raises(ValueError, match="empty range"):
+            Loop("i", 5, 4)
+
+    def test_single_iteration_kernel_works_end_to_end(self):
+        i = var("i")
+        nest = LoopNest(
+            name="tiny",
+            loops=(Loop("i", 0, 0),),
+            refs=(ArrayRef("a", (i,)),),
+            arrays=(ArrayDecl("a", (1,)),),
+        )
+        kernel = Kernel(nest=nest)
+        estimate = MemExplorer(kernel).evaluate(CacheConfig(16, 4))
+        assert estimate.miss_rate == 1.0
+        assert estimate.events == 1

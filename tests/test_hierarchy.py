@@ -1,0 +1,51 @@
+"""Tests for the two-level hierarchy extension."""
+
+import pytest
+
+from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.simulator import CacheGeometry
+from repro.cache.trace import MemoryTrace
+
+
+class TestTwoLevel:
+    def _caches(self):
+        return TwoLevelCache(CacheGeometry(32, 4, 1), CacheGeometry(128, 8, 2))
+
+    def test_l2_filters_l1_misses(self):
+        # Conflict pair in L1 (32 bytes apart) co-resident in the bigger L2.
+        stats = self._caches().run(MemoryTrace([0, 32] * 10))
+        assert stats.l1_misses == 20
+        assert stats.l2_misses == 2
+        assert stats.l2_hits == 18
+
+    def test_accounting_consistency(self):
+        stats = self._caches().run(MemoryTrace(list(range(64))))
+        assert stats.l1_hits + stats.l1_misses == stats.accesses
+        assert stats.l2_hits + stats.l2_misses == stats.l1_misses
+
+    def test_rates(self):
+        stats = self._caches().run(MemoryTrace([0, 32] * 10))
+        assert stats.l1_miss_rate == 1.0
+        assert stats.l2_local_miss_rate == pytest.approx(0.1)
+        assert stats.global_miss_rate == pytest.approx(0.1)
+
+    def test_empty_trace(self):
+        stats = self._caches().run(MemoryTrace([]))
+        assert stats.accesses == 0
+        assert stats.l1_miss_rate == 0.0
+        assert stats.l2_local_miss_rate == 0.0
+
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLevelCache(CacheGeometry(128, 8, 1), CacheGeometry(64, 8, 1))
+
+    def test_l2_line_smaller_than_l1_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLevelCache(CacheGeometry(32, 8, 1), CacheGeometry(128, 4, 1))
+
+    def test_l2_never_misses_more_than_l1(self, compress_small):
+        trace = compress_small.trace()
+        stats = TwoLevelCache(
+            CacheGeometry(16, 4, 1), CacheGeometry(256, 8, 2)
+        ).run(trace)
+        assert stats.l2_misses <= stats.l1_misses

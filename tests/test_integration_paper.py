@@ -1,0 +1,186 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test reproduces one qualitative result the paper reports; the absolute
+values are this reproduction's own (see EXPERIMENTS.md for the side-by-side
+with the paper's printed numbers).
+"""
+
+import pytest
+
+from repro.core.composite import CompositeProgram
+from repro.core.config import CacheConfig, design_space
+from repro.core.explorer import MemExplorer
+from repro.energy.model import EnergyModel
+from repro.energy.params import LOW_POWER_2MBIT, SRAM_16MBIT
+from repro.kernels import make_compress, make_matmul, mpeg_decoder_kernels
+
+FIG_GRID = [
+    CacheConfig(t, l)
+    for t in (16, 32, 64, 128, 256, 512)
+    for l in (4, 8, 16, 32, 64)
+    if l <= t
+]
+
+
+class TestSection3EnergyTrends:
+    """Figure 1: the Em value flips the direction of the energy trend."""
+
+    def _grid(self, sram):
+        explorer = MemExplorer(make_compress(), energy_model=EnergyModel(sram=sram))
+        return explorer.explore(configs=FIG_GRID)
+
+    def test_small_em_favours_small_cache(self):
+        result = self._grid(LOW_POWER_2MBIT)
+        assert result.min_energy().config == CacheConfig(16, 4)
+
+    def test_large_em_favours_larger_cache(self):
+        result = self._grid(SRAM_16MBIT)
+        best = result.min_energy().config
+        assert best.size > 16
+
+    def test_large_em_energy_decreases_then_small_em_increases(self):
+        """Along L=4, growing the cache past the conflict-free knee raises
+        energy at Em=2.31 but saves energy at Em=43.56 relative to the
+        smallest cache."""
+        low = {e.config.size: e.energy_nj
+               for e in self._grid(LOW_POWER_2MBIT) if e.config.line_size == 4}
+        high = {e.config.size: e.energy_nj
+                for e in self._grid(SRAM_16MBIT) if e.config.line_size == 4}
+        assert low[512] > low[16]
+        assert high[64] < high[16]
+
+
+class TestSection3Selection:
+    """Figure 4's narrative: min-energy and min-time points differ, and
+    bounds move the selection."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return MemExplorer(make_compress()).explore(configs=FIG_GRID)
+
+    def test_min_energy_is_C16L4(self, result):
+        assert result.min_energy().config == CacheConfig(16, 4)
+
+    def test_min_time_is_a_large_cache_with_long_lines(self, result):
+        best = result.min_cycles().config
+        assert best.size >= 64
+        assert best.line_size >= 32
+
+    def test_min_energy_differs_from_min_time(self, result):
+        assert result.min_energy().config != result.min_cycles().config
+
+    def test_cycle_bound_moves_the_energy_choice(self, result):
+        unbounded = result.min_energy().config
+        tight = result.min_energy(cycle_bound=result.min_cycles().cycles * 1.2)
+        assert tight.config != unbounded
+
+    def test_energy_bound_keeps_a_feasible_fast_point(self, result):
+        bound = result.min_energy().energy_nj * 2.5
+        constrained = result.min_cycles(energy_bound=bound)
+        assert constrained is not None
+        assert constrained.energy_nj <= bound
+
+
+class TestSection41Layout:
+    """Figure 5 / Figure 9: off-chip assignment is the largest win."""
+
+    @pytest.mark.parametrize("config", [
+        CacheConfig(32, 4), CacheConfig(64, 8), CacheConfig(128, 16),
+    ])
+    def test_optimized_miss_rate_much_lower(self, config):
+        kernel = make_compress(element_size=4)  # int rows alias these caches
+        opt = MemExplorer(kernel, optimize_layout=True).evaluate(config)
+        unopt = MemExplorer(kernel, optimize_layout=False).evaluate(config)
+        assert unopt.miss_rate > 0.5
+        assert opt.miss_rate < unopt.miss_rate / 1.9
+
+    def test_energy_and_cycles_improve_too(self):
+        kernel = make_compress(element_size=4)
+        config = CacheConfig(64, 8)
+        opt = MemExplorer(kernel, optimize_layout=True).evaluate(config)
+        unopt = MemExplorer(kernel, optimize_layout=False).evaluate(config)
+        assert opt.cycles < unopt.cycles
+        assert opt.energy_nj < unopt.energy_nj
+
+
+class TestSection42Tiling:
+    """Figure 6/7 shape on the reuse kernel: miss rate and energy fall with
+    the tiling size until the tile exceeds the cache lines, then rise."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        explorer = MemExplorer(make_matmul())
+        return {
+            b: explorer.evaluate(CacheConfig(256, 16, 1, b))
+            for b in (1, 2, 4, 8, 16, 32)
+        }
+
+    def test_miss_rate_falls_through_the_fitting_tiles(self, sweep):
+        assert sweep[2].miss_rate < sweep[1].miss_rate
+        assert sweep[4].miss_rate < sweep[2].miss_rate
+        assert sweep[8].miss_rate < sweep[4].miss_rate
+
+    def test_energy_falls_with_it(self, sweep):
+        assert sweep[8].energy_nj < sweep[1].energy_nj
+
+    def test_oversized_tile_degrades(self, sweep):
+        """"If the tiling size is greater than the number of cache lines,
+        the data in the cache gets replaced before being used.\""""
+        assert sweep[16].miss_rate > sweep[8].miss_rate
+        assert sweep[16].energy_nj > sweep[8].energy_nj
+
+
+class TestSection43Associativity:
+    """Figure 8: associativity removes conflict misses (Dequant's three
+    aliasing streams need >= 4 ways at the dense layout)."""
+
+    def test_dequant_unoptimized_fixed_by_ways(self):
+        from repro.kernels import make_dequant
+
+        explorer = MemExplorer(make_dequant(), optimize_layout=False)
+        direct = explorer.evaluate(CacheConfig(64, 8, 1))
+        four_way = explorer.evaluate(CacheConfig(64, 8, 4))
+        assert direct.miss_rate > 0.9
+        assert four_way.miss_rate < 0.2
+
+    def test_hit_time_penalty_appears_when_no_conflicts_remain(self):
+        explorer = MemExplorer(make_compress())
+        direct = explorer.evaluate(CacheConfig(256, 16, 1))
+        eight_way = explorer.evaluate(CacheConfig(256, 16, 8))
+        # Conflict-free layout: associativity buys nothing, costs hit time.
+        assert eight_way.cycles >= direct.cycles
+
+
+class TestSection5MPEG:
+    """The case study: the whole-decoder optimum differs from the
+    per-kernel optima, and the min-energy/min-time configurations differ."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return CompositeProgram(mpeg_decoder_kernels(macroblocks=2))
+
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return list(
+            design_space(
+                max_size=512,
+                min_size=16,
+                max_line=16,
+                ways=(1, 8),
+                tilings=(1, 8),
+            )
+        )
+
+    def test_min_energy_and_min_time_differ(self, program, configs):
+        result = program.explore(configs)
+        assert result.min_energy().config != result.min_cycles().config
+
+    def test_min_time_prefers_large_cache(self, program, configs):
+        result = program.explore(configs)
+        assert result.min_cycles().config.size >= 256
+
+    def test_whole_program_optimum_not_any_kernel_optimum(self, program, configs):
+        result = program.explore(configs)
+        whole = result.min_energy().config
+        per_kernel = program.per_kernel_optima(configs)
+        assert any(cfg != whole for cfg, _ in per_kernel.values())

@@ -1,0 +1,83 @@
+"""Tests for the detailed Kamble-Ghose energy model."""
+
+import pytest
+
+from repro.energy.kamble_ghose import KambleGhoseModel
+from repro.energy.model import EnergyModel
+
+
+@pytest.fixture
+def model():
+    return KambleGhoseModel()
+
+
+class TestOnChipBreakdown:
+    def test_components_positive(self, model):
+        b = model.on_chip_breakdown(64, 8, 1)
+        assert b.bit_lines > 0
+        assert b.word_lines > 0
+        assert b.tag_compare > 0
+        assert b.output_drive > 0
+        assert b.total == pytest.approx(
+            b.bit_lines + b.word_lines + b.tag_compare + b.output_drive
+        )
+
+    def test_bit_lines_dominate(self, model):
+        """Kamble & Ghose's headline decomposition for realistic caches."""
+        b = model.on_chip_breakdown(512, 16, 1)
+        assert b.bit_lines > b.word_lines
+        assert b.bit_lines > b.tag_compare
+
+    def test_energy_grows_with_size(self, model):
+        assert model.e_cell(128, 8, 1) > model.e_cell(64, 8, 1)
+
+    def test_tag_energy_grows_with_ways(self, model):
+        narrow = model.on_chip_breakdown(64, 8, 1)
+        wide = model.on_chip_breakdown(64, 8, 4)
+        assert wide.tag_compare > narrow.tag_compare
+
+
+class TestPaperClaim:
+    """"The set associative cache consumes more power in ... tag
+    comparators ... [but] the amount is not significant [3].\""""
+
+    @pytest.mark.parametrize("size,line", [(64, 8), (128, 16), (512, 16)])
+    def test_associativity_overhead_small(self, model, size, line):
+        """Under ~10% at realistic points; the worst case of the space (a
+        64-byte fully-associative cache) peaks at ~25%, still a minority
+        share -- the paper's simplification is directionally sound."""
+        for ways in (1, 2, 4, 8):
+            if ways * line > size:
+                continue
+            overhead = model.associativity_overhead(size, line, ways)
+            assert overhead < 0.30, (size, line, ways)
+        assert model.associativity_overhead(size, line, 1) < 0.05
+
+    def test_overhead_shrinks_for_bigger_caches(self, model):
+        small = model.associativity_overhead(64, 8, 8)
+        large = model.associativity_overhead(1024, 8, 8)
+        assert large < small
+
+
+class TestInterface:
+    def test_breakdown_compatible(self, model):
+        b = model.breakdown(64, 8, 2, hit_rate=0.9, miss_rate=0.1,
+                            events=100, add_bs=2.0)
+        assert b.total > 0
+        assert b.e_miss > b.e_hit
+
+    def test_off_chip_terms_inherited(self, model):
+        simple = EnergyModel()
+        assert model.e_main(16) == pytest.approx(simple.e_main(16))
+        assert model.e_io(16, 2.0) == pytest.approx(simple.e_io(16, 2.0))
+
+    def test_detailed_hit_energy_same_order_as_simple(self, model):
+        simple = EnergyModel()
+        for size in (64, 256, 1024):
+            detailed = model.e_cell(size, 8, 1)
+            base = simple.e_cell(size, 8, 1)
+            assert base / 5 < detailed < base * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KambleGhoseModel(address_bits=0)

@@ -1,0 +1,229 @@
+"""Unit tests for the affine loop-nest IR."""
+
+import pytest
+
+from repro.loops.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    const,
+    var,
+)
+
+
+class TestAffineExpr:
+    def test_var_builds_unit_coefficient(self):
+        i = var("i")
+        assert i.coeff("i") == 1
+        assert i.constant == 0
+
+    def test_const_has_no_indices(self):
+        c = const(7)
+        assert c.is_constant()
+        assert c.constant == 7
+
+    def test_addition_merges_coefficients(self):
+        e = var("i") + var("i") + 3
+        assert e.coeff("i") == 2
+        assert e.constant == 3
+
+    def test_subtraction(self):
+        e = var("i") - var("j") - 1
+        assert e.coeff("i") == 1
+        assert e.coeff("j") == -1
+        assert e.constant == -1
+
+    def test_right_subtraction(self):
+        e = 10 - var("i")
+        assert e.coeff("i") == -1
+        assert e.constant == 10
+
+    def test_scalar_multiplication(self):
+        e = 3 * (var("i") + 2)
+        assert e.coeff("i") == 3
+        assert e.constant == 6
+
+    def test_multiplication_by_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            var("i") * 1.5
+
+    def test_zero_coefficients_are_dropped(self):
+        e = var("i") - var("i")
+        assert e.is_constant()
+        assert e.coeffs == ()
+
+    def test_evaluate(self):
+        e = 2 * var("i") - var("j") + 5
+        assert e.evaluate({"i": 3, "j": 4}) == 7
+
+    def test_row_extraction_respects_order(self):
+        e = 2 * var("i") - var("j")
+        assert e.row(("i", "j")) == (2, -1)
+        assert e.row(("j", "i")) == (-1, 2)
+        assert e.row(("i", "j", "k")) == (2, -1, 0)
+
+    def test_coerce_int_and_str(self):
+        assert AffineExpr.coerce(5).constant == 5
+        assert AffineExpr.coerce("k").coeff("k") == 1
+        with pytest.raises(TypeError):
+            AffineExpr.coerce(3.14)
+
+    def test_equality_and_hash(self):
+        assert var("i") + 1 == var("i") + 1
+        assert hash(var("i") + 1) == hash(var("i") + 1)
+        assert var("i") != var("j")
+
+    def test_str_rendering(self):
+        assert str(var("i") - 1) == "i - 1"
+        assert str(const(0)) == "0"
+
+
+class TestArrayDecl:
+    def test_size_and_strides_2d(self):
+        a = ArrayDecl("a", (4, 8), element_size=2)
+        assert a.size_elements == 32
+        assert a.size_bytes == 64
+        assert a.row_major_strides() == (8, 1)
+
+    def test_strides_3d(self):
+        a = ArrayDecl("a", (2, 3, 4))
+        assert a.row_major_strides() == (12, 4, 1)
+
+    def test_rank_1(self):
+        a = ArrayDecl("v", (16,))
+        assert a.rank == 1
+        assert a.row_major_strides() == (1,)
+
+    @pytest.mark.parametrize(
+        "dims,element",
+        [((), 1), ((0,), 1), ((-2, 4), 1), ((4,), 0), ((4,), -1)],
+    )
+    def test_invalid_declarations_rejected(self, dims, element):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", dims, element)
+
+
+class TestArrayRef:
+    def test_indices_are_coerced(self):
+        r = ArrayRef("a", ("i", 0))
+        assert r.indices[0].coeff("i") == 1
+        assert r.indices[1].is_constant()
+
+    def test_linear_matrix_and_constants(self):
+        i, j = var("i"), var("j")
+        r = ArrayRef("a", (i - 1, 2 * j + 3))
+        assert r.linear_matrix(("i", "j")) == ((1, 0), (0, 2))
+        assert r.constant_vector() == (-1, 3)
+
+    def test_evaluate(self):
+        i, j = var("i"), var("j")
+        r = ArrayRef("a", (i - 1, j + 1))
+        assert r.evaluate({"i": 5, "j": 2}) == (4, 3)
+
+    def test_str_marks_writes(self):
+        r = ArrayRef("a", (var("i"),), is_write=True)
+        assert "(write)" in str(r)
+
+
+class TestLoop:
+    def test_trip_count_inclusive(self):
+        assert Loop("i", 1, 31).trip_count == 31
+        assert Loop("i", 0, 0).trip_count == 1
+        assert Loop("i", 0, 9, step=2).trip_count == 5
+
+    def test_values(self):
+        assert list(Loop("i", 1, 5, 2).values()) == [1, 3, 5]
+
+    def test_empty_or_bad_loops_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 5, 4)
+        with pytest.raises(ValueError):
+            Loop("i", 0, 4, step=0)
+        with pytest.raises(ValueError):
+            Loop("i", 0, 4, step=-1)
+
+
+class TestLoopNest:
+    def _nest(self):
+        i, j = var("i"), var("j")
+        return LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3), Loop("j", 0, 4)),
+            refs=(
+                ArrayRef("a", (i, j)),
+                ArrayRef("a", (i, j), is_write=True),
+            ),
+            arrays=(ArrayDecl("a", (4, 5)),),
+        )
+
+    def test_iterations_and_accesses(self):
+        nest = self._nest()
+        assert nest.iterations == 20
+        assert nest.accesses == 40
+
+    def test_reads_writes_split(self):
+        nest = self._nest()
+        assert len(nest.reads) == 1
+        assert len(nest.writes) == 1
+
+    def test_array_lookup(self):
+        nest = self._nest()
+        assert nest.array("a").dims == (4, 5)
+        with pytest.raises(KeyError):
+            nest.array("missing")
+
+    def test_loop_lookup(self):
+        nest = self._nest()
+        assert nest.loop("j").upper == 4
+        with pytest.raises(KeyError):
+            nest.loop("k")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(ValueError, match="undeclared array"):
+            LoopNest(
+                name="bad",
+                loops=(Loop("i", 0, 3),),
+                refs=(ArrayRef("b", (var("i"),)),),
+                arrays=(ArrayDecl("a", (4,)),),
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            LoopNest(
+                name="bad",
+                loops=(Loop("i", 0, 3),),
+                refs=(ArrayRef("a", (var("i"), var("i"))),),
+                arrays=(ArrayDecl("a", (4,)),),
+            )
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ValueError, match="unknown indices"):
+            LoopNest(
+                name="bad",
+                loops=(Loop("i", 0, 3),),
+                refs=(ArrayRef("a", (var("k"),)),),
+                arrays=(ArrayDecl("a", (4,)),),
+            )
+
+    def test_duplicate_loop_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LoopNest(
+                name="bad",
+                loops=(Loop("i", 0, 3), Loop("i", 0, 3)),
+                refs=(),
+                arrays=(),
+            )
+
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LoopNest(
+                name="bad",
+                loops=(Loop("i", 0, 3),),
+                refs=(),
+                arrays=(ArrayDecl("a", (4,)), ArrayDecl("a", (4,))),
+            )
+
+    def test_index_order_outermost_first(self):
+        assert self._nest().index_order == ("i", "j")

@@ -1,0 +1,107 @@
+"""Tests for PerformanceEstimate."""
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+
+
+def estimate(**overrides):
+    defaults = dict(
+        config=CacheConfig(64, 8),
+        miss_rate=0.1,
+        cycles=5000.0,
+        energy_nj=2000.0,
+        events=961,
+        accesses=4805,
+        reads=3844,
+        read_miss_rate=0.12,
+        add_bs=2.5,
+    )
+    defaults.update(overrides)
+    return PerformanceEstimate(**defaults)
+
+
+class TestEstimate:
+    def test_derived_rates(self):
+        e = estimate()
+        assert e.hit_rate == pytest.approx(0.9)
+        assert e.cycles_per_event == pytest.approx(5000 / 961)
+        assert e.energy_per_event_nj == pytest.approx(2000 / 961)
+
+    def test_empty_run(self):
+        e = estimate(events=0, accesses=0, reads=0, miss_rate=0.0,
+                     cycles=0.0, energy_nj=0.0, read_miss_rate=0.0)
+        assert e.cycles_per_event == 0.0
+        assert e.energy_per_event_nj == 0.0
+
+    def test_record_is_paper_tuple(self):
+        e = estimate(config=CacheConfig(64, 8, 2, 4))
+        t, l, s, b, mr, c, energy = e.record()
+        assert (t, l, s, b) == (64, 8, 2, 4)
+        assert mr == e.miss_rate
+        assert c == e.cycles
+        assert energy == e.energy_nj
+
+    def test_str_contains_label(self):
+        assert "C64L8" in str(estimate())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"miss_rate": 1.5},
+            {"read_miss_rate": -0.1},
+            {"cycles": -1.0},
+            {"energy_nj": -1.0},
+            {"events": -1},
+            {"reads": 9999999},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            estimate(**overrides)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        a = estimate(cycles=100.0, energy_nj=100.0)
+        b = estimate(cycles=200.0, energy_nj=200.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_incomparable(self):
+        a = estimate(cycles=100.0, energy_nj=300.0)
+        b = estimate(cycles=300.0, energy_nj=100.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = estimate()
+        b = estimate()
+        assert not a.dominates(b)
+
+    def test_better_in_one_equal_in_other(self):
+        a = estimate(cycles=100.0, energy_nj=100.0)
+        b = estimate(cycles=100.0, energy_nj=150.0)
+        assert a.dominates(b)
+
+
+class TestAveragePower:
+    def test_units(self):
+        # 1000 nJ over 1000 cycles at 100 MHz: runtime 10 us -> 100 mW.
+        e = estimate(energy_nj=1000.0, cycles=1000.0)
+        assert e.average_power_mw(100.0) == pytest.approx(100.0)
+
+    def test_faster_clock_higher_power(self):
+        e = estimate()
+        assert e.average_power_mw(200.0) == pytest.approx(
+            2 * e.average_power_mw(100.0)
+        )
+
+    def test_zero_cycles(self):
+        e = estimate(cycles=0.0, miss_rate=0.0)
+        assert e.average_power_mw(100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate().average_power_mw(0.0)

@@ -1,0 +1,74 @@
+"""Tests for the MPEG decoder kernel suite."""
+
+import pytest
+
+from repro.kernels.mpeg import (
+    MPEG_KERNEL_NAMES,
+    make_mpeg_kernel,
+    mpeg_decoder_kernels,
+    mpeg_trip_counts,
+)
+from repro.loops.trace_gen import generate_trace
+
+
+class TestSuite:
+    def test_nine_kernels(self):
+        kernels = mpeg_decoder_kernels()
+        assert len(kernels) == 9
+        assert [k.name for k in kernels] == list(MPEG_KERNEL_NAMES)
+
+    def test_unique_names(self):
+        names = [k.name for k in mpeg_decoder_kernels()]
+        assert len(set(names)) == len(names)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            make_mpeg_kernel("huffman")
+
+    def test_invalid_macroblocks(self):
+        with pytest.raises(ValueError):
+            make_mpeg_kernel("vld", macroblocks=0)
+
+
+class TestInvocationCounts:
+    def test_pipeline_weights(self):
+        trips = mpeg_trip_counts(macroblocks=4)
+        blocks = 6 * 4
+        assert trips["vld"] == blocks
+        assert trips["dequant"] == blocks
+        assert trips["idct"] == 2 * blocks  # row + column passes
+        assert trips["plus"] == blocks
+        assert trips["compute"] == blocks
+        assert trips["addr"] == 4
+        assert trips["fetch"] == 4
+        assert trips["display"] == 1
+        assert trips["store"] == 1
+
+    def test_scaling(self):
+        small = mpeg_trip_counts(macroblocks=2)
+        large = mpeg_trip_counts(macroblocks=8)
+        assert large["vld"] == 4 * small["vld"]
+        assert large["display"] == small["display"]
+
+
+class TestKernelStructure:
+    def test_idct_is_triple_loop(self):
+        k = make_mpeg_kernel("idct")
+        assert len(k.nest.loops) == 3
+        assert k.nest.iterations == 512
+
+    def test_compute_reads_four_neighbours(self):
+        k = make_mpeg_kernel("compute")
+        assert len(k.nest.reads) == 4
+        assert len(k.nest.writes) == 1
+
+    def test_fetch_window_is_nine_by_nine(self):
+        k = make_mpeg_kernel("fetch")
+        assert k.nest.iterations == 81
+
+    @pytest.mark.parametrize("name", MPEG_KERNEL_NAMES)
+    def test_every_kernel_generates_a_trace(self, name):
+        kernel = make_mpeg_kernel(name)
+        trace = generate_trace(kernel.nest)
+        assert len(trace) == kernel.nest.accesses
+        assert trace.addresses.min() >= 0

@@ -1,0 +1,83 @@
+"""Tests for loop normalization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import make_compress, make_matadd, make_matmul
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.normalize import is_normalized, normalize
+from repro.loops.trace_gen import generate_trace
+
+
+class TestIsNormalized:
+    def test_matadd_already_normalized(self):
+        assert is_normalized(make_matadd().nest)
+
+    def test_compress_is_not(self):
+        assert not is_normalized(make_compress().nest)  # starts at 1
+
+
+class TestNormalize:
+    def test_idempotent_on_normalized(self):
+        nest = make_matadd().nest
+        assert normalize(nest) is nest
+
+    def test_loops_become_zero_based_unit_step(self):
+        normalized = normalize(make_compress().nest)
+        assert is_normalized(normalized)
+        assert normalized.loops[0].trip_count == 31
+
+    @pytest.mark.parametrize("make", [make_compress, make_matmul])
+    def test_trace_preserved(self, make):
+        nest = make().nest
+        normalized = normalize(nest)
+        assert (
+            generate_trace(normalized).addresses.tolist()
+            == generate_trace(nest).addresses.tolist()
+        )
+
+    def test_strided_loop(self):
+        i = var("i")
+        nest = LoopNest(
+            name="strided",
+            loops=(Loop("i", 2, 10, 2),),
+            refs=(ArrayRef("a", (i,)),),
+            arrays=(ArrayDecl("a", (11,)),),
+        )
+        normalized = normalize(nest)
+        assert is_normalized(normalized)
+        assert normalized.loops[0].trip_count == 5
+        # a[i] with i in {2,4,...,10} becomes a[2*i' + 2].
+        assert (
+            generate_trace(normalized).addresses.tolist()
+            == [2, 4, 6, 8, 10]
+        )
+
+    def test_iterations_preserved(self):
+        nest = make_compress().nest
+        assert normalize(nest).iterations == nest.iterations
+
+    @given(
+        lower=st.integers(0, 5),
+        extent=st.integers(1, 8),
+        step=st.integers(1, 3),
+        coeff=st.integers(1, 2),
+        offset=st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_1d_nests_preserved(self, lower, extent, step, coeff, offset):
+        i = var("i")
+        upper = lower + (extent - 1) * step
+        size = coeff * upper + offset + 1
+        nest = LoopNest(
+            name="rand",
+            loops=(Loop("i", lower, upper, step),),
+            refs=(ArrayRef("a", (coeff * i + offset,)),),
+            arrays=(ArrayDecl("a", (size,)),),
+        )
+        normalized = normalize(nest)
+        assert is_normalized(normalized)
+        assert (
+            generate_trace(normalized).addresses.tolist()
+            == generate_trace(nest).addresses.tolist()
+        )

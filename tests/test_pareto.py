@@ -1,0 +1,84 @@
+"""Tests for the Pareto frontier utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+from repro.core.pareto import dominated_by_any, pareto_front, tradeoff_range
+
+
+def point(cycles, energy, size=64):
+    return PerformanceEstimate(
+        config=CacheConfig(size, 4),
+        miss_rate=0.1,
+        cycles=float(cycles),
+        energy_nj=float(energy),
+        events=10,
+        accesses=10,
+        reads=10,
+        read_miss_rate=0.1,
+        add_bs=1.0,
+    )
+
+
+class TestParetoFront:
+    def test_simple_frontier(self):
+        pts = [point(1, 9), point(5, 5), point(9, 1), point(6, 6)]
+        front = pareto_front(pts)
+        assert [(p.cycles, p.energy_nj) for p in front] == [(1, 9), (5, 5), (9, 1)]
+
+    def test_dominated_points_removed(self):
+        pts = [point(1, 1), point(2, 2), point(3, 3)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_duplicates_collapse(self):
+        pts = [point(1, 1), point(1, 1)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_dominated_by_any(self):
+        pts = [point(1, 1)]
+        assert dominated_by_any(point(2, 2), pts)
+        assert not dominated_by_any(point(0, 5), pts)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.integers(1, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_front_properties(self, coords):
+        pts = [point(c, e) for c, e in coords]
+        front = pareto_front(pts)
+        # Non-empty, sorted by cycles, strictly improving energy.
+        assert front
+        cycles = [p.cycles for p in front]
+        energies = [p.energy_nj for p in front]
+        assert cycles == sorted(cycles)
+        assert energies == sorted(energies, reverse=True)
+        assert len(set(energies)) == len(energies)
+        # No front member dominates another; everything else is dominated.
+        for p in front:
+            assert not dominated_by_any(p, front)
+        for p in pts:
+            if all(
+                (p.cycles, p.energy_nj) != (q.cycles, q.energy_nj) for q in front
+            ):
+                assert dominated_by_any(p, front)
+
+
+class TestTradeoffRange:
+    def test_ends(self):
+        pts = [point(1, 9), point(5, 5), point(9, 1)]
+        fastest, leanest = tradeoff_range(pts)
+        assert fastest.cycles == 1
+        assert leanest.energy_nj == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_range([])

@@ -1,0 +1,211 @@
+"""Cross-cutting property-based tests on randomly generated loop nests.
+
+The strongest correctness statement in the reproduction is the Section 4.1
+guarantee: *whenever* ``assign_offchip_layout`` reports ``conflict_free``,
+the simulated trace has zero conflict misses.  Hand-written kernels cannot
+cover that claim's input space, so hypothesis generates random compatible
+nests (shared linear part, random constant offsets, random array shapes)
+and the guarantee is checked against the simulator every time.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.layout.address_map import layouts_overlap
+from repro.layout.assignment import assign_offchip_layout
+from repro.loops.compat import nest_is_compatible
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.trace_gen import generate_trace
+
+
+@st.composite
+def compatible_nests(draw):
+    """A random 2D nest whose references all share the identity H."""
+    rows = draw(st.integers(4, 12))
+    cols = draw(st.integers(4, 12))
+    n_arrays = draw(st.integers(1, 3))
+    arrays = tuple(
+        ArrayDecl(f"a{k}", (rows, cols)) for k in range(n_arrays)
+    )
+    i, j = var("i"), var("j")
+    # Row/column offsets small enough to stay in bounds for i,j >= 1.
+    n_refs = draw(st.integers(1, 4))
+    refs = []
+    for r in range(n_refs):
+        array = draw(st.integers(0, n_arrays - 1))
+        di = draw(st.integers(-1, 0))
+        dj = draw(st.integers(-1, 0))
+        is_write = draw(st.booleans()) and r == n_refs - 1
+        refs.append(
+            ArrayRef(f"a{array}", (i + di, j + dj), is_write=is_write)
+        )
+    return LoopNest(
+        name="random",
+        loops=(Loop("i", 1, rows - 1), Loop("j", 1, cols - 1)),
+        refs=tuple(refs),
+        arrays=arrays,
+    )
+
+
+class TestAssignmentGuarantee:
+    @given(nest=compatible_nests(), geometry=st.sampled_from(
+        [(16, 4), (32, 4), (32, 8), (64, 8), (64, 16), (128, 8)]
+    ))
+    @settings(max_examples=120, deadline=None)
+    def test_conflict_free_flag_is_sound(self, nest, geometry):
+        """conflict_free=True  ==>  zero simulated conflict misses."""
+        size, line = geometry
+        assert nest_is_compatible(nest)
+        result = assign_offchip_layout(nest, size, line)
+        if not result.conflict_free:
+            return  # the geometry was too small; nothing is claimed
+        trace = generate_trace(nest, layout=result.layout)
+        mc = CacheSimulator(CacheGeometry(size, line, 1)).classified_misses(trace)
+        assert mc.conflict == 0
+
+    @given(nest=compatible_nests(), geometry=st.sampled_from(
+        [(16, 4), (32, 8), (64, 8)]
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_layouts_never_overlap(self, nest, geometry):
+        size, line = geometry
+        result = assign_offchip_layout(nest, size, line)
+        assert not layouts_overlap(nest, result.layout)
+
+    @given(nest=compatible_nests())
+    @settings(max_examples=60, deadline=None)
+    def test_padded_trace_same_access_count(self, nest):
+        """Padding relocates data; it must not change the trace length or
+        the per-reference structure."""
+        result = assign_offchip_layout(nest, 64, 8)
+        dense = generate_trace(nest)
+        padded = generate_trace(nest, layout=result.layout)
+        assert len(padded) == len(dense)
+        assert padded.is_write.tolist() == dense.is_write.tolist()
+        assert padded.ref_ids.tolist() == dense.ref_ids.tolist()
+
+    @given(nest=compatible_nests(), geometry=st.sampled_from(
+        [(32, 4), (64, 8), (128, 16)]
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_conflict_free_means_no_3c_conflicts(self, nest, geometry):
+        """The certificate property: a conflict-free layout's direct-mapped
+        miss count never exceeds its fully-associative one -- zero conflict
+        misses in the 3C sense.  (Note this does NOT mean fewer misses than
+        the dense layout: padding may shift a window across a line boundary
+        and add a compulsory fetch.)"""
+        size, line = geometry
+        result = assign_offchip_layout(nest, size, line)
+        if not result.conflict_free:
+            return
+        trace = generate_trace(nest, layout=result.layout)
+        geo_dm = CacheGeometry(size, line, 1)
+        geo_fa = CacheGeometry(size, line, size // line)
+        dm = CacheSimulator(geo_dm).run(trace).misses
+        fa = CacheSimulator(geo_fa).run(trace).misses
+        assert dm <= fa
+
+
+class TestMetricProperties:
+    @given(
+        miss_rate=st.floats(0.0, 1.0),
+        trip=st.integers(1, 10_000),
+        tiling=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cycles_bounded_by_extremes(self, miss_rate, trip, tiling):
+        from repro.core.cycles import processor_cycles
+
+        cycles = processor_cycles(miss_rate, trip, 1, 8, tiling)
+        all_hit = processor_cycles(0.0, trip, 1, 8, tiling)
+        all_miss = processor_cycles(1.0, trip, 1, 8, tiling)
+        assert all_hit - 1e-9 <= cycles <= all_miss + 1e-9
+
+    @given(miss_rate=st.floats(0.0, 1.0), events=st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_energy_bounded_by_extremes(self, miss_rate, events):
+        from repro.energy.model import EnergyModel
+
+        model = EnergyModel()
+        total = model.total_energy(64, 8, 1, miss_rate, events, 2.0)
+        floor = model.total_energy(64, 8, 1, 0.0, events, 2.0)
+        ceiling = model.total_energy(64, 8, 1, 1.0, events, 2.0)
+        assert floor - 1e-9 <= total <= ceiling + 1e-9
+
+    @given(
+        sizes=st.lists(st.sampled_from([16, 32, 64, 128]), min_size=1,
+                       max_size=6, unique=True)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exploration_extremes_are_consistent(self, sizes):
+        from repro.core.config import CacheConfig
+        from repro.core.explorer import MemExplorer
+        from repro.kernels import make_compress
+
+        explorer = MemExplorer(make_compress(n=7))
+        configs = [CacheConfig(s, 4) for s in sorted(sizes)]
+        result = explorer.explore(configs=configs)
+        best_e = result.min_energy()
+        best_t = result.min_cycles()
+        assert all(best_e.energy_nj <= e.energy_nj for e in result)
+        assert all(best_t.cycles <= e.cycles for e in result)
+
+
+class TestAnalyticProperties:
+    @given(nest=compatible_nests())
+    @settings(max_examples=60, deadline=None)
+    def test_analytic_never_underestimates_at_any_size(self, nest):
+        """The closed-form model assumes no cross-sweep retention, so it
+        upper-bounds the simulated misses of any conflict-free layout."""
+        from repro.core.analytic import analytic_misses
+        from repro.cache.fastsim import fast_hit_miss_counts
+
+        line = 4
+        result = assign_offchip_layout(nest, 64, line)
+        if not result.conflict_free:
+            return
+        trace = generate_trace(nest, layout=result.layout)
+        _, simulated = fast_hit_miss_counts(trace.line_ids(line), 16, 1)
+        analytic = analytic_misses(nest, line)
+        assert simulated <= analytic + len(list(nest.refs))
+
+
+class TestCodegenProperties:
+    @given(nest=compatible_nests(), tile=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_code_replays_the_trace(self, nest, tile):
+        """Executing the generated Python reproduces the analytic trace for
+        random nests, layouts and tilings."""
+        from repro.loops.codegen import run_generated
+
+        layout = assign_offchip_layout(nest, 32, 4).layout
+        recorded = run_generated(nest, layout=layout, tile=tile)
+        expected = generate_trace(
+            nest, layout=layout, tile=tile
+        ).addresses.tolist()
+        assert recorded == expected
+
+
+class TestSamplingProperties:
+    @given(nest=compatible_nests())
+    @settings(max_examples=40, deadline=None)
+    def test_union_of_samples_is_exact(self, nest):
+        """Sampling every offset and combining miss counts reproduces the
+        exact simulation (set independence, exhaustively)."""
+        import numpy as np
+        from repro.cache.fastsim import fast_hit_miss_counts
+        from repro.cache.sampling import sampled_miss_rate
+
+        trace = generate_trace(nest)
+        line_ids = trace.line_ids(4)
+        num_sets = 8
+        _, exact = fast_hit_miss_counts(line_ids, num_sets, 1)
+        stride = 4
+        total_sampled_misses = 0
+        for offset in range(stride):
+            est = sampled_miss_rate(
+                line_ids, num_sets, 1, sample_every=stride, offset=offset
+            )
+            total_sampled_misses += round(est.miss_rate * est.sampled_accesses)
+        assert total_sampled_misses == exact

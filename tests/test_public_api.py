@@ -1,0 +1,61 @@
+"""Guard tests on the public API surface.
+
+Everything a subpackage advertises in ``__all__`` must exist, be
+importable, and carry a docstring -- so the API reference in docs/API.md
+cannot silently drift from the code.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.cache",
+    "repro.core",
+    "repro.energy",
+    "repro.icache",
+    "repro.kernels",
+    "repro.layout",
+    "repro.loops",
+    "repro.spm",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"{package}: duplicate __all__ entries"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_objects_documented(package):
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert inspect.getdoc(obj), f"{package}.{name} lacks a docstring"
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts)
+
+
+def test_cli_entry_point_importable():
+    from repro.cli import main
+
+    assert callable(main)

@@ -1,0 +1,93 @@
+"""Tests for the replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy(3)
+        for way in (0, 1, 2):
+            p.insert(way)
+        assert p.victim() == 0
+        p.touch(0)
+        assert p.victim() == 1
+
+    def test_insert_refreshes_existing(self):
+        p = LRUPolicy(2)
+        p.insert(0)
+        p.insert(1)
+        p.insert(0)
+        assert p.victim() == 1
+
+    def test_invalidate(self):
+        p = LRUPolicy(2)
+        p.insert(0)
+        p.insert(1)
+        p.invalidate(0)
+        assert p.victim() == 1
+        p.invalidate(0)  # idempotent on absent ways
+
+
+class TestFIFO:
+    def test_victim_is_oldest_fill(self):
+        p = FIFOPolicy(3)
+        for way in (0, 1, 2):
+            p.insert(way)
+        p.touch(0)  # hits do not reorder
+        assert p.victim() == 0
+
+    def test_invalidate(self):
+        p = FIFOPolicy(2)
+        p.insert(0)
+        p.insert(1)
+        p.invalidate(0)
+        assert p.victim() == 1
+
+
+class TestRandom:
+    def test_victim_is_a_valid_way(self):
+        p = RandomPolicy(4, seed=42)
+        for way in range(4):
+            p.insert(way)
+        for _ in range(20):
+            assert p.victim() in range(4)
+
+    def test_seeded_clone_repeats(self):
+        a = RandomPolicy(4, seed=7)
+        b = a.clone()
+        for way in range(4):
+            a.insert(way)
+            b.insert(way)
+        assert [a.victim() for _ in range(10)] == [b.victim() for _ in range(10)]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy),
+        ("LRU", LRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 2), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 2)
+
+    def test_clone_is_fresh(self):
+        p = LRUPolicy(2)
+        p.insert(0)
+        q = p.clone()
+        q.insert(1)
+        assert q.victim() == 1
+        assert p.victim() == 0
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)

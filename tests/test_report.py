@@ -1,0 +1,63 @@
+"""Tests for the per-configuration datasheet."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import CacheConfig
+from repro.core.report import datasheet, render_datasheet
+from repro.kernels import make_compress
+
+
+@pytest.fixture(scope="module")
+def sheet():
+    return datasheet(make_compress(), CacheConfig(64, 8))
+
+
+class TestDatasheet:
+    def test_fields_consistent(self, sheet):
+        assert sheet.kernel_name == "compress"
+        assert sheet.config == CacheConfig(64, 8)
+        assert sheet.estimate.miss_rate > 0
+        assert sheet.area_bits > 64 * 8
+        assert sheet.tag_bits == 26
+        assert sheet.min_cache_size == 32  # 4 lines x 8 bytes
+
+    def test_conflict_free_reflected(self, sheet):
+        assert sheet.estimate.conflict_free_layout
+        assert sheet.miss_classes.conflict == 0
+
+    def test_tag_overhead_fraction(self, sheet):
+        assert 0 < sheet.tag_overhead_fraction < 0.5
+
+    def test_unoptimized_variant(self):
+        from repro.kernels import make_compress as mk
+
+        kernel = mk(element_size=4)
+        clean = datasheet(kernel, CacheConfig(64, 8), optimize_layout=True)
+        dirty = datasheet(kernel, CacheConfig(64, 8), optimize_layout=False)
+        assert dirty.miss_classes.conflict > 0
+        assert clean.miss_classes.conflict == 0
+
+    def test_associative_configuration(self):
+        sheet = datasheet(make_compress(), CacheConfig(64, 8, 2))
+        assert sheet.relative_hit_time > 1.0
+        assert sheet.tag_bits == 27
+
+
+class TestRendering:
+    def test_render_contains_sections(self, sheet):
+        text = render_datasheet(sheet)
+        for token in ("metrics", "miss structure", "implementation",
+                      "energy components", "E_main"):
+            assert token in text
+
+    def test_render_mentions_conflict_free(self, sheet):
+        assert "conflict-free layout" in render_datasheet(sheet)
+
+    def test_cli_subcommand(self, capsys):
+        assert main(
+            ["datasheet", "compress", "--cache-size", "32", "--line-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compress @ C32L4S1B1" in out
+        assert "relative hit time" in out

@@ -1,0 +1,159 @@
+"""Tests for the Section 3 reuse analysis (classes, cases, minimum size)."""
+
+import pytest
+
+from repro.kernels import (
+    make_compress,
+    make_dequant,
+    make_matadd,
+    make_matmul,
+    make_pde,
+    make_sor,
+)
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.reuse import (
+    ReferenceGroup,
+    group_references,
+    groups_by_linear_part,
+    min_cache_lines,
+    min_cache_size,
+)
+
+
+class TestCompressClasses:
+    """Example 1 of the paper: two classes of two references each."""
+
+    def test_two_classes(self, compress):
+        groups = group_references(compress.nest)
+        assert len(groups) == 2
+
+    def test_class_membership(self, compress):
+        nest = compress.nest
+        groups = group_references(nest)
+        by_rows = {}
+        for g in groups:
+            rows = {nest.refs[i].constant_vector()[0] for i in g.ref_indices}
+            assert len(rows) == 1  # a class stays on one row
+            by_rows[rows.pop()] = g
+        # Class 1: a[i-1][j-1], a[i-1][j]; class 2: a[i][j-1], a[i][j] (x2).
+        assert len(by_rows[-1].ref_indices) == 2
+        assert len(by_rows[0].ref_indices) == 3  # read + read + write
+
+    def test_two_lines_per_class(self, compress):
+        for group in group_references(compress.nest):
+            assert group.cache_lines(line_size=2) == 2
+            assert group.cache_lines(line_size=4) == 2
+
+    def test_min_cache_size_is_4L(self, compress):
+        """"The minimum cache size is 4*L.\""""
+        for line_size in (2, 4, 8, 16):
+            assert min_cache_lines(compress.nest, line_size) == 4
+            assert min_cache_size(compress.nest, line_size) == 4 * line_size
+
+
+class TestMatAddCases:
+    """Example 2: three arrays, one H -- three cases, one line each."""
+
+    def test_three_cases_one_h(self, matadd):
+        groups = group_references(matadd.nest)
+        assert len(groups) == 3
+        by_h = groups_by_linear_part(matadd.nest)
+        assert len(by_h) == 1
+        (cases,) = by_h.values()
+        assert {g.array for g in cases} == {"a", "b", "c"}
+
+    def test_minimum_three_lines(self, matadd):
+        assert min_cache_lines(matadd.nest, 2) == 3
+
+
+class TestOtherKernels:
+    def test_matmul_groups(self):
+        nest = make_matmul().nest
+        by_h = groups_by_linear_part(nest)
+        # Three distinct linear parts: [i,j], [i,k], [k,j].
+        assert len(by_h) == 3
+
+    def test_pde_groups(self):
+        groups = group_references(make_pde().nest)
+        # a row i-1; a row i (two refs); b row i.
+        assert len(groups) == 3
+
+    def test_sor_groups(self):
+        groups = group_references(make_sor().nest)
+        assert len(groups) == 2  # rows i and i-1 of a
+
+    def test_dequant_three_cases(self):
+        assert len(group_references(make_dequant().nest)) == 3
+
+
+class TestDistanceFormula:
+    def _group(self, offsets, element_size=1):
+        return ReferenceGroup(
+            array="a",
+            h_matrix=((1,),),
+            ref_indices=tuple(range(len(offsets))),
+            offsets=tuple(offsets),
+            element_size=element_size,
+        )
+
+    def test_distance_single_ref(self):
+        assert self._group([5]).distance() == 1
+
+    def test_distance_pair(self):
+        assert self._group([0, 1]).distance() == 2
+        assert self._group([0, 7]).distance() == 8
+
+    def test_distance_with_stride(self):
+        assert self._group([0, 4]).distance(loop_stride=2) == 3
+
+    def test_lines_remainder_zero_or_one(self):
+        # distance 1: 1 mod 4 == 1 -> floor(1/4) + 1 == 1
+        assert self._group([0]).cache_lines(4) == 1
+        # distance 4: 4 mod 4 == 0 -> floor(4/4) + 1 == 2
+        assert self._group([0, 3]).cache_lines(4) == 2
+
+    def test_lines_remainder_other(self):
+        # distance 2: 2 mod 4 == 2 -> floor(2/4) + 2 == 2
+        assert self._group([0, 1]).cache_lines(4) == 2
+        # distance 6: 6 mod 4 == 2 -> floor(6/4) + 2 == 3
+        assert self._group([0, 5]).cache_lines(4) == 3
+
+    def test_element_size_converts_line_capacity(self):
+        # 4-byte elements in a 4-byte line: one element per line.
+        group = self._group([0, 1], element_size=4)
+        assert group.cache_lines(4) == 3  # distance 2, line holds 1 element
+
+    def test_invalid_arguments(self):
+        group = self._group([0, 1])
+        with pytest.raises(ValueError):
+            group.cache_lines(0)
+        with pytest.raises(ValueError):
+            group.distance(0)
+
+
+class TestGroupingEdgeCases:
+    def test_reversed_subscripts_are_separate_groups(self):
+        i, j = var("i"), var("j")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 1, 3), Loop("j", 1, 3)),
+            refs=(ArrayRef("a", (i, j)), ArrayRef("a", (j, i))),
+            arrays=(ArrayDecl("a", (4, 4)),),
+        )
+        assert len(group_references(nest)) == 2
+
+    def test_constant_only_reference(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i,)), ArrayRef("a", (0,))),
+            arrays=(ArrayDecl("a", (4,)),),
+        )
+        groups = group_references(nest)
+        assert len(groups) == 2
+        assert min_cache_lines(nest, 2) >= 2
+
+    def test_program_order_preserved(self, compress):
+        groups = group_references(compress.nest)
+        assert groups[0].ref_indices[0] == 0

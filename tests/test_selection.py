@@ -1,0 +1,112 @@
+"""Tests for constraint-driven selection."""
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+from repro.core.selection import SelectionError, select_configuration
+
+
+def point(size, cycles, energy):
+    return PerformanceEstimate(
+        config=CacheConfig(size, 4),
+        miss_rate=0.1,
+        cycles=float(cycles),
+        energy_nj=float(energy),
+        events=100,
+        accesses=100,
+        reads=100,
+        read_miss_rate=0.1,
+        add_bs=1.0,
+    )
+
+
+@pytest.fixture
+def frontier():
+    # A classic trade-off: faster configurations cost more energy.
+    return [
+        point(16, 5000, 1000),
+        point(64, 3000, 2000),
+        point(256, 1500, 4000),
+        point(512, 1000, 9000),
+    ]
+
+
+class TestObjectives:
+    def test_min_energy_unbounded(self, frontier):
+        s = select_configuration(frontier, objective="energy")
+        assert s.chosen.config.size == 16
+
+    def test_min_cycles_unbounded(self, frontier):
+        s = select_configuration(frontier, objective="cycles")
+        assert s.chosen.config.size == 512
+
+    def test_min_energy_under_cycle_bound(self, frontier):
+        """The paper's first scenario: time is the hard constraint."""
+        s = select_configuration(frontier, "energy", cycle_bound=3000)
+        assert s.chosen.config.size == 64
+
+    def test_min_cycles_under_energy_bound(self, frontier):
+        """The paper's second scenario: energy is the hard constraint."""
+        s = select_configuration(frontier, "cycles", energy_bound=4000)
+        assert s.chosen.config.size == 256
+
+    def test_both_bounds(self, frontier):
+        s = select_configuration(
+            frontier, "energy", cycle_bound=3500, energy_bound=2500
+        )
+        assert s.chosen.config.size == 64
+
+
+class TestErrors:
+    def test_infeasible_bounds(self, frontier):
+        with pytest.raises(SelectionError):
+            select_configuration(frontier, "energy", cycle_bound=10)
+
+    def test_empty_input(self):
+        with pytest.raises(SelectionError):
+            select_configuration([], "energy")
+
+    def test_bad_objective(self, frontier):
+        with pytest.raises(ValueError):
+            select_configuration(frontier, "area")
+
+
+class TestTieBreaking:
+    def test_energy_ties_break_on_cycles(self):
+        pts = [point(16, 5000, 1000), point(32, 4000, 1000)]
+        s = select_configuration(pts, "energy")
+        assert s.chosen.config.size == 32
+
+    def test_cycle_ties_break_on_energy(self):
+        pts = [point(16, 1000, 5000), point(32, 1000, 4000)]
+        s = select_configuration(pts, "cycles")
+        assert s.chosen.config.size == 32
+
+
+class TestRendering:
+    def test_str_mentions_bounds(self, frontier):
+        s = select_configuration(frontier, "energy", cycle_bound=3000)
+        text = str(s)
+        assert "cycles <= 3000" in text
+        assert "min energy" in text
+
+
+class TestEnergyDelayProduct:
+    def test_edp_never_picks_a_dominated_point(self, frontier):
+        """The EDP minimum always lies on the Pareto frontier."""
+        from repro.core.pareto import pareto_front
+
+        s = select_configuration(frontier, "edp")
+        front = {(p.cycles, p.energy_nj) for p in pareto_front(frontier)}
+        assert (s.chosen.cycles, s.chosen.energy_nj) in front
+
+    def test_edp_value(self, frontier):
+        s = select_configuration(frontier, "edp")
+        assert s.chosen.energy_delay_product == min(
+            p.energy_delay_product for p in frontier
+        )
+
+    def test_edp_with_bounds(self, frontier):
+        s = select_configuration(frontier, "edp", cycle_bound=3000)
+        assert s.chosen.cycles <= 3000

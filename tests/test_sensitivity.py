@@ -1,0 +1,65 @@
+"""Tests for the tornado sensitivity analysis."""
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.sensitivity import ParameterSweep, tornado
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAMPart
+from repro.kernels import make_compress
+
+GRID = [CacheConfig(t, l) for t in (16, 64, 256) for l in (4, 16) if l <= t]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return tornado(make_compress(n=7), GRID)
+
+
+class TestTornado:
+    def test_one_row_per_default_parameter(self, rows):
+        names = {r.parameter for r in rows}
+        assert names == {
+            "Em (main memory)",
+            "beta (cell array)",
+            "gamma (I/O pads)",
+            "alpha (decoder)",
+            "data-bus activity",
+        }
+
+    def test_sorted_by_swing(self, rows):
+        swings = [abs(r.swing) for r in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_energy_monotone_in_every_parameter(self, rows):
+        """All default parameters are pure costs: doubling them cannot
+        lower the energy of a fixed configuration."""
+        for row in rows:
+            assert row.low_energy <= row.nominal_energy + 1e-6, row.parameter
+            assert row.high_energy >= row.nominal_energy - 1e-6, row.parameter
+
+    def test_dominant_parameters(self, rows):
+        """Em and the cell-array constant carry the model; the decoder
+        term is noise -- the paper's own prioritisation."""
+        by_name = {r.parameter: abs(r.swing) for r in rows}
+        assert by_name["alpha (decoder)"] < 0.01
+        assert by_name["Em (main memory)"] > by_name["alpha (decoder)"]
+        assert by_name["beta (cell array)"] > by_name["alpha (decoder)"]
+
+    def test_custom_sweep(self):
+        def build(factor):
+            part = SRAMPart("x", 1024, 4.95 * factor)
+            return EnergyModel(sram=part)
+
+        rows = tornado(
+            make_compress(n=7),
+            GRID,
+            sweeps=[ParameterSweep("custom-em", build)],
+        )
+        assert len(rows) == 1
+        assert rows[0].parameter == "custom-em"
+        assert rows[0].swing > 0
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            tornado(make_compress(n=7), GRID, band=(1.5, 2.0))

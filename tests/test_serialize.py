@@ -1,0 +1,75 @@
+"""Tests for exploration result serialization."""
+
+import io
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.explorer import MemExplorer
+from repro.core.serialize import (
+    load_results_csv,
+    load_results_json,
+    save_results_csv,
+    save_results_json,
+)
+from repro.kernels import make_compress
+
+
+@pytest.fixture(scope="module")
+def result():
+    explorer = MemExplorer(make_compress(n=7))
+    configs = [CacheConfig(32, 4), CacheConfig(64, 8, 2, 4)]
+    return explorer.explore(configs=configs)
+
+
+class TestCSV:
+    def test_round_trip_file(self, result, tmp_path):
+        path = tmp_path / "results.csv"
+        assert save_results_csv(result, path) == len(result)
+        back = load_results_csv(path)
+        assert len(back) == len(result)
+        for a, b in zip(result, back):
+            assert a.config == b.config
+            assert a.miss_rate == b.miss_rate
+            assert a.cycles == b.cycles
+            assert a.energy_nj == b.energy_nj
+            assert a.conflict_free_layout == b.conflict_free_layout
+
+    def test_round_trip_stream(self, result):
+        buf = io.StringIO()
+        save_results_csv(result, buf)
+        buf.seek(0)
+        back = load_results_csv(buf)
+        assert back.min_energy().config == result.min_energy().config
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            load_results_csv(io.StringIO("size,line_size\n32,4\n"))
+
+    def test_selection_survives_round_trip(self, result, tmp_path):
+        path = tmp_path / "r.csv"
+        save_results_csv(result, path)
+        back = load_results_csv(path)
+        assert back.min_cycles().config == result.min_cycles().config
+
+
+class TestJSON:
+    def test_round_trip_file(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        assert save_results_json(result, path) == len(result)
+        back = load_results_json(path)
+        for a, b in zip(result, back):
+            assert a.config == b.config
+            assert a.energy_nj == pytest.approx(b.energy_nj)
+            assert a.add_bs == pytest.approx(b.add_bs)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro exploration"):
+            load_results_json(io.StringIO('{"format": "other"}'))
+
+    def test_record_fields_preserved(self, result):
+        buf = io.StringIO()
+        save_results_json(result, buf)
+        buf.seek(0)
+        back = load_results_json(buf)
+        assert [e.record() for e in back] == [e.record() for e in result]

@@ -1,0 +1,171 @@
+"""Tests for the reference cache simulator."""
+
+import pytest
+
+from repro.cache.simulator import CacheGeometry, CacheSimulator, simulate_trace
+from repro.cache.trace import MemoryTrace
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        g = CacheGeometry(64, 8, 2)
+        assert g.num_lines == 8
+        assert g.num_sets == 4
+
+    def test_fully_associative(self):
+        g = CacheGeometry(64, 8, 8)
+        assert g.num_sets == 1
+
+    def test_set_and_tag(self):
+        g = CacheGeometry(32, 4, 1)  # 8 sets
+        assert g.set_of(0) == 0
+        assert g.set_of(4) == 1
+        assert g.set_of(32) == 0
+        assert g.tag_of(32) == 1
+
+    @pytest.mark.parametrize(
+        "size,line,ways",
+        [(48, 8, 1), (64, 3, 1), (64, 8, 3), (4, 8, 1), (16, 8, 4)],
+    )
+    def test_invalid_geometries(self, size, line, ways):
+        with pytest.raises(ValueError):
+            CacheGeometry(size, line, ways)
+
+    def test_label(self):
+        assert str(CacheGeometry(64, 8, 2)) == "C64L8S2"
+
+
+class TestDirectMapped:
+    def test_sequential_spatial_locality(self):
+        # 16 sequential bytes with 4-byte lines: one miss per line.
+        stats = simulate_trace(MemoryTrace(list(range(16))), 32, 4)
+        assert stats.misses == 4
+        assert stats.hits == 12
+
+    def test_conflict_thrashing(self):
+        # Two addresses one cache-span apart alternate: every access misses.
+        addrs = [0, 32] * 10
+        stats = simulate_trace(MemoryTrace(addrs), 32, 4)
+        assert stats.misses == 20
+
+    def test_repeat_hits(self):
+        stats = simulate_trace(MemoryTrace([0, 0, 0, 1]), 32, 4)
+        assert stats.misses == 1
+        assert stats.hits == 3
+
+    def test_miss_rate_property(self):
+        stats = simulate_trace(MemoryTrace([0, 0]), 32, 4)
+        assert stats.miss_rate == 0.5
+        assert stats.hit_rate == 0.5
+
+
+class TestSetAssociative:
+    def test_two_way_absorbs_pairwise_conflict(self):
+        # Same two conflicting addresses: a 2-way set holds both.
+        addrs = [0, 32] * 10
+        stats = simulate_trace(MemoryTrace(addrs), 32, 4, ways=2)
+        assert stats.misses == 2
+        assert stats.hits == 18
+
+    def test_lru_eviction_order(self):
+        # 2-way set; A, B, C map to the same set; C evicts A (LRU).
+        addrs = [0, 32, 64, 0]
+        stats = simulate_trace(MemoryTrace(addrs), 32, 4, ways=2)
+        assert stats.misses == 4  # final 0 was evicted by 64
+
+    def test_lru_touch_protects(self):
+        addrs = [0, 32, 0, 64, 0]  # re-touch 0 so 32 is the victim
+        stats = simulate_trace(MemoryTrace(addrs), 32, 4, ways=2)
+        assert stats.misses == 3
+        assert stats.hits == 2
+
+    def test_fifo_ignores_touches(self):
+        addrs = [0, 32, 0, 64, 0]  # FIFO evicts 0 despite the re-touch
+        stats = simulate_trace(MemoryTrace(addrs), 32, 4, ways=2, policy="fifo")
+        assert stats.misses == 4
+
+
+class TestWritePolicies:
+    def test_write_back_writebacks_on_dirty_eviction(self):
+        geo = CacheGeometry(32, 4, 1)
+        sim = CacheSimulator(geo, write_back=True)
+        sim.access(0, is_write=True)
+        sim.access(32)  # evicts dirty line 0
+        assert sim.stats.writebacks == 1
+        assert sim.stats.evictions == 1
+
+    def test_clean_eviction_no_writeback(self):
+        sim = CacheSimulator(CacheGeometry(32, 4, 1))
+        sim.access(0)
+        sim.access(32)
+        assert sim.stats.writebacks == 0
+
+    def test_write_through_counts_every_write(self):
+        sim = CacheSimulator(CacheGeometry(32, 4, 1), write_back=False)
+        sim.access(0, is_write=True)
+        sim.access(0, is_write=True)
+        assert sim.stats.writebacks == 2
+
+    def test_no_write_allocate_skips_fill(self):
+        sim = CacheSimulator(CacheGeometry(32, 4, 1), write_allocate=False)
+        sim.access(0, is_write=True)  # miss, not allocated
+        assert sim.access(0) is False  # still a miss
+        assert sim.stats.writebacks == 1
+
+
+class TestAccounting:
+    def test_read_write_split_and_per_ref(self):
+        trace = MemoryTrace([0, 0, 32, 0], [False, True, False, True], [0, 1, 2, 1])
+        sim = CacheSimulator(CacheGeometry(32, 4, 1))
+        stats = sim.run(trace)
+        stats.check_consistency()
+        assert stats.read_misses == 2
+        assert stats.write_hits == 1
+        assert stats.write_misses == 1
+        assert stats.per_ref_misses == {0: 1, 2: 1, 1: 1}
+
+    def test_reset(self):
+        sim = CacheSimulator(CacheGeometry(32, 4, 1))
+        sim.access(0)
+        sim.reset()
+        assert sim.stats.accesses == 0
+        assert sim.access(0) is False  # cold again
+
+    def test_contents_snapshot(self):
+        sim = CacheSimulator(CacheGeometry(16, 4, 1))
+        sim.access(0)
+        contents = sim.contents()
+        assert contents[0][0] == 0
+        assert contents[1][0] is None
+
+    def test_policy_ways_mismatch_rejected(self):
+        from repro.cache.replacement import LRUPolicy
+
+        with pytest.raises(ValueError):
+            CacheSimulator(CacheGeometry(32, 4, 2), policy=LRUPolicy(4))
+
+
+class TestMissClassification:
+    def test_sequential_all_compulsory(self):
+        trace = MemoryTrace(list(range(64)))
+        sim = CacheSimulator(CacheGeometry(32, 4, 1))
+        mc = sim.classified_misses(trace)
+        assert mc.compulsory == 16
+        assert mc.conflict == 0
+
+    def test_conflict_detected(self):
+        trace = MemoryTrace([0, 32] * 8)
+        sim = CacheSimulator(CacheGeometry(32, 4, 1))
+        mc = sim.classified_misses(trace)
+        assert mc.compulsory == 2
+        assert mc.capacity == 0  # both lines fit a fully-associative cache
+        assert mc.conflict == 14
+
+    def test_capacity_detected(self):
+        # Cycle through 3 lines in a 2-line fully-associative cache.
+        trace = MemoryTrace([0, 8, 16] * 5)
+        sim = CacheSimulator(CacheGeometry(16, 8, 2))
+        mc = sim.classified_misses(trace)
+        assert mc.compulsory == 3
+        assert mc.capacity == 12
+        assert mc.total == 15

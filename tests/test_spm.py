@@ -1,0 +1,133 @@
+"""Tests for the scratchpad substrate."""
+
+import pytest
+
+from repro.kernels import make_compress, make_dequant, make_matadd
+from repro.spm.allocation import allocate_arrays, array_access_counts
+from repro.spm.explorer import ScratchpadExplorer, compare_cache_vs_spm
+from repro.spm.model import ScratchpadModel
+
+
+class TestAccessCounts:
+    def test_compress_counts(self, compress):
+        counts = array_access_counts(compress.nest)
+        assert counts == {"a": 5 * 961}
+
+    def test_matadd_counts(self, matadd):
+        counts = array_access_counts(matadd.nest)
+        assert counts == {"a": 36, "b": 36, "c": 36}
+
+    def test_unreferenced_array_zero(self):
+        from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i,)),),
+            arrays=(ArrayDecl("a", (4,)), ArrayDecl("b", (4,))),
+        )
+        assert array_access_counts(nest)["b"] == 0
+
+
+class TestAllocation:
+    def test_everything_fits(self, matadd):
+        allocation = allocate_arrays(matadd, capacity=256)
+        assert set(allocation.mapped) == {"a", "b", "c"}
+        assert allocation.hit_fraction == 1.0
+
+    def test_nothing_fits(self, matadd):
+        allocation = allocate_arrays(matadd, capacity=8)
+        assert allocation.mapped == ()
+        assert allocation.hit_fraction == 0.0
+
+    def test_partial_fit_is_optimal(self):
+        kernel = make_dequant()  # three 1024-byte arrays, equal counts
+        allocation = allocate_arrays(kernel, capacity=2100)
+        assert len(allocation.mapped) == 2
+        assert allocation.hit_fraction == pytest.approx(2 / 3)
+
+    def test_prefers_hotter_arrays(self):
+        from repro.kernels.base import Kernel
+        from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 9),),
+            refs=(
+                ArrayRef("hot", (i,)),
+                ArrayRef("hot", (i,)),
+                ArrayRef("cold", (i,)),
+            ),
+            arrays=(ArrayDecl("hot", (10,)), ArrayDecl("cold", (10,))),
+        )
+        allocation = allocate_arrays(Kernel(nest=nest), capacity=10)
+        assert allocation.mapped == ("hot",)
+
+    def test_validation(self, matadd):
+        with pytest.raises(ValueError):
+            allocate_arrays(matadd, capacity=-1)
+
+    def test_zero_capacity(self, matadd):
+        allocation = allocate_arrays(matadd, capacity=0)
+        assert allocation.hit_fraction == 0.0
+
+
+class TestScratchpadModel:
+    def test_on_chip_cheaper_than_off_chip_when_right_sized(self):
+        """Small scratchpads beat off-chip per access; the paper's
+        E_cell-proportional-to-capacity law makes oversized ones lose --
+        which is exactly why the exploration sweeps the size."""
+        model = ScratchpadModel()
+        assert model.on_chip_access_nj(128) < model.off_chip_access_nj()
+        assert model.on_chip_access_nj(4096) > model.off_chip_access_nj()
+
+    def test_on_chip_energy_grows_with_capacity(self):
+        model = ScratchpadModel()
+        assert model.on_chip_access_nj(1024) > model.on_chip_access_nj(64)
+
+    def test_full_fit_is_fast_and_cheap(self, matadd):
+        model = ScratchpadModel()
+        small = model.evaluate(matadd, 16)
+        full = model.evaluate(matadd, 128)  # holds all 108 bytes
+        assert full.hit_fraction == 1.0
+        assert full.cycles < small.cycles
+        assert full.energy_nj < small.energy_nj
+        assert full.cycles == matadd.nest.iterations  # one cycle each
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScratchpadModel(element_bytes=0)
+        with pytest.raises(ValueError):
+            ScratchpadModel().on_chip_access_nj(0)
+
+
+class TestComparison:
+    def test_explorer_min_energy(self, matadd):
+        explorer = ScratchpadExplorer(matadd)
+        best = explorer.min_energy([16, 64, 128, 256])
+        assert best.capacity in (128, 256)  # must hold all three arrays
+
+    def test_rows_cover_budgets(self):
+        rows = compare_cache_vs_spm(make_matadd(), budgets=[32, 64, 128])
+        assert [r.budget for r in rows] == [32, 64, 128]
+        for row in rows:
+            assert row.energy_winner in ("cache", "spm")
+            assert row.cycle_winner in ("cache", "spm")
+
+    def test_spm_wins_when_everything_fits(self):
+        """A scratchpad holding the whole working set beats any cache: no
+        compulsory misses, no tags."""
+        rows = compare_cache_vs_spm(make_matadd(), budgets=[128])
+        assert rows[0].energy_winner == "spm"
+        assert rows[0].cycle_winner == "spm"
+
+    def test_cache_competitive_when_spm_starved(self):
+        """When no array fits, the scratchpad degenerates to all-off-chip
+        and the cache's automatic locality wins."""
+        rows = compare_cache_vs_spm(make_compress(), budgets=[64])
+        # compress's single 1024-byte array cannot fit a 64-byte scratchpad.
+        assert rows[0].spm.hit_fraction == 0.0
+        assert rows[0].energy_winner == "cache"
+        assert rows[0].cycle_winner == "cache"

@@ -1,0 +1,80 @@
+"""Tests for the Section 4.2 tiling transformation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loops.ir import Loop
+from repro.loops.tiling import tiled_iteration_points, tiled_iteration_space
+
+
+class TestTiledOrder:
+    def test_tile_one_is_sequential(self):
+        loops = (Loop("i", 0, 3), Loop("j", 0, 3))
+        points = list(tiled_iteration_points(loops, tile=1))
+        expected = [(i, j) for i in range(4) for j in range(4)]
+        assert points == expected
+
+    def test_paper_example_shape(self):
+        # Example 3(b): 2x2 tiles over a 4x4 space visit tile-by-tile.
+        loops = (Loop("i", 1, 4), Loop("j", 1, 4))
+        points = list(tiled_iteration_points(loops, tile=2))
+        assert points[:4] == [(1, 1), (1, 2), (2, 1), (2, 2)]
+        assert points[4:8] == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+    def test_partial_tiles_clipped_at_bounds(self):
+        loops = (Loop("i", 1, 5),)
+        points = [p[0] for p in tiled_iteration_points(loops, tile=4)]
+        assert points == [1, 2, 3, 4, 5]
+
+    def test_tiling_subset_of_loops(self):
+        loops = (Loop("i", 0, 1), Loop("j", 0, 3))
+        points = list(tiled_iteration_points(loops, tile=2, n_tiled=1))
+        # Outer i untouched; j tiled in pairs (which is still sequential
+        # for a 1D tiling of a sequential loop).
+        assert points == [(i, j) for i in range(2) for j in range(4)]
+
+    def test_three_deep_inner_two_tiled(self):
+        loops = (Loop("i", 0, 1), Loop("j", 0, 3), Loop("k", 0, 3))
+        points = list(tiled_iteration_points(loops, tile=2, n_tiled=2))
+        # For each i, the (j, k) plane is visited in 2x2 tiles.
+        assert points[:4] == [(0, 0, 0), (0, 0, 1), (0, 1, 0), (0, 1, 1)]
+        assert len(points) == 2 * 16
+
+    def test_matrix_shape(self):
+        loops = (Loop("i", 0, 4), Loop("j", 0, 4))
+        space = tiled_iteration_space(loops, tile=2)
+        assert space.shape == (25, 2)
+
+    def test_invalid_parameters(self):
+        loops = (Loop("i", 0, 3),)
+        with pytest.raises(ValueError):
+            list(tiled_iteration_points(loops, tile=0))
+        with pytest.raises(ValueError):
+            list(tiled_iteration_points(loops, tile=2, n_tiled=2))
+
+
+class TestTilingProperties:
+    @given(
+        extents=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+        tile=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiled_order_is_permutation_of_sequential(self, extents, tile):
+        loops = tuple(Loop(f"i{d}", 0, n - 1) for d, n in enumerate(extents))
+        tiled = list(tiled_iteration_points(loops, tile))
+        sequential = list(tiled_iteration_points(loops, 1))
+        assert sorted(tiled) == sorted(sequential)
+        assert len(tiled) == len(set(tiled))
+
+    @given(
+        extent=st.integers(1, 10),
+        lower=st.integers(-3, 3),
+        tile=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_huge_tile_equals_sequential(self, extent, lower, tile):
+        loops = (Loop("i", lower, lower + extent - 1),)
+        if tile >= extent:
+            assert list(tiled_iteration_points(loops, tile)) == list(
+                tiled_iteration_points(loops, 1)
+            )

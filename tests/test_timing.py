@@ -1,0 +1,68 @@
+"""Tests for the Wilton-Jouppi-style access-time model."""
+
+import pytest
+
+from repro.core.cycles import CYCLES_PER_HIT
+from repro.energy.timing import AccessTimeModel
+
+
+@pytest.fixture
+def model():
+    return AccessTimeModel()
+
+
+class TestBreakdown:
+    def test_components_positive(self, model):
+        b = model.breakdown(64, 8, 2)
+        assert b.decode > 0
+        assert b.wordline > 0
+        assert b.bitline > 0
+        assert b.sense > 0
+        assert b.compare > 0
+        assert b.mux > 0
+        assert b.total == pytest.approx(
+            b.decode + b.wordline + b.bitline + b.sense + b.compare + b.mux
+        )
+
+    def test_direct_mapped_has_no_tag_overhead(self, model):
+        b = model.breakdown(64, 8, 1)
+        assert b.compare == 0.0
+        assert b.mux == 0.0
+
+    def test_access_time_grows_with_size(self, model):
+        assert model.access_time(512, 8, 1) > model.access_time(64, 8, 1)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown(64, 8, 16)
+        with pytest.raises(ValueError):
+            model.breakdown(0, 8, 1)
+        with pytest.raises(ValueError):
+            AccessTimeModel(decode_weight=-1)
+
+
+class TestPaperLadder:
+    """The Section 2.2 hit-latency table, recovered from structure."""
+
+    def test_matches_paper_at_64_bytes(self, model):
+        for ways, expected in CYCLES_PER_HIT.items():
+            relative = model.relative_hit_time(64, 8, ways)
+            assert relative == pytest.approx(expected, abs=0.005), ways
+
+    def test_monotone_in_ways(self, model):
+        for size in (64, 256, 1024):
+            times = [model.relative_hit_time(size, 8, w) for w in (1, 2, 4, 8)]
+            assert times == sorted(times)
+
+    def test_overhead_dilutes_for_larger_caches(self, model):
+        """A refinement over the paper's size-independent table: the same
+        comparator is a smaller fraction of a longer array path."""
+        small = model.relative_hit_time(64, 8, 8)
+        large = model.relative_hit_time(1024, 8, 8)
+        assert large < small
+
+    def test_biggest_jump_is_direct_to_two_way(self, model):
+        t = [model.relative_hit_time(64, 8, w) for w in (1, 2, 4, 8)]
+        first_jump = t[1] - t[0]
+        later_jumps = [b - a for a, b in zip(t[1:], t[2:])]
+        assert all(first_jump > j for j in later_jumps)

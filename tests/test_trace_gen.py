@@ -1,0 +1,138 @@
+"""Tests for address-trace generation, cross-checked against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.layout.address_map import ArrayPlacement, DataLayout, default_layout
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+from repro.loops.trace_gen import generate_trace, iteration_space, ref_addresses
+
+
+def brute_force_trace(nest, layout):
+    """Reference implementation: evaluate every subscript point by point."""
+    addresses = []
+    writes = []
+    axes = [list(lp.values()) for lp in nest.loops]
+    for point in itertools.product(*axes):
+        env = dict(zip(nest.index_order, point))
+        for ref in nest.refs:
+            subs = ref.evaluate(env)
+            addresses.append(layout.address_of(ref.array, subs))
+            writes.append(ref.is_write)
+    return addresses, writes
+
+
+def simple_nest():
+    i, j = var("i"), var("j")
+    return LoopNest(
+        name="t",
+        loops=(Loop("i", 1, 4), Loop("j", 0, 5)),
+        refs=(
+            ArrayRef("a", (i, j)),
+            ArrayRef("a", (i - 1, j)),
+            ArrayRef("b", (j,)),
+            ArrayRef("a", (i, j), is_write=True),
+        ),
+        arrays=(ArrayDecl("a", (5, 6)), ArrayDecl("b", (6,))),
+    )
+
+
+class TestIterationSpace:
+    def test_shape_and_order(self):
+        space = iteration_space((Loop("i", 0, 2), Loop("j", 5, 6)))
+        assert space.shape == (6, 2)
+        assert space.tolist() == [[0, 5], [0, 6], [1, 5], [1, 6], [2, 5], [2, 6]]
+
+    def test_step(self):
+        space = iteration_space((Loop("i", 0, 8, 4),))
+        assert space.reshape(-1).tolist() == [0, 4, 8]
+
+    def test_empty_loop_list_single_point(self):
+        space = iteration_space(())
+        assert space.shape == (1, 0)
+
+
+class TestGenerateTrace:
+    def test_matches_brute_force_default_layout(self):
+        nest = simple_nest()
+        layout = default_layout(nest)
+        trace = generate_trace(nest, layout)
+        expected_addrs, expected_writes = brute_force_trace(nest, layout)
+        assert trace.addresses.tolist() == expected_addrs
+        assert trace.is_write.tolist() == expected_writes
+
+    def test_matches_brute_force_padded_layout(self):
+        nest = simple_nest()
+        layout = DataLayout.from_dict(
+            {
+                "a": ArrayPlacement(base=16, pitches=(9, 1)),
+                "b": ArrayPlacement(base=80, pitches=(1,)),
+            }
+        )
+        trace = generate_trace(nest, layout)
+        expected_addrs, _ = brute_force_trace(nest, layout)
+        assert trace.addresses.tolist() == expected_addrs
+
+    def test_element_size_scales_addresses(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i,)),),
+            arrays=(ArrayDecl("a", (4,), element_size=4),),
+        )
+        trace = generate_trace(nest)
+        assert trace.addresses.tolist() == [0, 4, 8, 12]
+
+    def test_ref_ids_cycle_in_program_order(self):
+        nest = simple_nest()
+        trace = generate_trace(nest)
+        n_refs = len(nest.refs)
+        assert trace.ref_ids[:n_refs].tolist() == list(range(n_refs))
+        assert trace.ref_ids[n_refs : 2 * n_refs].tolist() == list(range(n_refs))
+
+    def test_trace_length(self):
+        nest = simple_nest()
+        assert len(generate_trace(nest)) == nest.accesses
+
+    def test_repeat_concatenates(self):
+        nest = simple_nest()
+        once = generate_trace(nest)
+        thrice = generate_trace(nest, repeat=3)
+        assert len(thrice) == 3 * len(once)
+        assert thrice.addresses[: len(once)].tolist() == once.addresses.tolist()
+        assert thrice.addresses[-len(once):].tolist() == once.addresses.tolist()
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            generate_trace(simple_nest(), repeat=0)
+
+    def test_negative_address_rejected(self):
+        i = var("i")
+        nest = LoopNest(
+            name="t",
+            loops=(Loop("i", 0, 3),),
+            refs=(ArrayRef("a", (i - 1,)),),  # i=0 -> subscript -1
+            arrays=(ArrayDecl("a", (4,)),),
+        )
+        with pytest.raises(ValueError, match="negative address"):
+            generate_trace(nest)
+
+    def test_tiled_trace_is_permutation(self):
+        nest = simple_nest()
+        plain = generate_trace(nest)
+        tiled = generate_trace(nest, tile=2)
+        assert len(tiled) == len(plain)
+        assert sorted(tiled.addresses.tolist()) == sorted(plain.addresses.tolist())
+
+
+class TestRefAddresses:
+    def test_single_reference_column(self):
+        nest = simple_nest()
+        layout = default_layout(nest)
+        space = iteration_space(nest.loops)
+        col = ref_addresses(nest, 2, layout, space)  # b[j]
+        b_base = layout.placement("b").base
+        assert col.tolist() == [b_base + j for _i in range(4) for j in range(6)]
