@@ -1,0 +1,89 @@
+"""Performance benchmark: the unified evaluation engine.
+
+Times what :mod:`repro.engine` adds over the old per-explorer pipelines:
+
+* the process-wide :class:`~repro.engine.cache.EvalCache` -- a warm sweep
+  re-runs the full pipeline against memoised traces and miss vectors, so
+  its throughput bounds the cost of everything *outside* simulation;
+* the :class:`~repro.engine.parallel.ParallelSweep` executor -- serial
+  versus ``jobs=2`` on the same sweep.  On a single-core machine the
+  process fan-out is pure overhead; the recorded numbers state that
+  honestly (the engine's value there is the transparent serial fallback
+  and the unchanged results, which this bench asserts bit for bit).
+"""
+
+import os
+import time
+
+from repro.engine import EvalCache, Evaluator, KernelWorkload
+from repro.kernels import get_kernel
+
+SWEEP = dict(max_size=256, min_size=16, ways=(1, 2, 4), tilings=(1, 2))
+
+
+def test_perf_engine_sweep(benchmark, report):
+    kernel = get_kernel("compress")
+
+    def compare():
+        cold_cache = EvalCache()
+        evaluator = Evaluator(KernelWorkload(kernel), cache=cold_cache)
+
+        t0 = time.perf_counter()
+        cold = evaluator.sweep(**SWEEP)
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = evaluator.sweep(**SWEEP)
+        t_warm = time.perf_counter() - t0
+
+        parallel_evaluator = Evaluator(
+            KernelWorkload(kernel), cache=EvalCache()
+        )
+        t0 = time.perf_counter()
+        par = parallel_evaluator.sweep(jobs=2, **SWEEP)
+        t_parallel = time.perf_counter() - t0
+
+        return cold, warm, par, t_cold, t_warm, t_parallel, cold_cache.stats()
+
+    cold, warm, par, t_cold, t_warm, t_parallel, stats = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+
+    # Hard requirements first: every path returns identical estimates.
+    assert list(warm) == list(cold)
+    assert list(par) == list(cold)
+
+    n = len(list(cold))
+    report(
+        "perf_engine",
+        f"Performance -- evaluation engine (compress sweep, {n} configs, "
+        f"{os.cpu_count()} CPU(s))",
+        ("path", "seconds", "configs/s"),
+        [
+            ("serial, cold cache", round(t_cold, 5), round(n / t_cold)),
+            ("serial, warm cache", round(t_warm, 5), round(n / t_warm)),
+            ("2 processes, cold", round(t_parallel, 5), round(n / t_parallel)),
+        ],
+    )
+    # Append the cache behaviour to the same results file: both tables are
+    # one story (the warm throughput IS the hit rate made visible).
+    from conftest import RESULTS_DIR
+
+    cache_lines = [
+        "",
+        "EvalCache behaviour over the cold+warm sweeps",
+        "",
+        f"{'store':>22}  {'hits':>6}  {'misses':>6}  {'hit rate':>8}",
+        f"{'traces (T,L,B)':>22}  {stats.trace_hits:>6}  "
+        f"{stats.trace_misses:>6}  {stats.trace_hit_rate:>8.4f}",
+        f"{'miss vectors / Add_bs':>22}  {stats.miss_hits:>6}  "
+        f"{stats.miss_misses:>6}  {stats.miss_hit_rate:>8.4f}",
+    ]
+    path = RESULTS_DIR / "perf_engine.txt"
+    path.write_text(path.read_text() + "\n".join(cache_lines) + "\n")
+
+    # The warm sweep must profit from the cache: every trace and miss
+    # vector the second pass needed was already resident.
+    assert stats.trace_hit_rate > 0.5
+    assert stats.miss_hit_rate > 0.4
+    assert t_warm < t_cold

@@ -14,14 +14,18 @@ The package implements the paper's complete stack:
   under energy/time bounds, Pareto analysis, and the Section 5 composite
   program model;
 * :mod:`repro.icache` -- the instruction-cache extension the paper sketches
-  in its introduction.
+  in its introduction;
+* :mod:`repro.engine` -- the pluggable, parallel evaluation engine every
+  explorer runs on: workloads, miss-measurement backends (``fastsim``,
+  ``reference``, ``sampled``, ``analytic``), the process-wide
+  :class:`~repro.engine.cache.EvalCache`, and multi-process sweeps.
 
 Quickstart::
 
     from repro import CacheConfig, MemExplorer, get_kernel
 
     explorer = MemExplorer(get_kernel("compress"))
-    result = explorer.explore(max_size=512)
+    result = explorer.explore(max_size=512, jobs=4)
     print(result.min_energy())           # minimum-energy configuration
     print(result.min_cycles(5500.0))     # minimum-time under an energy bound
 """
@@ -43,6 +47,20 @@ from repro.core import (
 )
 from repro.cache import CacheGeometry, CacheSimulator, MemoryTrace, simulate_trace
 from repro.energy import EnergyModel, SRAM_CATALOG, SRAMPart, TechnologyParams
+from repro.engine import (
+    Backend,
+    EvalCache,
+    Evaluator,
+    InstructionWorkload,
+    KernelWorkload,
+    ParallelSweep,
+    TraceWorkload,
+    Workload,
+    available_backends,
+    configure_eval_cache,
+    get_backend,
+    get_eval_cache,
+)
 from repro.kernels import (
     PAPER_KERNELS,
     Kernel,
@@ -58,30 +76,42 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticExplorer",
+    "Backend",
     "CacheConfig",
     "CacheGeometry",
     "CacheSimulator",
     "CompositeProgram",
     "EnergyModel",
+    "EvalCache",
+    "Evaluator",
     "ExplorationResult",
+    "InstructionWorkload",
     "Kernel",
+    "KernelWorkload",
     "LoopNest",
     "MemExplorer",
     "MemoryTrace",
     "PAPER_KERNELS",
+    "ParallelSweep",
     "PerformanceEstimate",
     "SRAMPart",
     "SRAM_CATALOG",
     "Selection",
     "SelectionError",
     "TechnologyParams",
+    "TraceWorkload",
+    "Workload",
     "__version__",
     "assign_offchip_layout",
+    "available_backends",
     "available_kernels",
+    "configure_eval_cache",
     "default_layout",
     "design_space",
     "evaluate_trace",
     "generate_trace",
+    "get_backend",
+    "get_eval_cache",
     "get_kernel",
     "min_cache_lines",
     "min_cache_size",

@@ -45,6 +45,7 @@ from repro.core.pareto import pareto_front
 from repro.core.selection import SelectionError, select_configuration
 from repro.energy.model import EnergyModel
 from repro.energy.params import SRAM_CATALOG
+from repro.engine import available_backends
 from repro.kernels import available_kernels, get_kernel, mpeg_decoder_kernels
 from repro.loops.reuse import group_references, min_cache_lines, min_cache_size
 
@@ -62,6 +63,22 @@ def _add_energy_args(parser: argparse.ArgumentParser) -> None:
         "--no-layout-opt",
         action="store_true",
         help="use the dense unoptimized off-chip layout",
+    )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="fastsim",
+        choices=available_backends(),
+        help="miss-measurement backend (default: the exact vectorized path)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate the sweep across N processes (default: serial)",
     )
 
 
@@ -91,12 +108,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         kernel,
         energy_model=_energy_model(args),
         optimize_layout=not args.no_layout_opt,
+        backend=args.backend,
     )
     result = explorer.explore(
         max_size=args.max_size,
         min_size=args.min_size,
         ways=tuple(args.ways),
         tilings=tuple(args.tilings) if args.tilings else None,
+        jobs=args.jobs,
     )
     _print_table(result, sys.stdout)
     print("\nPareto frontier (cycles vs energy):")
@@ -151,6 +170,7 @@ def _cmd_mpeg(args: argparse.Namespace) -> int:
         mpeg_decoder_kernels(args.macroblocks),
         energy_model=_energy_model(args),
         optimize_layout=not args.no_layout_opt,
+        backend=args.backend,
     )
     configs = list(
         design_space(
@@ -160,7 +180,7 @@ def _cmd_mpeg(args: argparse.Namespace) -> int:
             tilings=(1, 2, 4, 8, 16),
         )
     )
-    result = program.explore(configs)
+    result = program.explore(configs, jobs=args.jobs)
     best_e = result.min_energy()
     best_t = result.min_cycles()
     print(f"explored {len(result)} configurations over {len(program.kernels)} kernels")
@@ -177,7 +197,11 @@ def _cmd_spm(args: argparse.Namespace) -> int:
 
     kernel = get_kernel(args.kernel)
     rows = compare_cache_vs_spm(
-        kernel, budgets=args.budgets, energy_model=_energy_model(args)
+        kernel,
+        budgets=args.budgets,
+        energy_model=_energy_model(args),
+        backend=args.backend,
+        jobs=args.jobs,
     )
     print(f"{'budget':>8s} {'cache nJ':>10s} {'spm nJ':>10s} "
           f"{'spm hit':>8s} {'E winner':>9s} {'t winner':>9s}")
@@ -228,9 +252,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         kernel,
         energy_model=_energy_model(args),
         optimize_layout=not args.no_layout_opt,
+        backend=args.backend,
     )
     outcome = greedy_descent(
-        explorer.evaluate,
+        explorer.evaluator,
         objective=args.objective,
         sizes=tuple(powers_of_two(args.min_size, args.max_size)),
     )
@@ -316,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--cycle-bound", type=float, default=None)
     explore.add_argument("--energy-bound", type=float, default=None)
     _add_energy_args(explore)
+    _add_engine_args(explore)
     explore.set_defaults(func=_cmd_explore)
 
     mincache = sub.add_parser("mincache", help="Section 3 minimum cache size report")
@@ -334,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     mpeg.add_argument("--max-size", type=int, default=512)
     mpeg.add_argument("--min-size", type=int, default=16)
     _add_energy_args(mpeg)
+    _add_engine_args(mpeg)
     mpeg.set_defaults(func=_cmd_mpeg)
 
     spm = sub.add_parser("spm", help="cache vs scratchpad per on-chip budget")
@@ -343,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[16, 32, 64, 128, 256, 512, 1024],
     )
     _add_energy_args(spm)
+    _add_engine_args(spm)
     spm.set_defaults(func=_cmd_spm)
 
     trace = sub.add_parser(
@@ -364,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--max-size", type=int, default=1024)
     search.add_argument("--min-size", type=int, default=16)
     _add_energy_args(search)
+    _add_engine_args(search)
     search.set_defaults(func=_cmd_search)
 
     sheet = sub.add_parser("datasheet", help="full report for one configuration")

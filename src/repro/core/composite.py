@@ -19,9 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig
-from repro.core.explorer import ExplorationResult, MemExplorer
 from repro.core.metrics import PerformanceEstimate
 from repro.energy.model import EnergyModel
+from repro.engine.evaluator import Evaluator, order_configs
+from repro.engine.result import ExplorationResult
+from repro.engine.workload import KernelWorkload
 from repro.kernels.base import Kernel
 
 __all__ = ["CompositeProgram", "KernelContribution"]
@@ -49,6 +51,7 @@ class CompositeProgram:
         trips: Optional[Dict[str, int]] = None,
         energy_model: Optional[EnergyModel] = None,
         optimize_layout: bool = True,
+        backend: str = "fastsim",
     ) -> None:
         if not kernels:
             raise ValueError("a composite program needs at least one kernel")
@@ -63,11 +66,14 @@ class CompositeProgram:
             raise ValueError("trip counts must be positive")
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.optimize_layout = optimize_layout
-        self._explorers = {
-            k.name: MemExplorer(
-                k,
+        self.backend = backend
+        # One engine evaluator per kernel; the shared EvalCache means two
+        # composites over overlapping kernel sets reuse each other's work.
+        self._evaluators = {
+            k.name: Evaluator(
+                KernelWorkload(k, optimize_layout=optimize_layout),
+                backend=backend,
                 energy_model=self.energy_model,
-                optimize_layout=optimize_layout,
             )
             for k in kernels
         }
@@ -83,7 +89,7 @@ class CompositeProgram:
             KernelContribution(
                 kernel_name=kernel.name,
                 trip=self.trips[kernel.name],
-                estimate=self._explorers[kernel.name].evaluate(config),
+                estimate=self._evaluators[kernel.name].evaluate(config),
             )
             for kernel in self.kernels
         ]
@@ -122,11 +128,22 @@ class CompositeProgram:
             ),
         )
 
-    def explore(self, configs: Iterable[CacheConfig]) -> ExplorationResult:
-        """Aggregate estimates over a configuration set."""
-        ordered = sorted(
-            configs, key=lambda c: (c.size, c.line_size, c.tiling, c.ways)
-        )
+    def explore(
+        self, configs: Iterable[CacheConfig], jobs: int = 1
+    ) -> ExplorationResult:
+        """Aggregate estimates over a configuration set.
+
+        ``jobs > 1`` distributes whole-program evaluations (each one covers
+        every kernel) across processes via
+        :class:`~repro.engine.parallel.ParallelSweep`, preserving order.
+        """
+        ordered = order_configs(configs)
+        if jobs and jobs > 1:
+            from repro.engine.parallel import ParallelSweep
+
+            return ExplorationResult(
+                ParallelSweep(jobs=jobs).run(self, ordered)
+            )
         return ExplorationResult([self.evaluate(c) for c in ordered])
 
     def shared_cache_trace(self, config: CacheConfig) -> "MemoryTrace":
@@ -173,19 +190,18 @@ class CompositeProgram:
 
     def evaluate_shared_cache(self, config: CacheConfig) -> PerformanceEstimate:
         """Whole-program metrics from the interleaved single-cache trace."""
-        from repro.core.explorer import evaluate_trace
+        from repro.engine.workload import TraceWorkload
 
         trace = self.shared_cache_trace(config)
         events = sum(
             kernel.nest.iterations * self.trips[kernel.name]
             for kernel in self.kernels
         )
-        return evaluate_trace(
-            trace,
-            config,
-            energy_model=self.energy_model,
-            events=events,
+        workload = TraceWorkload(trace, events=events)
+        evaluator = Evaluator(
+            workload, backend=self.backend, energy_model=self.energy_model
         )
+        return evaluator.evaluate(config)
 
     def per_kernel_optima(
         self, configs: Sequence[CacheConfig]
@@ -198,8 +214,8 @@ class CompositeProgram:
         """
         optima: Dict[str, Tuple[CacheConfig, float]] = {}
         for kernel in self.kernels:
-            explorer = self._explorers[kernel.name]
-            result = explorer.explore(configs=list(configs))
+            evaluator = self._evaluators[kernel.name]
+            result = evaluator.sweep(configs=list(configs))
             best = result.min_energy()
             optima[kernel.name] = (best.config, best.energy_nj)
         return optima

@@ -7,27 +7,32 @@ For every candidate ``(T, L, S, B)`` the explorer
    performance enhancement"), optionally with the dense unoptimized layout
    for the parenthesised comparison columns of Figure 9;
 2. generates the exact address trace (tiled when ``B > 1``);
-3. measures the miss rate with the LRU cache substrate;
+3. measures the miss rate through a pluggable backend;
 4. evaluates the Section 2.2 cycle model and the Section 2.3 energy model
    (Gray-coded address-bus switching measured on the same trace);
 5. records a :class:`~repro.core.metrics.PerformanceEstimate`.
 
-Traces depend only on ``(T, L, B)`` -- the associativity sweep reuses them
--- so the explorer evaluates configurations grouped by trace and keeps a
-small memoisation window.
+The pipeline itself lives in :mod:`repro.engine`; :class:`MemExplorer` is
+its loop-nest consumer.  Traces depend only on ``(T, L, B)`` and miss
+vectors only on ``(trace, sets, ways)``, so the engine's process-wide
+:class:`~repro.engine.cache.EvalCache` shares them across the
+associativity sweep, across explorer instances and across layers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Callable, Iterable, Optional, Tuple, Union
 
-from repro.cache.fastsim import fast_miss_vector
 from repro.cache.trace import MemoryTrace
-from repro.core.config import CacheConfig, design_space
-from repro.core.cycles import processor_cycles
+from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
 from repro.energy.bus import address_bus_switching
 from repro.energy.model import EnergyModel
+from repro.engine.backends import Backend, get_backend
+from repro.engine.evaluator import Evaluator, assemble_estimate
+from repro.engine.result import ExplorationResult
+from repro.engine.workload import KernelWorkload, TraceBundle
 from repro.kernels.base import Kernel
 
 __all__ = ["ExplorationResult", "MemExplorer", "evaluate_trace"]
@@ -40,6 +45,7 @@ def evaluate_trace(
     conflict_free_layout: bool = False,
     gray_code: bool = True,
     events: Optional[int] = None,
+    backend: Union[str, Backend, None] = None,
 ) -> PerformanceEstimate:
     """Metrics of one configuration on a concrete trace.
 
@@ -53,111 +59,28 @@ def evaluate_trace(
     per-event expectations into totals.  Loop-nest workloads pass the
     iteration count (the paper's convention, confirmed against the legible
     Figure 9 values); raw traces default to one event per access.
+
+    Implemented on :mod:`repro.engine`; ``backend`` selects the miss
+    measurement (default ``fastsim``).  One-shot calls bypass the engine
+    cache -- wrap the trace in a
+    :class:`~repro.engine.workload.TraceWorkload` and an
+    :class:`~repro.engine.evaluator.Evaluator` to memoise repeated sweeps.
     """
     model = energy_model if energy_model is not None else EnergyModel()
-    line_ids = trace.line_ids(config.line_size)
-    miss = fast_miss_vector(line_ids, config.num_sets, config.ways)
-    accesses = len(trace)
-    if events is None:
-        events = accesses
-    misses = int(miss.sum())
-    miss_rate = misses / accesses if accesses else 0.0
-
-    read_mask = ~trace.is_write
-    reads = int(read_mask.sum())
-    read_misses = int((miss & read_mask).sum())
-    read_miss_rate = read_misses / reads if reads else 0.0
-
+    resolved = get_backend(backend)
+    bundle = TraceBundle(
+        trace=trace, conflict_free=conflict_free_layout, events=events
+    )
+    measurement = resolved.measure(trace, config)
     add_bs = address_bus_switching(trace.addresses, gray=gray_code)
-    cycles = processor_cycles(
-        miss_rate,
-        events,
-        ways=config.ways,
-        line_size=config.line_size,
-        tiling=config.tiling,
-    )
-    breakdown = model.breakdown(
-        config.size,
-        config.line_size,
-        config.ways,
-        hit_rate=1.0 - read_miss_rate,
-        miss_rate=read_miss_rate,
-        events=events,
-        add_bs=add_bs,
-    )
-    return PerformanceEstimate(
-        config=config,
-        miss_rate=miss_rate,
-        cycles=cycles,
-        energy_nj=breakdown.total,
-        events=events,
-        accesses=accesses,
-        reads=reads,
-        read_miss_rate=read_miss_rate,
-        add_bs=add_bs,
-        conflict_free_layout=conflict_free_layout,
-        energy_breakdown=breakdown,
-    )
-
-
-class ExplorationResult:
-    """Ordered collection of estimates with selection helpers."""
-
-    def __init__(self, estimates: Sequence[PerformanceEstimate]) -> None:
-        self.estimates: List[PerformanceEstimate] = list(estimates)
-
-    def __len__(self) -> int:
-        return len(self.estimates)
-
-    def __iter__(self):
-        return iter(self.estimates)
-
-    def __getitem__(self, i: int) -> PerformanceEstimate:
-        return self.estimates[i]
-
-    def min_energy(
-        self, cycle_bound: Optional[float] = None
-    ) -> Optional[PerformanceEstimate]:
-        """Minimum-energy configuration, optionally under a cycle bound."""
-        candidates = [
-            e
-            for e in self.estimates
-            if cycle_bound is None or e.cycles <= cycle_bound
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda e: (e.energy_nj, e.cycles))
-
-    def min_cycles(
-        self, energy_bound: Optional[float] = None
-    ) -> Optional[PerformanceEstimate]:
-        """Minimum-time configuration, optionally under an energy bound."""
-        candidates = [
-            e
-            for e in self.estimates
-            if energy_bound is None or e.energy_nj <= energy_bound
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda e: (e.cycles, e.energy_nj))
-
-    def for_config(self, config: CacheConfig) -> PerformanceEstimate:
-        """The estimate recorded for an exact configuration."""
-        for estimate in self.estimates:
-            if estimate.config == config:
-                return estimate
-        raise KeyError(f"no estimate for configuration {config}")
-
-    def to_rows(self) -> List[Tuple[str, float, float, float]]:
-        """(label, miss rate, cycles, energy) rows for tabular output."""
-        return [
-            (e.config.label(full=True), e.miss_rate, e.cycles, e.energy_nj)
-            for e in self.estimates
-        ]
+    return assemble_estimate(bundle, config, measurement, model, add_bs)
 
 
 class MemExplorer:
     """Run Algorithm MemExplore over one kernel.
+
+    A thin consumer of :class:`repro.engine.Evaluator` that keeps the
+    historical interface.
 
     Parameters
     ----------
@@ -171,6 +94,9 @@ class MemExplorer:
         False, use the dense unoptimized placement throughout.
     gray_code:
         Gray-code the address bus when measuring ``Add_bs``.
+    backend:
+        Miss-measurement backend name or instance (``fastsim``,
+        ``reference``, ``sampled``, ``analytic``).
     """
 
     def __init__(
@@ -179,49 +105,45 @@ class MemExplorer:
         energy_model: Optional[EnergyModel] = None,
         optimize_layout: bool = True,
         gray_code: bool = True,
+        backend: Union[str, Backend, None] = None,
     ) -> None:
         self.kernel = kernel
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.optimize_layout = optimize_layout
         self.gray_code = gray_code
-        self._trace_key: Optional[Tuple[int, int, int]] = None
-        self._trace: Optional[MemoryTrace] = None
-        self._trace_conflict_free = False
+        self.evaluator = Evaluator(
+            KernelWorkload(kernel, optimize_layout=optimize_layout),
+            backend=backend,
+            energy_model=self.energy_model,
+            gray_code=gray_code,
+        )
+
+    @property
+    def backend(self) -> Backend:
+        """The miss-measurement backend in use."""
+        return self.evaluator.backend
 
     def _trace_for(self, config: CacheConfig) -> Tuple[MemoryTrace, bool]:
-        key = (config.size, config.line_size, config.tiling)
-        if key != self._trace_key:
-            if self.optimize_layout:
-                assignment = self.kernel.optimized_layout(
-                    config.size, config.line_size
-                )
-                layout = assignment.layout
-                conflict_free = assignment.conflict_free
-            else:
-                layout = self.kernel.default_layout()
-                conflict_free = False
-            self._trace = self.kernel.trace(layout=layout, tile=config.tiling)
-            self._trace_key = key
-            self._trace_conflict_free = conflict_free
-        return self._trace, self._trace_conflict_free
+        """Deprecated: the engine's :class:`EvalCache` memoises traces now."""
+        warnings.warn(
+            "MemExplorer._trace_for is deprecated; traces are managed by "
+            "repro.engine (KernelWorkload.trace_for + EvalCache)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        bundle = self.evaluator._bundle_for(config)
+        return bundle.trace, bundle.conflict_free
 
     def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
         """Estimate miss rate, cycles and energy for one configuration."""
-        trace, conflict_free = self._trace_for(config)
-        return evaluate_trace(
-            trace,
-            config,
-            energy_model=self.energy_model,
-            conflict_free_layout=conflict_free,
-            gray_code=self.gray_code,
-            events=self.kernel.nest.iterations,
-        )
+        return self.evaluator.evaluate(config)
 
     def explore(
         self,
         configs: Optional[Iterable[CacheConfig]] = None,
         max_size: int = 1024,
         progress: Optional[Callable[[PerformanceEstimate], None]] = None,
+        jobs: int = 1,
         **space_kwargs,
     ) -> ExplorationResult:
         """Evaluate a configuration set (default: the full MemExplore space).
@@ -229,18 +151,13 @@ class MemExplorer:
         ``space_kwargs`` are forwarded to
         :func:`~repro.core.config.design_space` when ``configs`` is not
         given.  Configurations are re-ordered so that the associativity
-        sweep shares each generated trace.
+        sweep shares each generated trace; ``jobs > 1`` distributes the
+        sweep across processes with bit-identical results.
         """
-        if configs is None:
-            configs = design_space(max_size=max_size, **space_kwargs)
-        ordered = sorted(
-            configs,
-            key=lambda c: (c.size, c.line_size, c.tiling, c.ways),
+        return self.evaluator.sweep(
+            configs=configs,
+            max_size=max_size,
+            jobs=jobs,
+            progress=progress,
+            **space_kwargs,
         )
-        estimates = []
-        for config in ordered:
-            estimate = self.evaluate(config)
-            estimates.append(estimate)
-            if progress is not None:
-                progress(estimate)
-        return ExplorationResult(estimates)

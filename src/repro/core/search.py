@@ -14,23 +14,35 @@ module adds two classic pruned strategies on top of any evaluator:
   grows with ``T``) already exceeds the best total seen; sound for the
   minimum-energy objective because hit energy is a true lower bound.
 
-Both return the same :class:`~repro.core.explorer.ExplorationResult`
-interface plus an evaluation count, so the efficiency/optimality trade-off
-is measurable (``benchmarks/test_ablation_search.py``).
+Both strategies consume *any* evaluator -- a bare callable, a
+:class:`~repro.engine.evaluator.Evaluator`, or a legacy explorer's bound
+``evaluate`` method -- so they compose with every backend the engine
+offers, and both return the same
+:class:`~repro.engine.result.ExplorationResult` interface plus an
+evaluation count, so the efficiency/optimality trade-off is measurable
+(``benchmarks/test_ablation_search.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig, powers_of_two
-from repro.core.explorer import ExplorationResult
 from repro.core.metrics import PerformanceEstimate
+from repro.engine.result import ExplorationResult
 
 __all__ = ["SearchOutcome", "greedy_descent", "pruned_min_energy"]
 
 Evaluator = Callable[[CacheConfig], PerformanceEstimate]
+
+
+def _as_callable(evaluator: Any) -> Evaluator:
+    """Accept engine evaluators (and explorers) anywhere a callable works."""
+    evaluate = getattr(evaluator, "evaluate", None)
+    if callable(evaluate):
+        return evaluate
+    return evaluator
 
 
 @dataclass(frozen=True)
@@ -102,12 +114,13 @@ def greedy_descent(
     )
     if seed is None:
         seed = CacheConfig(sizes[len(sizes) // 2], line_sizes[0])
+    evaluate_fn = _as_callable(evaluator)
     cache: dict = {}
     visited: List[CacheConfig] = []
 
     def evaluate(config: CacheConfig) -> PerformanceEstimate:
         if config not in cache:
-            cache[config] = evaluator(config)
+            cache[config] = evaluate_fn(config)
             visited.append(config)
         return cache[config]
 
@@ -144,11 +157,12 @@ def pruned_min_energy(
     """
     best: Optional[PerformanceEstimate] = None
     visited: List[CacheConfig] = []
+    evaluate_fn = _as_callable(evaluator)
     ordered = sorted(configs, key=lambda c: (c.size, c.line_size, c.tiling, c.ways))
     for config in ordered:
         if best is not None and hit_energy_bound(config) > best.energy_nj:
             continue
-        estimate = evaluator(config)
+        estimate = evaluate_fn(config)
         visited.append(config)
         if best is None or (estimate.energy_nj, estimate.cycles) < (
             best.energy_nj,

@@ -21,7 +21,6 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.cache.fastsim import fast_miss_vector
 from repro.cache.trace import MemoryTrace
 
 __all__ = ["DramModel", "DramStats", "miss_stream_energy"]
@@ -109,10 +108,16 @@ def miss_stream_energy(
     Simulates the cache (LRU fast path), extracts the missing accesses'
     addresses in order, and replays them against the DRAM model -- the
     off-chip energy a real system would pay for this trace and geometry.
+    The miss vector is memoised in the engine's process-wide
+    :class:`~repro.engine.cache.EvalCache`, so pricing several DRAM
+    configurations over one trace simulates the cache once.
     """
+    # Imported lazily: repro.engine pulls in the core/energy model stack,
+    # and this module is imported during repro.energy's own initialisation.
+    from repro.engine.backends import cached_miss_vector
+
     model = dram if dram is not None else DramModel()
-    line_ids = trace.line_ids(line_size)
     num_sets = (cache_size // line_size) // ways
-    miss = fast_miss_vector(line_ids, num_sets, ways)
+    miss = cached_miss_vector(trace, line_size, num_sets, ways)
     miss_addresses = trace.addresses[miss]
     return model.replay(miss_addresses)

@@ -1,0 +1,295 @@
+"""Pluggable miss-measurement backends.
+
+Every explorer needs the same fact about a (trace, geometry) pair -- how
+often the cache misses -- but there are four ways to obtain it, trading
+accuracy for speed:
+
+``fastsim``
+    The vectorized LRU fast path (:mod:`repro.cache.fastsim`); exact, the
+    default.
+``reference``
+    The object-oriented Dinero-style simulator
+    (:mod:`repro.cache.simulator`); exact, slow, the ground truth the fast
+    path is validated against.
+``sampled``
+    Set sampling (:mod:`repro.cache.sampling`): simulate every ``k``-th set
+    and scale, the classic trick for industrial-size traces.
+``analytic``
+    The paper's own closed-form model (:mod:`repro.core.analytic`);
+    simulation-free, only defined for loop-nest kernels.
+
+Backends are selected by name through :func:`get_backend`, so every
+explorer and the CLI can swap them without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Type, Union
+
+import numpy as np
+
+from repro.cache.fastsim import fast_miss_vector
+from repro.cache.sampling import sampled_miss_rate
+from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.cache.trace import MemoryTrace
+from repro.engine.cache import EvalCache, get_eval_cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import CacheConfig
+
+__all__ = [
+    "AnalyticBackend",
+    "Backend",
+    "FastSimBackend",
+    "MissMeasurement",
+    "ReferenceBackend",
+    "SampledBackend",
+    "available_backends",
+    "cached_miss_vector",
+    "get_backend",
+]
+
+
+@dataclass(frozen=True)
+class MissMeasurement:
+    """Miss behaviour of one (trace, geometry) pair.
+
+    ``exact`` backends also report the integer miss count; estimating
+    backends only report rates.
+    """
+
+    accesses: int
+    reads: int
+    miss_rate: float
+    read_miss_rate: float
+    misses: Optional[int] = None
+    exact: bool = True
+
+
+def _measurement_from_vector(
+    trace: MemoryTrace, miss: np.ndarray
+) -> MissMeasurement:
+    accesses = len(trace)
+    misses = int(miss.sum())
+    read_mask = ~trace.is_write
+    reads = int(read_mask.sum())
+    read_misses = int((miss & read_mask).sum())
+    return MissMeasurement(
+        accesses=accesses,
+        reads=reads,
+        miss_rate=misses / accesses if accesses else 0.0,
+        read_miss_rate=read_misses / reads if reads else 0.0,
+        misses=misses,
+        exact=True,
+    )
+
+
+class Backend:
+    """Protocol: measure the miss behaviour of a trace on a geometry.
+
+    ``provides_vector`` backends implement :meth:`miss_vector` (a bool per
+    access) from which :meth:`measure` is derived; estimating backends
+    implement :meth:`measure` directly.  ``params`` must make the
+    measurement's cache key unique (e.g. the sampling stride).
+    """
+
+    name: str = "?"
+    provides_vector: bool = False
+    requires_kernel: bool = False
+
+    @property
+    def params(self) -> Hashable:
+        """Hashable configuration of the backend (part of cache keys)."""
+        return ()
+
+    def miss_vector(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> np.ndarray:
+        raise NotImplementedError(f"backend {self.name!r} has no miss vector")
+
+    def measure(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> MissMeasurement:
+        return _measurement_from_vector(trace, self.miss_vector(trace, config))
+
+
+class FastSimBackend(Backend):
+    """Exact vectorized LRU measurement (the default)."""
+
+    name = "fastsim"
+    provides_vector = True
+
+    def miss_vector(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> np.ndarray:
+        line_ids = trace.line_ids(config.line_size)
+        return fast_miss_vector(line_ids, config.num_sets, config.ways)
+
+
+class ReferenceBackend(Backend):
+    """Exact measurement through the object-oriented reference simulator.
+
+    Slow (one Python-level call per access) but the ground truth; the
+    cross-backend equivalence tests assert it matches ``fastsim`` bit for
+    bit under LRU.
+    """
+
+    name = "reference"
+    provides_vector = True
+
+    def miss_vector(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> np.ndarray:
+        geometry = CacheGeometry(config.size, config.line_size, config.ways)
+        simulator = CacheSimulator(geometry, policy="lru")
+        access = simulator.access
+        miss = np.empty(len(trace), dtype=bool)
+        for i, (addr, wr) in enumerate(
+            zip(trace.addresses.tolist(), trace.is_write.tolist())
+        ):
+            miss[i] = not access(addr, wr)
+        return miss
+
+
+class SampledBackend(Backend):
+    """Set-sampled estimate: simulate every ``sample_every``-th set.
+
+    Exact when a geometry has fewer sets than the stride would skip (the
+    estimate degenerates to the full computation for ``num_sets == 1``).
+    The read-miss rate is estimated on the same sampled subset.
+    """
+
+    name = "sampled"
+    provides_vector = False
+
+    def __init__(self, sample_every: int = 4, offset: int = 0) -> None:
+        if sample_every < 1:
+            raise ValueError("sampling stride must be at least 1")
+        self.sample_every = sample_every
+        self.offset = offset % sample_every
+
+    @property
+    def params(self) -> Hashable:
+        return (self.sample_every, self.offset)
+
+    def measure(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> MissMeasurement:
+        accesses = len(trace)
+        read_mask = ~trace.is_write
+        reads = int(read_mask.sum())
+        if accesses == 0:
+            return MissMeasurement(0, 0, 0.0, 0.0, misses=0, exact=True)
+        line_ids = trace.line_ids(config.line_size)
+        num_sets = config.num_sets
+        stride = min(self.sample_every, num_sets)
+        estimate = sampled_miss_rate(
+            line_ids,
+            num_sets,
+            config.ways,
+            sample_every=stride,
+            offset=self.offset % stride,
+        )
+        # Read-miss rate from the same sampled sets.
+        mask = (line_ids % num_sets) % stride == self.offset % stride
+        sampled_reads = mask & read_mask
+        if int(sampled_reads.sum()):
+            miss = fast_miss_vector(line_ids[mask], num_sets, config.ways)
+            read_sub = read_mask[mask]
+            read_miss_rate = float(miss[read_sub].mean())
+        else:
+            read_miss_rate = estimate.miss_rate
+        exact = stride == 1
+        return MissMeasurement(
+            accesses=accesses,
+            reads=reads,
+            miss_rate=estimate.miss_rate,
+            read_miss_rate=read_miss_rate,
+            misses=(
+                int(round(estimate.miss_rate * accesses)) if exact else None
+            ),
+            exact=exact,
+        )
+
+
+class AnalyticBackend(Backend):
+    """The paper's closed-form model; needs a loop nest, not a trace.
+
+    Handled specially by the :class:`~repro.engine.evaluator.Evaluator`:
+    workloads that carry a kernel are routed through
+    :class:`~repro.core.analytic.AnalyticExplorer`, anything else is
+    rejected.
+    """
+
+    name = "analytic"
+    provides_vector = False
+    requires_kernel = True
+
+    def measure(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> MissMeasurement:
+        raise ValueError(
+            "the analytic backend evaluates loop nests, not traces; "
+            "use a kernel workload"
+        )
+
+
+_BACKENDS: Dict[str, Type[Backend]] = {
+    FastSimBackend.name: FastSimBackend,
+    ReferenceBackend.name: ReferenceBackend,
+    SampledBackend.name: SampledBackend,
+    AnalyticBackend.name: AnalyticBackend,
+}
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Names accepted by :func:`get_backend` (and the CLI ``--backend``)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(backend: Union[str, Backend, None], **kwargs) -> Backend:
+    """Resolve a backend name (or pass an instance through)."""
+    if backend is None:
+        return FastSimBackend()
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {available_backends()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def cached_miss_vector(
+    trace: MemoryTrace,
+    line_size: int,
+    num_sets: int,
+    ways: int,
+    trace_key: Optional[Hashable] = None,
+    cache: Optional[EvalCache] = None,
+) -> np.ndarray:
+    """Exact LRU miss vector for a raw trace, memoised process-wide.
+
+    The low-level entry point for call sites outside the explorer pipeline
+    (e.g. :func:`repro.energy.dram.miss_stream_energy`).  ``trace_key``
+    overrides the content fingerprint when the caller already has a stable
+    identity for the trace.
+    """
+    from repro.engine.workload import trace_fingerprint
+
+    store = cache if cache is not None else get_eval_cache()
+    key = (
+        "vec",
+        trace_key if trace_key is not None else trace_fingerprint(trace),
+        line_size,
+        num_sets,
+        ways,
+        FastSimBackend.name,
+    )
+    return store.miss(
+        key,
+        lambda: fast_miss_vector(trace.line_ids(line_size), num_sets, ways),
+    )

@@ -1,0 +1,165 @@
+"""Process-wide, size-bounded memoisation for the evaluation engine.
+
+Every exploration layer runs the same pipeline -- trace generation, miss
+measurement, metric assembly -- and its two expensive stages are pure
+functions of small keys:
+
+* an address trace depends only on ``(workload, T, L, B)`` (the
+  associativity sweep reuses it);
+* a miss vector depends only on ``(trace, line size, sets, ways)`` and the
+  measuring backend.
+
+:class:`EvalCache` memoises both behind one bounded LRU store so that
+repeated sweeps -- within one explorer, across explorers sharing a kernel,
+or across CLI invocations in one process -- never recompute.  The cache is
+deliberately dependency-free (numpy only) so low-level call sites such as
+:func:`repro.energy.dram.miss_stream_energy` can use it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+__all__ = ["CacheStats", "EvalCache", "configure_eval_cache", "get_eval_cache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one :class:`EvalCache` store."""
+
+    trace_hits: int
+    trace_misses: int
+    miss_hits: int
+    miss_misses: int
+
+    @property
+    def trace_hit_rate(self) -> float:
+        """Fraction of trace requests served from the cache."""
+        total = self.trace_hits + self.trace_misses
+        return self.trace_hits / total if total else 0.0
+
+    @property
+    def miss_hit_rate(self) -> float:
+        """Fraction of miss-measurement requests served from the cache."""
+        total = self.miss_hits + self.miss_misses
+        return self.miss_hits / total if total else 0.0
+
+
+class _LruStore:
+    """A bounded, thread-safe LRU map with get-or-compute semantics."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.max_entries = max_entries
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+        # Compute outside the lock: builders can be slow (trace generation,
+        # reference simulation) and must not serialise unrelated lookups.
+        value = builder()
+        with self._lock:
+            if key in self._data:
+                self.hits += 1  # someone else computed it meanwhile
+                self._data.move_to_end(key)
+                return self._data[key]
+            self.misses += 1
+            self._data[key] = value
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class EvalCache:
+    """Two-level evaluation cache: traces and miss measurements.
+
+    Parameters
+    ----------
+    max_traces:
+        Bound on retained traces.  Traces are the large objects (one numpy
+        row per access), so the bound is small by default.
+    max_miss_entries:
+        Bound on retained miss vectors / measurements, which are one bool
+        per access (or a tiny record for sampled estimates).
+    """
+
+    def __init__(self, max_traces: int = 64, max_miss_entries: int = 1024) -> None:
+        self._traces = _LruStore(max_traces)
+        self._miss = _LruStore(max_miss_entries)
+
+    def trace(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """The trace bundle for ``key``, computing it on first use."""
+        return self._traces.get_or_compute(key, builder)
+
+    def miss(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """The miss measurement for ``key``, computing it on first use."""
+        return self._miss.get_or_compute(key, builder)
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters."""
+        return CacheStats(
+            trace_hits=self._traces.hits,
+            trace_misses=self._traces.misses,
+            miss_hits=self._miss.hits,
+            miss_misses=self._miss.misses,
+        )
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._traces.clear()
+        self._miss.clear()
+        self._traces.hits = self._traces.misses = 0
+        self._miss.hits = self._miss.misses = 0
+
+    @property
+    def trace_entries(self) -> int:
+        """Number of traces currently retained."""
+        return len(self._traces)
+
+    @property
+    def miss_entries(self) -> int:
+        """Number of miss measurements currently retained."""
+        return len(self._miss)
+
+
+_global_cache = EvalCache()
+_global_lock = threading.Lock()
+
+
+def get_eval_cache() -> EvalCache:
+    """The process-wide cache shared by every engine consumer."""
+    return _global_cache
+
+
+def configure_eval_cache(
+    max_traces: Optional[int] = None, max_miss_entries: Optional[int] = None
+) -> EvalCache:
+    """Replace the process-wide cache with a freshly sized one."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = EvalCache(
+            max_traces=max_traces if max_traces is not None else 64,
+            max_miss_entries=(
+                max_miss_entries if max_miss_entries is not None else 1024
+            ),
+        )
+        return _global_cache

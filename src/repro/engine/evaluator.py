@@ -1,0 +1,238 @@
+"""The unified evaluation pipeline: trace -> misses -> cycles -> energy.
+
+One :class:`Evaluator` binds a :class:`~repro.engine.workload.Workload` to
+a :class:`~repro.engine.backends.Backend` and an energy model, and turns
+:class:`~repro.core.config.CacheConfig` points into
+:class:`~repro.core.metrics.PerformanceEstimate` records.  All four
+exploration layers (:class:`~repro.core.explorer.MemExplorer`,
+:class:`~repro.icache.explorer.ICacheExplorer`, the scratchpad comparison
+and :class:`~repro.core.composite.CompositeProgram`) are thin consumers of
+this class.
+
+Traces and miss measurements are memoised in the process-wide
+:class:`~repro.engine.cache.EvalCache`, keyed on ``(workload, T, L, B)``
+and ``(trace, L, sets, ways, backend)`` respectively, so the associativity
+sweep and repeated sweeps across explorers never recompute shared work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.core.config import CacheConfig, design_space
+from repro.core.cycles import processor_cycles
+from repro.core.metrics import PerformanceEstimate
+from repro.energy.bus import address_bus_switching
+from repro.energy.model import EnergyModel
+from repro.engine.backends import (
+    Backend,
+    MissMeasurement,
+    _measurement_from_vector,
+    get_backend,
+)
+from repro.engine.cache import EvalCache, get_eval_cache
+from repro.engine.result import ExplorationResult
+from repro.engine.workload import TraceBundle, Workload
+
+__all__ = ["Evaluator", "assemble_estimate", "order_configs"]
+
+
+def order_configs(configs: Iterable[CacheConfig]) -> List[CacheConfig]:
+    """Canonical sweep order: group by trace key ``(T, L, B)``, then ways.
+
+    All engine sweeps use this order so that the associativity sweep reuses
+    each generated trace and serial/parallel runs agree on result order.
+    """
+    return sorted(configs, key=lambda c: (c.size, c.line_size, c.tiling, c.ways))
+
+
+def assemble_estimate(
+    bundle: TraceBundle,
+    config: CacheConfig,
+    measurement: MissMeasurement,
+    energy_model: EnergyModel,
+    add_bs: float,
+) -> PerformanceEstimate:
+    """Section 2.2 cycle model + Section 2.3 energy model on a measurement."""
+    events = bundle.events if bundle.events is not None else measurement.accesses
+    cycles = processor_cycles(
+        measurement.miss_rate,
+        events,
+        ways=config.ways,
+        line_size=config.line_size,
+        tiling=config.tiling,
+    )
+    breakdown = energy_model.breakdown(
+        config.size,
+        config.line_size,
+        config.ways,
+        hit_rate=1.0 - measurement.read_miss_rate,
+        miss_rate=measurement.read_miss_rate,
+        events=events,
+        add_bs=add_bs,
+    )
+    return PerformanceEstimate(
+        config=config,
+        miss_rate=measurement.miss_rate,
+        cycles=cycles,
+        energy_nj=breakdown.total,
+        events=events,
+        accesses=measurement.accesses,
+        reads=measurement.reads,
+        read_miss_rate=measurement.read_miss_rate,
+        add_bs=add_bs,
+        conflict_free_layout=bundle.conflict_free,
+        energy_breakdown=breakdown,
+    )
+
+
+class Evaluator:
+    """Evaluate one workload through one backend, with shared memoisation.
+
+    Parameters
+    ----------
+    workload:
+        Any :class:`~repro.engine.workload.Workload`.
+    backend:
+        Backend instance or name (``fastsim``, ``reference``, ``sampled``,
+        ``analytic``).
+    energy_model:
+        Section 2.3 model; defaults to the paper's constants.
+    gray_code:
+        Gray-code the address bus when measuring ``Add_bs``.
+    cache:
+        Override the process-wide :class:`EvalCache` (tests only).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        backend: Union[str, Backend, None] = None,
+        energy_model: Optional[EnergyModel] = None,
+        gray_code: bool = True,
+        cache: Optional[EvalCache] = None,
+    ) -> None:
+        self.workload = workload
+        self.backend = get_backend(backend)
+        self.energy_model = (
+            energy_model if energy_model is not None else EnergyModel()
+        )
+        self.gray_code = gray_code
+        self._cache = cache
+        self._analytic = None
+
+    # The cache is process-local state: when an evaluator crosses a process
+    # boundary (ParallelSweep), the worker re-binds to its own global cache.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = None
+        state["_analytic"] = None
+        return state
+
+    @property
+    def cache(self) -> EvalCache:
+        """The memoisation store in use (process-wide unless overridden)."""
+        return self._cache if self._cache is not None else get_eval_cache()
+
+    def _bundle_for(self, config: CacheConfig) -> TraceBundle:
+        key = ("trace", self.workload.trace_key(config))
+        return self.cache.trace(key, lambda: self.workload.trace_for(config))
+
+    def _measure(
+        self, bundle: TraceBundle, config: CacheConfig
+    ) -> MissMeasurement:
+        trace_key = self.workload.trace_key(config)
+        if self.backend.provides_vector:
+            key = (
+                "vec",
+                trace_key,
+                config.line_size,
+                config.num_sets,
+                config.ways,
+                self.backend.name,
+            )
+            vector = self.cache.miss(
+                key, lambda: self.backend.miss_vector(bundle.trace, config)
+            )
+            return _measurement_from_vector(bundle.trace, vector)
+        key = (
+            "measure",
+            trace_key,
+            config.line_size,
+            config.num_sets,
+            config.ways,
+            self.backend.name,
+            self.backend.params,
+        )
+        return self.cache.miss(
+            key, lambda: self.backend.measure(bundle.trace, config)
+        )
+
+    def _add_bs(self, bundle: TraceBundle, config: CacheConfig) -> float:
+        key = ("addbs", self.workload.trace_key(config), self.gray_code)
+        return self.cache.miss(
+            key,
+            lambda: address_bus_switching(
+                bundle.trace.addresses, gray=self.gray_code
+            ),
+        )
+
+    def _analytic_explorer(self):
+        if self._analytic is None:
+            from repro.core.analytic import AnalyticExplorer
+
+            kernel = getattr(self.workload, "kernel", None)
+            if kernel is None:
+                raise ValueError(
+                    "the analytic backend needs a loop-nest kernel workload"
+                )
+            self._analytic = AnalyticExplorer(
+                kernel, energy_model=self.energy_model
+            )
+        return self._analytic
+
+    def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
+        """One configuration -> one :class:`PerformanceEstimate`."""
+        self.workload.validate(config)
+        if self.backend.requires_kernel:
+            return self._analytic_explorer().evaluate(config)
+        bundle = self._bundle_for(config)
+        measurement = self._measure(bundle, config)
+        add_bs = self._add_bs(bundle, config)
+        return assemble_estimate(
+            bundle, config, measurement, self.energy_model, add_bs
+        )
+
+    def sweep(
+        self,
+        configs: Optional[Iterable[CacheConfig]] = None,
+        max_size: int = 1024,
+        jobs: int = 1,
+        progress: Optional[Callable[[PerformanceEstimate], None]] = None,
+        **space_kwargs,
+    ) -> ExplorationResult:
+        """Evaluate a configuration set (default: the MemExplore space).
+
+        ``jobs > 1`` fans the sweep out across processes through
+        :class:`~repro.engine.parallel.ParallelSweep`; results are returned
+        in the same deterministic order (and are bit-identical to the
+        serial path, which the tests assert).
+        """
+        if configs is None:
+            configs = design_space(max_size=max_size, **space_kwargs)
+        ordered = order_configs(configs)
+        if jobs and jobs > 1:
+            from repro.engine.parallel import ParallelSweep
+
+            estimates = ParallelSweep(jobs=jobs).run(self, ordered)
+            if progress is not None:
+                for estimate in estimates:
+                    progress(estimate)
+        else:
+            estimates = []
+            for config in ordered:
+                estimate = self.evaluate(config)
+                estimates.append(estimate)
+                if progress is not None:
+                    progress(estimate)
+        return ExplorationResult(estimates)

@@ -1,0 +1,72 @@
+"""Ordered exploration results (moved here from ``repro.core.explorer``).
+
+The class predates the engine; it lives here now so that every consumer --
+the legacy explorers, the engine's sweeps, the CLI -- shares one result
+type without import cycles.  ``repro.core.explorer`` re-exports it under
+its historical name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+
+__all__ = ["ExplorationResult"]
+
+
+class ExplorationResult:
+    """Ordered collection of estimates with selection helpers."""
+
+    def __init__(self, estimates: Sequence[PerformanceEstimate]) -> None:
+        self.estimates: List[PerformanceEstimate] = list(estimates)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates)
+
+    def __getitem__(self, i: int) -> PerformanceEstimate:
+        return self.estimates[i]
+
+    def min_energy(
+        self, cycle_bound: Optional[float] = None
+    ) -> Optional[PerformanceEstimate]:
+        """Minimum-energy configuration, optionally under a cycle bound."""
+        candidates = [
+            e
+            for e in self.estimates
+            if cycle_bound is None or e.cycles <= cycle_bound
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.energy_nj, e.cycles))
+
+    def min_cycles(
+        self, energy_bound: Optional[float] = None
+    ) -> Optional[PerformanceEstimate]:
+        """Minimum-time configuration, optionally under an energy bound."""
+        candidates = [
+            e
+            for e in self.estimates
+            if energy_bound is None or e.energy_nj <= energy_bound
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.cycles, e.energy_nj))
+
+    def for_config(self, config: CacheConfig) -> PerformanceEstimate:
+        """The estimate recorded for an exact configuration."""
+        for estimate in self.estimates:
+            if estimate.config == config:
+                return estimate
+        raise KeyError(f"no estimate for configuration {config}")
+
+    def to_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(label, miss rate, cycles, energy) rows for tabular output."""
+        return [
+            (e.config.label(full=True), e.miss_rate, e.cycles, e.energy_nj)
+            for e in self.estimates
+        ]

@@ -1,20 +1,28 @@
 """Instruction-cache exploration over basic-block traces.
 
-Reuses :func:`repro.core.explorer.evaluate_trace` on the fetch trace of a
-:class:`~repro.icache.blocks.ControlFlowTrace`.  The design space drops the
-tiling dimension (``B`` is pinned to 1 -- tiling is a data-locality
-transformation), matching how the paper proposes merging Kirovski's
-application-driven instruction-side method with its data-side exploration.
+A thin consumer of :mod:`repro.engine`: the fetch trace of a
+:class:`~repro.icache.blocks.ControlFlowTrace` becomes an
+:class:`~repro.engine.workload.InstructionWorkload` and flows through the
+same evaluation pipeline as the data-side explorers.  The design space
+drops the tiling dimension (``B`` is pinned to 1 -- tiling is a
+data-locality transformation), matching how the paper proposes merging
+Kirovski's application-driven instruction-side method with its data-side
+exploration.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import warnings
+from typing import Iterable, Optional, Union
 
 from repro.cache.trace import MemoryTrace
 from repro.core.config import CacheConfig, design_space
-from repro.core.explorer import ExplorationResult, evaluate_trace
+from repro.core.metrics import PerformanceEstimate
 from repro.energy.model import EnergyModel
+from repro.engine.backends import Backend
+from repro.engine.evaluator import Evaluator
+from repro.engine.result import ExplorationResult
+from repro.engine.workload import InstructionWorkload
 from repro.icache.blocks import ControlFlowTrace
 
 __all__ = ["ICacheExplorer"]
@@ -28,43 +36,43 @@ class ICacheExplorer:
         execution: ControlFlowTrace,
         energy_model: Optional[EnergyModel] = None,
         gray_code: bool = True,
+        backend: Union[str, Backend, None] = None,
     ) -> None:
         self.execution = execution
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.gray_code = gray_code
-        self._trace: Optional[MemoryTrace] = None
+        self.workload = InstructionWorkload(execution)
+        self.evaluator = Evaluator(
+            self.workload,
+            backend=backend,
+            energy_model=self.energy_model,
+            gray_code=gray_code,
+        )
 
     @property
     def trace(self) -> MemoryTrace:
-        """The expanded fetch trace (computed once)."""
-        if self._trace is None:
-            self._trace = self.execution.fetch_trace()
-        return self._trace
-
-    def evaluate(self, config: CacheConfig) -> "PerformanceEstimate":
-        """Metrics of one instruction-cache configuration."""
-        if config.tiling != 1:
-            raise ValueError("tiling does not apply to instruction caches")
-        return evaluate_trace(
-            self.trace,
-            config,
-            energy_model=self.energy_model,
-            gray_code=self.gray_code,
+        """Deprecated: the engine workload owns the fetch trace now."""
+        warnings.warn(
+            "ICacheExplorer.trace is deprecated; use "
+            "ICacheExplorer.workload.trace (repro.engine.InstructionWorkload)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.workload.trace
+
+    def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
+        """Metrics of one instruction-cache configuration."""
+        return self.evaluator.evaluate(config)
 
     def explore(
         self,
         configs: Optional[Iterable[CacheConfig]] = None,
         max_size: int = 1024,
+        jobs: int = 1,
         **space_kwargs,
     ) -> ExplorationResult:
         """Sweep the (T, L, S) space (tiling pinned to 1)."""
         if configs is None:
             space_kwargs.setdefault("tilings", (1,))
             configs = design_space(max_size=max_size, **space_kwargs)
-        estimates = []
-        for config in sorted(
-            configs, key=lambda c: (c.size, c.line_size, c.ways)
-        ):
-            estimates.append(self.evaluate(config))
-        return ExplorationResult(estimates)
+        return self.evaluator.sweep(configs=configs, jobs=jobs)

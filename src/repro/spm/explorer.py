@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.config import CacheConfig, powers_of_two
-from repro.core.explorer import MemExplorer
 from repro.core.metrics import PerformanceEstimate
 from repro.energy.model import EnergyModel
+from repro.engine.evaluator import Evaluator
+from repro.engine.workload import KernelWorkload
 from repro.kernels.base import Kernel
 from repro.spm.model import ScratchpadEstimate, ScratchpadModel
 
@@ -67,26 +68,37 @@ def compare_cache_vs_spm(
     budgets: Optional[Sequence[int]] = None,
     energy_model: Optional[EnergyModel] = None,
     line_sizes: Sequence[int] = (4, 8, 16, 32),
+    backend: str = "fastsim",
+    jobs: int = 1,
 ) -> List[CacheVsSpmRow]:
     """Best cache vs scratchpad at every on-chip byte budget.
 
     For each budget the cache side picks its best line size (direct-mapped,
     untiled -- the same footing as the tagless scratchpad); the scratchpad
-    side allocates arrays optimally.
+    side allocates arrays optimally.  The cache side runs through
+    :mod:`repro.engine`, so repeated budgets and line sizes share cached
+    traces and miss vectors with any other exploration of the same kernel.
     """
     if budgets is None:
         budgets = powers_of_two(16, 1024)
-    cache_explorer = MemExplorer(kernel, energy_model=energy_model)
+    evaluator = Evaluator(
+        KernelWorkload(kernel), backend=backend, energy_model=energy_model
+    )
     spm_model = ScratchpadModel(
         tech=energy_model.tech if energy_model else None,
         sram=energy_model.sram if energy_model else None,
     )
+    configs = [
+        CacheConfig(budget, line)
+        for budget in budgets
+        for line in line_sizes
+        if line <= budget
+    ]
+    result = evaluator.sweep(configs=configs, jobs=jobs)
     rows = []
     for budget in budgets:
         candidates = [
-            cache_explorer.evaluate(CacheConfig(budget, line))
-            for line in line_sizes
-            if line <= budget
+            e for e in result.estimates if e.config.size == budget
         ]
         best_cache = min(candidates, key=lambda e: (e.energy_nj, e.cycles))
         spm = spm_model.evaluate(kernel, budget)
