@@ -30,6 +30,15 @@ Subcommands mirror the paper's workflow:
 ``sensitivity``
     Tornado analysis: which model constants the chosen configuration
     actually hinges on.
+``stats``
+    Run a profiled sweep and print the per-stage timing / cache-hit table
+    (the human face of the observability layer).
+
+Every subcommand additionally accepts the observability flags
+``--log-level`` / ``--log-json`` (structured logging for the ``repro``
+logger hierarchy), ``--profile`` (collect spans and print the per-stage
+table) and ``--metrics-out FILE.json`` (write the machine-readable
+``repro.obs/1`` report).
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.composite import CompositeProgram
 from repro.core.config import CacheConfig, design_space, powers_of_two
 from repro.core.explorer import ExplorationResult, MemExplorer
@@ -45,7 +55,7 @@ from repro.core.pareto import pareto_front
 from repro.core.selection import SelectionError, select_configuration
 from repro.energy.model import EnergyModel
 from repro.energy.params import SRAM_CATALOG
-from repro.engine import available_backends
+from repro.engine import available_backends, get_eval_cache
 from repro.kernels import available_kernels, get_kernel, mpeg_decoder_kernels
 from repro.loops.reuse import group_references, min_cache_lines, min_cache_size
 
@@ -79,6 +89,32 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="evaluate the sweep across N processes (default: serial)",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="log level for the repro logger hierarchy (default: warning)",
+    )
+    obs_group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of text",
+    )
+    obs_group.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-stage spans and print the timing table afterwards",
+    )
+    obs_group.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        default=None,
+        help="write the machine-readable repro.obs/1 report here",
     )
 
 
@@ -318,6 +354,38 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.kernel)
+    explorer = MemExplorer(
+        kernel,
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+        backend=args.backend,
+    )
+    # This command exists to show the profile: spans are always on here,
+    # whether or not --profile was also passed.
+    was_profiling = obs.profiling_enabled()
+    obs.enable_profiling()
+    try:
+        result = explorer.explore(
+            max_size=args.max_size,
+            min_size=args.min_size,
+            ways=tuple(args.ways),
+            tilings=tuple(args.tilings) if args.tilings else None,
+            jobs=args.jobs,
+        )
+    finally:
+        if not was_profiling:
+            obs.disable_profiling()
+    print(
+        f"swept {len(result)} configurations of {kernel.name} "
+        f"(backend={args.backend}, jobs={args.jobs})\n"
+    )
+    report = obs.build_report(cache=get_eval_cache().snapshot())
+    print(obs.render_stage_table(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The :mod:`argparse` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -329,7 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list bundled kernels").set_defaults(func=_cmd_list)
+    listing = sub.add_parser("list", help="list bundled kernels")
+    _add_obs_args(listing)
+    listing.set_defaults(func=_cmd_list)
 
     explore = sub.add_parser("explore", help="run Algorithm MemExplore on a kernel")
     explore.add_argument("kernel")
@@ -342,17 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--energy-bound", type=float, default=None)
     _add_energy_args(explore)
     _add_engine_args(explore)
+    _add_obs_args(explore)
     explore.set_defaults(func=_cmd_explore)
 
     mincache = sub.add_parser("mincache", help="Section 3 minimum cache size report")
     mincache.add_argument("kernel")
     mincache.add_argument("--line-sizes", type=int, nargs="+", default=[2, 4, 8, 16])
+    _add_obs_args(mincache)
     mincache.set_defaults(func=_cmd_mincache)
 
     layout = sub.add_parser("layout", help="Section 4.1 off-chip assignment report")
     layout.add_argument("kernel")
     layout.add_argument("--cache-size", type=int, default=64)
     layout.add_argument("--line-size", type=int, default=8)
+    _add_obs_args(layout)
     layout.set_defaults(func=_cmd_layout)
 
     mpeg = sub.add_parser("mpeg", help="Section 5 MPEG decoder case study")
@@ -361,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     mpeg.add_argument("--min-size", type=int, default=16)
     _add_energy_args(mpeg)
     _add_engine_args(mpeg)
+    _add_obs_args(mpeg)
     mpeg.set_defaults(func=_cmd_mpeg)
 
     spm = sub.add_parser("spm", help="cache vs scratchpad per on-chip budget")
@@ -371,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_energy_args(spm)
     _add_engine_args(spm)
+    _add_obs_args(spm)
     spm.set_defaults(func=_cmd_spm)
 
     trace = sub.add_parser(
@@ -383,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--tile", type=int, default=1)
     trace.add_argument("--optimized", action="store_true",
                        help="use the Section 4.1 layout")
+    _add_obs_args(trace)
     trace.set_defaults(func=_cmd_trace)
 
     search = sub.add_parser("search", help="greedy pruned exploration")
@@ -393,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--min-size", type=int, default=16)
     _add_energy_args(search)
     _add_engine_args(search)
+    _add_obs_args(search)
     search.set_defaults(func=_cmd_search)
 
     sheet = sub.add_parser("datasheet", help="full report for one configuration")
@@ -402,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     sheet.add_argument("--ways", type=int, default=1)
     sheet.add_argument("--tiling", type=int, default=1)
     _add_energy_args(sheet)
+    _add_obs_args(sheet)
     sheet.set_defaults(func=_cmd_datasheet)
 
     codegen = sub.add_parser(
@@ -412,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     codegen.add_argument("--line-size", type=int, default=8)
     codegen.add_argument("--tiling", type=int, default=1)
     codegen.add_argument("--no-layout-opt", action="store_true")
+    _add_obs_args(codegen)
     codegen.set_defaults(func=_cmd_codegen)
 
     sens = sub.add_parser(
@@ -420,15 +499,57 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("kernel")
     sens.add_argument("--max-size", type=int, default=512)
     sens.add_argument("--min-size", type=int, default=16)
+    _add_obs_args(sens)
     sens.set_defaults(func=_cmd_sensitivity)
+
+    stats = sub.add_parser(
+        "stats",
+        help="profiled sweep: per-stage timing and cache-hit table",
+    )
+    stats.add_argument("kernel")
+    stats.add_argument("--max-size", type=int, default=512)
+    stats.add_argument("--min-size", type=int, default=16)
+    stats.add_argument("--ways", type=int, nargs="+", default=[1])
+    stats.add_argument("--tilings", type=int, nargs="+", default=None)
+    _add_energy_args(stats)
+    _add_engine_args(stats)
+    _add_obs_args(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``memexplore`` and ``python -m repro``."""
+    """Entry point for ``memexplore`` and ``python -m repro``.
+
+    Besides dispatching the subcommand, this is where the observability
+    flags land: logging is configured first, spans are enabled for the
+    duration of the command under ``--profile`` (table printed afterwards),
+    and ``--metrics-out`` serialises the ``repro.obs/1`` report once the
+    command finishes.  The collector and registry are reset up front so a
+    reporting invocation describes this command only.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    obs.configure_logging(args.log_level, json_format=args.log_json)
+    reporting = args.profile or args.metrics_out is not None
+    if reporting:
+        obs.reset()
+    if args.profile:
+        obs.enable_profiling()
+    try:
+        code = args.func(args)
+    finally:
+        if args.profile:
+            obs.disable_profiling()
+    if reporting:
+        report = obs.build_report(cache=get_eval_cache().snapshot())
+        if args.profile and args.command != "stats":
+            print()
+            print(obs.render_stage_table(report))
+        if args.metrics_out is not None:
+            obs.write_report(args.metrics_out, report)
+            print(f"wrote {obs.SCHEMA} report to {args.metrics_out}")
+    return code
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ associativity sweep, across explorer instances and across layers.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from typing import Callable, Iterable, Optional, Tuple, Union
 
@@ -36,6 +37,8 @@ from repro.engine.workload import KernelWorkload, TraceBundle
 from repro.kernels.base import Kernel
 
 __all__ = ["ExplorationResult", "MemExplorer", "evaluate_trace"]
+
+logger = logging.getLogger(__name__)
 
 
 def evaluate_trace(
@@ -154,6 +157,13 @@ class MemExplorer:
         sweep shares each generated trace; ``jobs > 1`` distributes the
         sweep across processes with bit-identical results.
         """
+        logger.info(
+            "MemExplore: kernel=%s backend=%s optimize_layout=%s jobs=%d",
+            self.kernel.name,
+            self.backend.name,
+            self.optimize_layout,
+            jobs,
+        )
         return self.evaluator.sweep(
             configs=configs,
             max_size=max_size,

@@ -34,6 +34,7 @@ from repro.cache.sampling import sampled_miss_rate
 from repro.cache.simulator import CacheGeometry, CacheSimulator
 from repro.cache.trace import MemoryTrace
 from repro.engine.cache import EvalCache, get_eval_cache
+from repro.obs.metrics import get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import CacheConfig
@@ -65,6 +66,19 @@ class MissMeasurement:
     read_miss_rate: float
     misses: Optional[int] = None
     exact: bool = True
+
+
+def _count_simulation(backend_name: str, trace: MemoryTrace) -> None:
+    """Record one actual simulation (not a cache hit) in the registry.
+
+    Called from the measuring methods themselves, so counts reflect work
+    performed: memoised re-requests never reach these methods.
+    """
+    metrics = get_metrics()
+    metrics.counter(f"backend.{backend_name}.simulations").inc()
+    metrics.counter(f"backend.{backend_name}.addresses_simulated").inc(
+        len(trace)
+    )
 
 
 def _measurement_from_vector(
@@ -123,6 +137,7 @@ class FastSimBackend(Backend):
     def miss_vector(
         self, trace: MemoryTrace, config: "CacheConfig"
     ) -> np.ndarray:
+        _count_simulation(self.name, trace)
         line_ids = trace.line_ids(config.line_size)
         return fast_miss_vector(line_ids, config.num_sets, config.ways)
 
@@ -141,6 +156,7 @@ class ReferenceBackend(Backend):
     def miss_vector(
         self, trace: MemoryTrace, config: "CacheConfig"
     ) -> np.ndarray:
+        _count_simulation(self.name, trace)
         geometry = CacheGeometry(config.size, config.line_size, config.ways)
         simulator = CacheSimulator(geometry, policy="lru")
         access = simulator.access
@@ -176,6 +192,7 @@ class SampledBackend(Backend):
     def measure(
         self, trace: MemoryTrace, config: "CacheConfig"
     ) -> MissMeasurement:
+        _count_simulation(self.name, trace)
         accesses = len(trace)
         read_mask = ~trace.is_write
         reads = int(read_mask.sum())
@@ -289,7 +306,8 @@ def cached_miss_vector(
         ways,
         FastSimBackend.name,
     )
-    return store.miss(
-        key,
-        lambda: fast_miss_vector(trace.line_ids(line_size), num_sets, ways),
-    )
+    def _build() -> np.ndarray:
+        _count_simulation(FastSimBackend.name, trace)
+        return fast_miss_vector(trace.line_ids(line_size), num_sets, ways)
+
+    return store.miss(key, _build)

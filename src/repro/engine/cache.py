@@ -12,9 +12,16 @@ functions of small keys:
 :class:`EvalCache` memoises both behind one bounded LRU store so that
 repeated sweeps -- within one explorer, across explorers sharing a kernel,
 or across CLI invocations in one process -- never recompute.  The cache is
-deliberately dependency-free (numpy only) so low-level call sites such as
-:func:`repro.energy.dram.miss_stream_energy` can use it without import
-cycles.
+deliberately dependency-free (numpy and :mod:`repro.obs` only) so
+low-level call sites such as :func:`repro.energy.dram.miss_stream_energy`
+can use it without import cycles.
+
+Each store also feeds the :mod:`repro.obs` metrics registry
+(``evalcache.<store>.hits`` / ``.misses`` / ``.evictions``), and
+:meth:`EvalCache.merge_remote` lets
+:class:`~repro.engine.parallel.ParallelSweep` fold worker-side counter
+deltas back in, so :meth:`EvalCache.stats` stays truthful after a
+multi-process run.
 """
 
 from __future__ import annotations
@@ -22,19 +29,27 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.obs.metrics import get_metrics
 
 __all__ = ["CacheStats", "EvalCache", "configure_eval_cache", "get_eval_cache"]
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one :class:`EvalCache` store."""
+    """Hit/miss/eviction counters of one :class:`EvalCache` store.
+
+    After a parallel sweep the counts include merged worker activity (see
+    :meth:`EvalCache.merge_remote`).
+    """
 
     trace_hits: int
     trace_misses: int
     miss_hits: int
     miss_misses: int
+    trace_evictions: int = 0
+    miss_evictions: int = 0
 
     @property
     def trace_hit_rate(self) -> float:
@@ -50,9 +65,16 @@ class CacheStats:
 
 
 class _LruStore:
-    """A bounded, thread-safe LRU map with get-or-compute semantics."""
+    """A bounded, thread-safe LRU map with get-or-compute semantics.
 
-    def __init__(self, max_entries: int) -> None:
+    ``metric_prefix`` names the registry counters the store feeds
+    (``<prefix>.hits`` etc.); instrument references are resolved once so
+    the hot path pays one locked integer add per event.
+    """
+
+    def __init__(
+        self, max_entries: int, metric_prefix: str = "evalcache"
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("cache capacity must be positive")
         self.max_entries = max_entries
@@ -60,13 +82,20 @@ class _LruStore:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        metrics = get_metrics()
+        self._hit_counter = metrics.counter(f"{metric_prefix}.hits")
+        self._miss_counter = metrics.counter(f"{metric_prefix}.misses")
+        self._eviction_counter = metrics.counter(f"{metric_prefix}.evictions")
 
     def get_or_compute(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         with self._lock:
             if key in self._data:
                 self.hits += 1
                 self._data.move_to_end(key)
-                return self._data[key]
+                value = self._data[key]
+                self._hit_counter.inc()
+                return value
         # Compute outside the lock: builders can be slow (trace generation,
         # reference simulation) and must not serialise unrelated lookups.
         value = builder()
@@ -74,12 +103,30 @@ class _LruStore:
             if key in self._data:
                 self.hits += 1  # someone else computed it meanwhile
                 self._data.move_to_end(key)
-                return self._data[key]
+                value = self._data[key]
+                self._hit_counter.inc()
+                return value
             self.misses += 1
             self._data[key] = value
+            evicted = 0
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
-            return value
+                evicted += 1
+            self.evictions += evicted
+        self._miss_counter.inc()
+        if evicted:
+            self._eviction_counter.inc(evicted)
+        return value
+
+    def counters(self) -> Dict[str, int]:
+        """Consistent copy of the raw counters (no remote contributions)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._data),
+            }
 
     def clear(self) -> None:
         with self._lock:
@@ -102,9 +149,18 @@ class EvalCache:
         per access (or a tiny record for sampled estimates).
     """
 
+    _STORES = ("trace", "miss")
+
     def __init__(self, max_traces: int = 64, max_miss_entries: int = 1024) -> None:
-        self._traces = _LruStore(max_traces)
-        self._miss = _LruStore(max_miss_entries)
+        self._traces = _LruStore(max_traces, metric_prefix="evalcache.trace")
+        self._miss = _LruStore(max_miss_entries, metric_prefix="evalcache.miss")
+        # Worker-side counter deltas merged in by ParallelSweep; guarded by
+        # its own lock because merges race with snapshot() readers.
+        self._remote_lock = threading.Lock()
+        self._remote: Dict[str, Dict[str, int]] = {
+            store: {"hits": 0, "misses": 0, "evictions": 0}
+            for store in self._STORES
+        }
 
     def trace(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """The trace bundle for ``key``, computing it on first use."""
@@ -114,21 +170,69 @@ class EvalCache:
         """The miss measurement for ``key``, computing it on first use."""
         return self._miss.get_or_compute(key, builder)
 
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Raw per-store counters of **this process only**.
+
+        The baseline/delta primitive :class:`~repro.engine.parallel.ParallelSweep`
+        workers use; remote contributions are deliberately excluded so a
+        worker forked from an already-merged parent cannot re-export them.
+        """
+        return {
+            "trace": self._traces.counters(),
+            "miss": self._miss.counters(),
+        }
+
+    def merge_remote(self, delta: Dict[str, Dict[str, int]]) -> None:
+        """Fold a worker's counter delta (``counters`` diff) into this cache."""
+        with self._remote_lock:
+            for store in self._STORES:
+                accumulated = self._remote[store]
+                for field, value in delta.get(store, {}).items():
+                    if field in accumulated:
+                        accumulated[field] += value
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Consistent, JSON-compatible view including merged worker counts.
+
+        Safe to call concurrently from any thread or from ParallelSweep
+        workers: every store is read under its lock and the result is a
+        plain dict detached from live state.
+        """
+        local = self.counters()
+        with self._remote_lock:
+            remote = {store: dict(self._remote[store]) for store in self._STORES}
+        combined: Dict[str, Dict[str, Any]] = {}
+        for store in self._STORES:
+            row: Dict[str, Any] = dict(local[store])
+            for field, value in remote[store].items():
+                row[field] += value
+            total = row["hits"] + row["misses"]
+            row["hit_rate"] = row["hits"] / total if total else 0.0
+            combined[store] = row
+        return combined
+
     def stats(self) -> CacheStats:
-        """Current hit/miss counters."""
+        """Current counters (including merged worker activity)."""
+        view = self.snapshot()
         return CacheStats(
-            trace_hits=self._traces.hits,
-            trace_misses=self._traces.misses,
-            miss_hits=self._miss.hits,
-            miss_misses=self._miss.misses,
+            trace_hits=view["trace"]["hits"],
+            trace_misses=view["trace"]["misses"],
+            miss_hits=view["miss"]["hits"],
+            miss_misses=view["miss"]["misses"],
+            trace_evictions=view["trace"]["evictions"],
+            miss_evictions=view["miss"]["evictions"],
         )
 
     def clear(self) -> None:
-        """Drop all entries and zero the counters."""
+        """Drop all entries and zero the counters (local and remote)."""
         self._traces.clear()
         self._miss.clear()
-        self._traces.hits = self._traces.misses = 0
-        self._miss.hits = self._miss.misses = 0
+        self._traces.hits = self._traces.misses = self._traces.evictions = 0
+        self._miss.hits = self._miss.misses = self._miss.evictions = 0
+        with self._remote_lock:
+            for store in self._STORES:
+                for field in self._remote[store]:
+                    self._remote[store][field] = 0
 
     @property
     def trace_entries(self) -> int:

@@ -17,6 +17,8 @@ sweep and repeated sweeps across explorers never recompute shared work.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Callable, Iterable, List, Optional, Union
 
 from repro.core.config import CacheConfig, design_space
@@ -33,8 +35,12 @@ from repro.engine.backends import (
 from repro.engine.cache import EvalCache, get_eval_cache
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import TraceBundle, Workload
+from repro.obs.metrics import get_metrics
+from repro.obs.spans import span
 
 __all__ = ["Evaluator", "assemble_estimate", "order_configs"]
+
+logger = logging.getLogger(__name__)
 
 
 def order_configs(configs: Iterable[CacheConfig]) -> List[CacheConfig]:
@@ -55,22 +61,24 @@ def assemble_estimate(
 ) -> PerformanceEstimate:
     """Section 2.2 cycle model + Section 2.3 energy model on a measurement."""
     events = bundle.events if bundle.events is not None else measurement.accesses
-    cycles = processor_cycles(
-        measurement.miss_rate,
-        events,
-        ways=config.ways,
-        line_size=config.line_size,
-        tiling=config.tiling,
-    )
-    breakdown = energy_model.breakdown(
-        config.size,
-        config.line_size,
-        config.ways,
-        hit_rate=1.0 - measurement.read_miss_rate,
-        miss_rate=measurement.read_miss_rate,
-        events=events,
-        add_bs=add_bs,
-    )
+    with span("cycles"):
+        cycles = processor_cycles(
+            measurement.miss_rate,
+            events,
+            ways=config.ways,
+            line_size=config.line_size,
+            tiling=config.tiling,
+        )
+    with span("energy"):
+        breakdown = energy_model.breakdown(
+            config.size,
+            config.line_size,
+            config.ways,
+            hit_rate=1.0 - measurement.read_miss_rate,
+            miss_rate=measurement.read_miss_rate,
+            events=events,
+            add_bs=add_bs,
+        )
     return PerformanceEstimate(
         config=config,
         miss_rate=measurement.miss_rate,
@@ -136,46 +144,53 @@ class Evaluator:
 
     def _bundle_for(self, config: CacheConfig) -> TraceBundle:
         key = ("trace", self.workload.trace_key(config))
-        return self.cache.trace(key, lambda: self.workload.trace_for(config))
+        with span("trace_gen", config=config.label(full=True)):
+            return self.cache.trace(key, lambda: self.workload.trace_for(config))
 
     def _measure(
         self, bundle: TraceBundle, config: CacheConfig
     ) -> MissMeasurement:
         trace_key = self.workload.trace_key(config)
-        if self.backend.provides_vector:
+        with span(
+            "miss_measure",
+            backend=self.backend.name,
+            config=config.label(full=True),
+        ):
+            if self.backend.provides_vector:
+                key = (
+                    "vec",
+                    trace_key,
+                    config.line_size,
+                    config.num_sets,
+                    config.ways,
+                    self.backend.name,
+                )
+                vector = self.cache.miss(
+                    key, lambda: self.backend.miss_vector(bundle.trace, config)
+                )
+                return _measurement_from_vector(bundle.trace, vector)
             key = (
-                "vec",
+                "measure",
                 trace_key,
                 config.line_size,
                 config.num_sets,
                 config.ways,
                 self.backend.name,
+                self.backend.params,
             )
-            vector = self.cache.miss(
-                key, lambda: self.backend.miss_vector(bundle.trace, config)
+            return self.cache.miss(
+                key, lambda: self.backend.measure(bundle.trace, config)
             )
-            return _measurement_from_vector(bundle.trace, vector)
-        key = (
-            "measure",
-            trace_key,
-            config.line_size,
-            config.num_sets,
-            config.ways,
-            self.backend.name,
-            self.backend.params,
-        )
-        return self.cache.miss(
-            key, lambda: self.backend.measure(bundle.trace, config)
-        )
 
     def _add_bs(self, bundle: TraceBundle, config: CacheConfig) -> float:
         key = ("addbs", self.workload.trace_key(config), self.gray_code)
-        return self.cache.miss(
-            key,
-            lambda: address_bus_switching(
-                bundle.trace.addresses, gray=self.gray_code
-            ),
-        )
+        with span("add_bs"):
+            return self.cache.miss(
+                key,
+                lambda: address_bus_switching(
+                    bundle.trace.addresses, gray=self.gray_code
+                ),
+            )
 
     def _analytic_explorer(self):
         if self._analytic is None:
@@ -193,15 +208,17 @@ class Evaluator:
 
     def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
         """One configuration -> one :class:`PerformanceEstimate`."""
-        self.workload.validate(config)
-        if self.backend.requires_kernel:
-            return self._analytic_explorer().evaluate(config)
-        bundle = self._bundle_for(config)
-        measurement = self._measure(bundle, config)
-        add_bs = self._add_bs(bundle, config)
-        return assemble_estimate(
-            bundle, config, measurement, self.energy_model, add_bs
-        )
+        get_metrics().counter("engine.configs_evaluated").inc()
+        with span("evaluate", config=config.label(full=True)):
+            self.workload.validate(config)
+            if self.backend.requires_kernel:
+                return self._analytic_explorer().evaluate(config)
+            bundle = self._bundle_for(config)
+            measurement = self._measure(bundle, config)
+            add_bs = self._add_bs(bundle, config)
+            return assemble_estimate(
+                bundle, config, measurement, self.energy_model, add_bs
+            )
 
     def sweep(
         self,
@@ -221,18 +238,39 @@ class Evaluator:
         if configs is None:
             configs = design_space(max_size=max_size, **space_kwargs)
         ordered = order_configs(configs)
-        if jobs and jobs > 1:
-            from repro.engine.parallel import ParallelSweep
+        logger.info(
+            "sweep start: %d configs, backend=%s, jobs=%s",
+            len(ordered),
+            self.backend.name,
+            jobs,
+        )
+        started = time.perf_counter()
+        with span(
+            "sweep", backend=self.backend.name, configs=len(ordered), jobs=jobs
+        ):
+            if jobs and jobs > 1:
+                from repro.engine.parallel import ParallelSweep
 
-            estimates = ParallelSweep(jobs=jobs).run(self, ordered)
-            if progress is not None:
-                for estimate in estimates:
-                    progress(estimate)
-        else:
-            estimates = []
-            for config in ordered:
-                estimate = self.evaluate(config)
-                estimates.append(estimate)
+                estimates = ParallelSweep(jobs=jobs).run(self, ordered)
                 if progress is not None:
-                    progress(estimate)
+                    for estimate in estimates:
+                        progress(estimate)
+            else:
+                estimates = []
+                for config in ordered:
+                    estimate = self.evaluate(config)
+                    estimates.append(estimate)
+                    if progress is not None:
+                        progress(estimate)
+        elapsed = time.perf_counter() - started
+        metrics = get_metrics()
+        metrics.counter("engine.sweeps").inc()
+        metrics.histogram("engine.sweep_seconds").observe(elapsed)
+        metrics.gauge("engine.last_sweep_configs").set(len(ordered))
+        logger.info(
+            "sweep done: %d configs in %.3fs (backend=%s)",
+            len(ordered),
+            elapsed,
+            self.backend.name,
+        )
         return ExplorationResult(estimates)

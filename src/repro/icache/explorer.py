@@ -12,6 +12,7 @@ exploration.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from typing import Iterable, Optional, Union
 
@@ -26,6 +27,8 @@ from repro.engine.workload import InstructionWorkload
 from repro.icache.blocks import ControlFlowTrace
 
 __all__ = ["ICacheExplorer"]
+
+logger = logging.getLogger(__name__)
 
 
 class ICacheExplorer:
@@ -75,4 +78,10 @@ class ICacheExplorer:
         if configs is None:
             space_kwargs.setdefault("tilings", (1,))
             configs = design_space(max_size=max_size, **space_kwargs)
+        logger.info(
+            "ICacheExplore: %d fetch accesses, backend=%s jobs=%d",
+            len(self.workload.trace),
+            self.evaluator.backend.name,
+            jobs,
+        )
         return self.evaluator.sweep(configs=configs, jobs=jobs)

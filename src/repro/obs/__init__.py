@@ -1,0 +1,77 @@
+"""repro.obs: the observability layer of the evaluation engine.
+
+Three small, dependency-free (stdlib-only) facilities, threaded through
+every layer of the stack:
+
+* :mod:`repro.obs.spans` -- opt-in span tracing (``with span("trace_gen")``)
+  with a process-local aggregating collector whose snapshots merge across
+  :class:`~repro.engine.parallel.ParallelSweep` workers;
+* :mod:`repro.obs.metrics` -- an always-on registry of named counters,
+  gauges and histograms (configs evaluated, addresses simulated, cache
+  hits/misses/evictions, sweep latencies);
+* :mod:`repro.obs.logging` -- ``logging`` configuration for the ``repro``
+  hierarchy with an optional JSON line formatter.
+
+:mod:`repro.obs.report` assembles all three into one machine-readable
+JSON document (schema ``repro.obs/1``) and renders the human table behind
+the ``repro stats`` subcommand.  Nothing here imports :mod:`repro.engine`:
+the dependency arrow is strictly engine -> obs, so even the lowest-level
+cache code can be instrumented without import cycles.
+"""
+
+from repro.obs.logging import JsonFormatter, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.report import (
+    SCHEMA,
+    build_report,
+    render_stage_table,
+    write_report,
+)
+from repro.obs.spans import (
+    SpanCollector,
+    collecting,
+    disable_profiling,
+    enable_profiling,
+    get_collector,
+    profiling_enabled,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "SCHEMA",
+    "SpanCollector",
+    "build_report",
+    "collecting",
+    "configure_logging",
+    "disable_profiling",
+    "enable_profiling",
+    "get_collector",
+    "get_metrics",
+    "profiling_enabled",
+    "render_stage_table",
+    "reset",
+    "span",
+    "write_report",
+]
+
+
+def reset() -> None:
+    """Clear the process-local collector and zero the metrics registry.
+
+    For test isolation and the start of a CLI invocation that reports
+    (``--profile`` / ``--metrics-out``): instrument identities are
+    preserved, only their values drop.
+    """
+    get_collector().clear()
+    get_metrics().clear()

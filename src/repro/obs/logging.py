@@ -1,0 +1,80 @@
+"""Structured logging setup for the ``repro`` logger hierarchy.
+
+Every module in the package logs through ``logging.getLogger(__name__)``
+(``repro.engine.parallel``, ``repro.core.explorer``, ...); this module
+configures the common ``repro`` ancestor.  Two formats are offered: a
+conventional human-readable line, and :class:`JsonFormatter`, which emits
+one JSON object per record (message, level, logger, timestamp, plus any
+``extra`` fields) so log streams can be ingested by machines.
+
+The CLI exposes both knobs as ``--log-level`` and ``--log-json`` on every
+subcommand.  Library users who never call :func:`configure_logging` get
+stdlib default behaviour (records propagate to the root logger), so
+embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional, TextIO, Union
+
+__all__ = ["JsonFormatter", "configure_logging"]
+
+#: Attributes present on every stdlib LogRecord; anything else on a record
+#: came in through ``extra=`` and is included in the JSON payload.
+_STDLIB_RECORD_KEYS = frozenset(
+    set(vars(logging.makeLogRecord({}))) | {"message", "asctime"}
+)
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STDLIB_RECORD_KEYS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: Union[int, str] = "WARNING",
+    json_format: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Attach one handler to the ``repro`` logger and set its level.
+
+    Idempotent: re-configuring replaces the handler this function
+    installed previously (marked with a private attribute) and leaves any
+    user-installed handlers alone.  Returns the configured logger.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    if json_format:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    return logger

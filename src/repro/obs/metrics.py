@@ -1,0 +1,239 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the always-on half of the observability layer (spans are
+the opt-in half): instruments are plain named accumulators cheap enough to
+increment on the evaluation hot path -- the engine counts configurations
+evaluated, each backend counts addresses actually simulated, and the
+:class:`~repro.engine.cache.EvalCache` counts hits/misses/evictions per
+store.
+
+Snapshots are plain JSON-compatible dicts.  Because counters and
+histograms are monotonic, a worker process can snapshot at chunk start,
+:meth:`MetricsRegistry.diff` at chunk end, and ship the delta back for the
+parent to :meth:`MetricsRegistry.merge` -- which is how
+:class:`~repro.engine.parallel.ParallelSweep` keeps the parent's registry
+truthful after a fan-out (fork copies the parent's counts into every
+worker, so raw worker snapshots would double-count).
+
+:meth:`MetricsRegistry.clear` zeroes instruments **in place** rather than
+dropping them, so call sites may cache instrument references
+(``self._hits = get_metrics().counter("evalcache.trace.hits")``) without
+ever going stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative)."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "mean": self.mean,
+                "min": self.min,
+                "max": self.max,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.summary() for n, h in self._histograms.items()
+                },
+            }
+
+    def diff(self, base: Dict[str, Any]) -> Dict[str, Any]:
+        """What happened since ``base`` (an earlier :meth:`snapshot`).
+
+        Counter and histogram count/total deltas are exact (both are
+        monotonic); histogram min/max fall back to the current extrema,
+        and gauges report their latest value.
+        """
+        current = self.snapshot()
+        counters = {}
+        for name, value in current["counters"].items():
+            delta = value - base.get("counters", {}).get(name, 0)
+            if delta:
+                counters[name] = delta
+        histograms = {}
+        for name, summary in current["histograms"].items():
+            before = base.get("histograms", {}).get(
+                name, {"count": 0, "total": 0.0}
+            )
+            count = summary["count"] - before["count"]
+            if count:
+                histograms[name] = {
+                    "count": count,
+                    "total": summary["total"] - before["total"],
+                    "min": summary["min"],
+                    "max": summary["max"],
+                }
+        return {
+            "counters": counters,
+            "gauges": dict(current["gauges"]),
+            "histograms": histograms,
+        }
+
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a :meth:`diff` (e.g. from a worker process) into this registry."""
+        for name, value in delta.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in delta.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            with histogram._lock:
+                histogram.count += summary["count"]
+                histogram.total += summary["total"]
+                for bound, pick in (("min", min), ("max", max)):
+                    if summary.get(bound) is not None:
+                        own = getattr(histogram, bound)
+                        setattr(
+                            histogram,
+                            bound,
+                            summary[bound]
+                            if own is None
+                            else pick(own, summary[bound]),
+                        )
+
+    def clear(self) -> None:
+        """Zero every instrument in place (identities are preserved)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-local registry every instrumented module shares."""
+    return _registry

@@ -9,6 +9,7 @@ and reports the winner per budget.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -21,6 +22,8 @@ from repro.kernels.base import Kernel
 from repro.spm.model import ScratchpadEstimate, ScratchpadModel
 
 __all__ = ["ScratchpadExplorer", "CacheVsSpmRow", "compare_cache_vs_spm"]
+
+logger = logging.getLogger(__name__)
 
 
 class ScratchpadExplorer:
@@ -81,6 +84,13 @@ def compare_cache_vs_spm(
     """
     if budgets is None:
         budgets = powers_of_two(16, 1024)
+    logger.info(
+        "cache-vs-spm: kernel=%s budgets=%s backend=%s jobs=%d",
+        kernel.name,
+        list(budgets),
+        backend,
+        jobs,
+    )
     evaluator = Evaluator(
         KernelWorkload(kernel), backend=backend, energy_model=energy_model
     )

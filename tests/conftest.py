@@ -1,5 +1,7 @@
 """Shared fixtures for the test suite."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,42 @@ from repro.kernels import (
     make_sor,
     make_transpose,
 )
+
+
+class _ErrorRecordGuard(logging.Handler):
+    """Collects ERROR+ records emitted by the ``repro`` logger hierarchy."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.ERROR)
+        self.records = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fail_on_error_logs():
+    """Fail the run if any ERROR-level log record escapes during the suite.
+
+    The library logs through the ``repro`` hierarchy; an ERROR record means
+    something went wrong that no test asserted on.  CI relies on this to
+    turn stray errors into a red build.  Tests that legitimately provoke
+    ERROR logs should clear ``guard.records`` or log below ERROR.
+    """
+    guard = _ErrorRecordGuard()
+    logger = logging.getLogger("repro")
+    logger.addHandler(guard)
+    try:
+        yield guard
+    finally:
+        logger.removeHandler(guard)
+        messages = [
+            f"{r.name}: {r.getMessage()}" for r in guard.records
+        ]
+        assert not messages, (
+            "ERROR-level log records were emitted during the test suite:\n"
+            + "\n".join(messages)
+        )
 
 
 @pytest.fixture

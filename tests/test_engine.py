@@ -345,6 +345,15 @@ class TestLegacyShims:
             trace, conflict_free = explorer._trace_for(CacheConfig(64, 8))
         assert len(trace) > 0 and isinstance(conflict_free, bool)
 
+    def test_trace_for_delegates_to_engine(self):
+        explorer = MemExplorer(get_kernel("compress"))
+        config = CacheConfig(64, 8)
+        with pytest.warns(DeprecationWarning):
+            trace, conflict_free = explorer._trace_for(config)
+        bundle = explorer.evaluator._bundle_for(config)
+        assert trace is bundle.trace
+        assert conflict_free == bundle.conflict_free
+
     def test_icache_trace_deprecation(self):
         explorer = ICacheExplorer(_loop_execution())
         with pytest.warns(DeprecationWarning):
@@ -352,6 +361,7 @@ class TestLegacyShims:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             assert explorer.trace is trace  # identity preserved
+        assert trace is explorer.workload.trace  # delegation, not a copy
 
     def test_explorer_exposes_engine_evaluator(self):
         explorer = MemExplorer(get_kernel("compress"), backend="sampled")
