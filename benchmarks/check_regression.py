@@ -1,0 +1,156 @@
+"""Benchmark regression gate: compare timing tables against baselines.
+
+The perf benches (``test_perf_engine.py``, ``test_perf_obs.py``,
+``test_perf_resilience.py``) write human-readable tables under
+``benchmarks/results/``.  CI stashes the committed baselines, re-runs the
+benches, and calls this script to diff the two directories::
+
+    python benchmarks/check_regression.py BASELINE_DIR CURRENT_DIR
+
+A measurement regresses when it is more than ``--threshold`` (default
+25%) slower than its baseline *and* slower by more than ``--floor``
+(default 0.02 s) in absolute terms -- the floor keeps sub-hundredth-of-a-
+second measurements, which are dominated by scheduler noise, from flaking
+the gate.  Any regression (or a measurement that disappeared from the
+current results) exits non-zero.
+
+Two table shapes are understood, matching what the benches emit:
+
+* a header row containing a ``seconds`` column, followed by data rows
+  whose trailing fields are numbers (``path  seconds  configs/s``);
+* label rows ending in ``(s)`` with the value as the last field
+  (``warm sweep, spans disabled (s)   0.0081``).
+
+Everything else (cache-behaviour tables, titles, counts) is ignored, so
+the benches stay free to evolve their prose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Result files the gate covers (others under results/ are figure tables).
+PERF_FILES = ("perf_engine", "perf_obs", "perf_resilience")
+
+
+def _to_float(token: str):
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def parse_seconds(text: str) -> Dict[str, float]:
+    """``label -> seconds`` for every timing measurement in one table."""
+    measurements: Dict[str, float] = {}
+    seconds_index = None
+    trailing_count = 0
+    for line in text.splitlines():
+        if not line.strip():
+            seconds_index = None
+            continue
+        fields = line.split()
+        if "(s)" in line:
+            value = _to_float(fields[-1])
+            if value is not None:
+                label = line.rsplit("(s)", 1)[0].strip() + " (s)"
+                measurements[label] = value
+            continue
+        if seconds_index is None:
+            if "seconds" in fields:
+                # Header: the label column is first, numeric columns after.
+                numeric_cols = fields[1:]
+                seconds_index = numeric_cols.index("seconds")
+                trailing_count = len(numeric_cols)
+            continue
+        trailing = [_to_float(token) for token in fields[-trailing_count:]]
+        if len(fields) <= trailing_count or any(
+            value is None for value in trailing
+        ):
+            continue  # a sub-header or prose line inside the table
+        label = " ".join(fields[: len(fields) - trailing_count])
+        measurements[label] = trailing[seconds_index]
+    return measurements
+
+
+def load_directory(directory: Path, names=PERF_FILES) -> Dict[str, float]:
+    """Seconds measurements across every covered file, keyed ``file:label``."""
+    measurements: Dict[str, float] = {}
+    for name in names:
+        path = directory / f"{name}.txt"
+        if not path.exists():
+            continue
+        for label, value in parse_seconds(path.read_text()).items():
+            measurements[f"{name}:{label}"] = value
+    return measurements
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+    floor: float,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, notes)`` between two measurement sets."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in current:
+            regressions.append(f"{key}: measured {base:.5f}s in the "
+                               "baseline but missing from current results")
+            continue
+        now = current[key]
+        if now > base * (1.0 + threshold) and now - base > floor:
+            regressions.append(
+                f"{key}: {base:.5f}s -> {now:.5f}s "
+                f"(+{(now / base - 1.0) * 100.0:.1f}%, "
+                f"threshold {threshold * 100.0:.0f}%)"
+            )
+        elif base > now * (1.0 + threshold) and base - now > floor:
+            notes.append(
+                f"{key}: improved {base:.5f}s -> {now:.5f}s"
+            )
+    for key in sorted(set(current) - set(baseline)):
+        notes.append(f"{key}: new measurement ({current[key]:.5f}s)")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="directory with the committed baseline tables")
+    parser.add_argument("current", type=Path,
+                        help="directory with freshly generated tables")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that fails (default 0.25)")
+    parser.add_argument("--floor", type=float, default=0.02,
+                        help="absolute seconds below which slowdowns are "
+                             "noise (default 0.02)")
+    args = parser.parse_args(argv)
+
+    baseline = load_directory(args.baseline)
+    current = load_directory(args.current)
+    if not baseline:
+        print(f"no perf baselines found under {args.baseline}", file=sys.stderr)
+        return 2
+    regressions, notes = compare(
+        baseline, current, args.threshold, args.floor
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} benchmark regression(s):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print(f"{len(baseline)} measurement(s) within "
+          f"{args.threshold * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

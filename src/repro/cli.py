@@ -38,7 +38,10 @@ Every subcommand additionally accepts the observability flags
 ``--log-level`` / ``--log-json`` (structured logging for the ``repro``
 logger hierarchy), ``--profile`` (collect spans and print the per-stage
 table) and ``--metrics-out FILE.json`` (write the machine-readable
-``repro.obs/1`` report).
+``repro.obs/1`` report).  The sweeping subcommands (``explore``,
+``mpeg``, ``spm``, ``stats``) also take the resilience flags
+``--checkpoint FILE.jsonl`` / ``--resume`` / ``--chunk-timeout`` /
+``--max-retries`` for fault-tolerant, resumable sweeps.
 """
 
 from __future__ import annotations
@@ -89,6 +92,57 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="evaluate the sweep across N processes (default: serial)",
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience (fault-tolerant sweeps)")
+    group.add_argument(
+        "--checkpoint",
+        metavar="FILE.jsonl",
+        default=None,
+        help="journal completed sweep chunks to this append-only file",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip configurations already journaled in --checkpoint",
+    )
+    group.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a worker chunk wedged after this many seconds",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch a failing chunk up to N times (default: 2)",
+    )
+
+
+def _resilience(args: argparse.Namespace):
+    """Build :class:`ResilienceOptions` from the CLI flags (or ``None``)."""
+    if (
+        args.checkpoint is None
+        and not args.resume
+        and args.chunk_timeout is None
+        and args.max_retries is None
+    ):
+        return None
+    from repro.engine.resilience import ResilienceOptions, RetryPolicy
+
+    retry = RetryPolicy()
+    if args.max_retries is not None:
+        retry = RetryPolicy(max_retries=args.max_retries)
+    return ResilienceOptions(
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        chunk_timeout_s=args.chunk_timeout,
+        retry=retry,
     )
 
 
@@ -152,6 +206,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ways=tuple(args.ways),
         tilings=tuple(args.tilings) if args.tilings else None,
         jobs=args.jobs,
+        resilience=_resilience(args),
     )
     _print_table(result, sys.stdout)
     print("\nPareto frontier (cycles vs energy):")
@@ -216,7 +271,7 @@ def _cmd_mpeg(args: argparse.Namespace) -> int:
             tilings=(1, 2, 4, 8, 16),
         )
     )
-    result = program.explore(configs, jobs=args.jobs)
+    result = program.explore(configs, jobs=args.jobs, resilience=_resilience(args))
     best_e = result.min_energy()
     best_t = result.min_cycles()
     print(f"explored {len(result)} configurations over {len(program.kernels)} kernels")
@@ -238,6 +293,7 @@ def _cmd_spm(args: argparse.Namespace) -> int:
         energy_model=_energy_model(args),
         backend=args.backend,
         jobs=args.jobs,
+        resilience=_resilience(args),
     )
     print(f"{'budget':>8s} {'cache nJ':>10s} {'spm nJ':>10s} "
           f"{'spm hit':>8s} {'E winner':>9s} {'t winner':>9s}")
@@ -373,6 +429,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ways=tuple(args.ways),
             tilings=tuple(args.tilings) if args.tilings else None,
             jobs=args.jobs,
+            resilience=_resilience(args),
         )
     finally:
         if not was_profiling:
@@ -412,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--energy-bound", type=float, default=None)
     _add_energy_args(explore)
     _add_engine_args(explore)
+    _add_resilience_args(explore)
     _add_obs_args(explore)
     explore.set_defaults(func=_cmd_explore)
 
@@ -434,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     mpeg.add_argument("--min-size", type=int, default=16)
     _add_energy_args(mpeg)
     _add_engine_args(mpeg)
+    _add_resilience_args(mpeg)
     _add_obs_args(mpeg)
     mpeg.set_defaults(func=_cmd_mpeg)
 
@@ -445,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_energy_args(spm)
     _add_engine_args(spm)
+    _add_resilience_args(spm)
     _add_obs_args(spm)
     spm.set_defaults(func=_cmd_spm)
 
@@ -513,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--tilings", type=int, nargs="+", default=None)
     _add_energy_args(stats)
     _add_engine_args(stats)
+    _add_resilience_args(stats)
     _add_obs_args(stats)
     stats.set_defaults(func=_cmd_stats)
 

@@ -129,20 +129,26 @@ class CompositeProgram:
         )
 
     def explore(
-        self, configs: Iterable[CacheConfig], jobs: int = 1
+        self, configs: Iterable[CacheConfig], jobs: int = 1, resilience=None
     ) -> ExplorationResult:
         """Aggregate estimates over a configuration set.
 
         ``jobs > 1`` distributes whole-program evaluations (each one covers
         every kernel) across processes via
         :class:`~repro.engine.parallel.ParallelSweep`, preserving order.
+        ``resilience`` (a
+        :class:`~repro.engine.resilience.ResilienceOptions`) opts into
+        per-chunk retries, timeouts and checkpoint/resume -- the journal
+        fingerprint covers every kernel and trip count of the composite.
         """
         ordered = order_configs(configs)
-        if jobs and jobs > 1:
+        if (jobs and jobs > 1) or resilience is not None:
             from repro.engine.parallel import ParallelSweep
 
             return ExplorationResult(
-                ParallelSweep(jobs=jobs).run(self, ordered)
+                ParallelSweep(jobs=jobs or 1, resilience=resilience).run(
+                    self, ordered
+                )
             )
         return ExplorationResult([self.evaluate(c) for c in ordered])
 

@@ -147,6 +147,7 @@ class MemExplorer:
         max_size: int = 1024,
         progress: Optional[Callable[[PerformanceEstimate], None]] = None,
         jobs: int = 1,
+        resilience=None,
         **space_kwargs,
     ) -> ExplorationResult:
         """Evaluate a configuration set (default: the full MemExplore space).
@@ -155,7 +156,9 @@ class MemExplorer:
         :func:`~repro.core.config.design_space` when ``configs`` is not
         given.  Configurations are re-ordered so that the associativity
         sweep shares each generated trace; ``jobs > 1`` distributes the
-        sweep across processes with bit-identical results.
+        sweep across processes with bit-identical results.  ``resilience``
+        (a :class:`~repro.engine.resilience.ResilienceOptions`) opts into
+        per-chunk retries, timeouts and checkpoint/resume.
         """
         logger.info(
             "MemExplore: kernel=%s backend=%s optimize_layout=%s jobs=%d",
@@ -169,5 +172,6 @@ class MemExplorer:
             max_size=max_size,
             jobs=jobs,
             progress=progress,
+            resilience=resilience,
             **space_kwargs,
         )

@@ -12,7 +12,13 @@ implementation, consumed by every exploration layer:
   :class:`EvalCache` memoising traces and miss vectors;
 * :mod:`repro.engine.evaluator` -- the :class:`Evaluator` pipeline;
 * :mod:`repro.engine.parallel` -- :class:`ParallelSweep`, chunked
-  multi-process fan-out with deterministic, bit-identical results.
+  multi-process fan-out with deterministic, bit-identical results;
+* :mod:`repro.engine.resilience` -- fault tolerance for sweeps: per-chunk
+  retries with backoff, watchdog timeouts, and the append-only
+  :class:`SweepCheckpoint` journal behind ``--checkpoint``/``--resume``;
+* :mod:`repro.engine.faults` -- the deterministic fault-injection harness
+  (:class:`FaultInjector`) the test suite and nightly CI chaos job wrap
+  around chunk dispatch.
 
 Quickstart::
 
@@ -42,7 +48,20 @@ from repro.engine.cache import (
     get_eval_cache,
 )
 from repro.engine.evaluator import Evaluator, assemble_estimate, order_configs
+from repro.engine.faults import FaultInjector, InjectedCrash
 from repro.engine.parallel import ParallelSweep
+from repro.engine.resilience import (
+    CheckpointError,
+    CheckpointMismatchError,
+    CorruptPayloadError,
+    ResilienceOptions,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepChunkError,
+    TransientChunkError,
+    load_checkpoint_estimates,
+    sweep_fingerprint,
+)
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import (
     InstructionWorkload,
@@ -57,18 +76,28 @@ __all__ = [
     "AnalyticBackend",
     "Backend",
     "CacheStats",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CorruptPayloadError",
     "EvalCache",
     "Evaluator",
     "ExplorationResult",
     "FastSimBackend",
+    "FaultInjector",
+    "InjectedCrash",
     "InstructionWorkload",
     "KernelWorkload",
     "MissMeasurement",
     "ParallelSweep",
     "ReferenceBackend",
+    "ResilienceOptions",
+    "RetryPolicy",
     "SampledBackend",
+    "SweepCheckpoint",
+    "SweepChunkError",
     "TraceBundle",
     "TraceWorkload",
+    "TransientChunkError",
     "Workload",
     "assemble_estimate",
     "available_backends",
@@ -76,6 +105,8 @@ __all__ = [
     "configure_eval_cache",
     "get_backend",
     "get_eval_cache",
+    "load_checkpoint_estimates",
     "order_configs",
+    "sweep_fingerprint",
     "trace_fingerprint",
 ]

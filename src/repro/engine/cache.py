@@ -183,7 +183,26 @@ class EvalCache:
         }
 
     def merge_remote(self, delta: Dict[str, Dict[str, int]]) -> None:
-        """Fold a worker's counter delta (``counters`` diff) into this cache."""
+        """Fold a worker's counter delta (``counters`` diff) into this cache.
+
+        The delta is validated before anything is accumulated: a worker
+        payload that survived the executor's structural checks but still
+        carries garbage here (the fault-injection harness's corrupt-payload
+        mode, or a genuinely mangled pickle) must not poison the stats.
+        ``ValueError`` is raised *before* any mutation, so a rejected merge
+        leaves the counters untouched.
+        """
+        if not isinstance(delta, dict):
+            raise ValueError("cache delta must be a dict of per-store dicts")
+        for store in self._STORES:
+            row = delta.get(store, {})
+            if not isinstance(row, dict) or any(
+                isinstance(value, bool) or not isinstance(value, int)
+                for value in row.values()
+            ):
+                raise ValueError(
+                    f"cache delta for store {store!r} is malformed"
+                )
         with self._remote_lock:
             for store in self._STORES:
                 accumulated = self._remote[store]

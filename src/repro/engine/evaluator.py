@@ -33,6 +33,7 @@ from repro.engine.backends import (
     get_backend,
 )
 from repro.engine.cache import EvalCache, get_eval_cache
+from repro.engine.resilience import ResilienceOptions
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import TraceBundle, Workload
 from repro.obs.metrics import get_metrics
@@ -226,6 +227,7 @@ class Evaluator:
         max_size: int = 1024,
         jobs: int = 1,
         progress: Optional[Callable[[PerformanceEstimate], None]] = None,
+        resilience: Optional[ResilienceOptions] = None,
         **space_kwargs,
     ) -> ExplorationResult:
         """Evaluate a configuration set (default: the MemExplore space).
@@ -234,6 +236,12 @@ class Evaluator:
         :class:`~repro.engine.parallel.ParallelSweep`; results are returned
         in the same deterministic order (and are bit-identical to the
         serial path, which the tests assert).
+
+        ``resilience`` opts into fault tolerance -- per-chunk retries and
+        timeouts, checkpoint journaling and resume-from-checkpoint (see
+        :class:`~repro.engine.resilience.ResilienceOptions`).  It applies
+        to serial sweeps too: ``jobs=1`` with a checkpoint journals and
+        resumes chunk by chunk through the same executor.
         """
         if configs is None:
             configs = design_space(max_size=max_size, **space_kwargs)
@@ -248,10 +256,12 @@ class Evaluator:
         with span(
             "sweep", backend=self.backend.name, configs=len(ordered), jobs=jobs
         ):
-            if jobs and jobs > 1:
+            if (jobs and jobs > 1) or resilience is not None:
                 from repro.engine.parallel import ParallelSweep
 
-                estimates = ParallelSweep(jobs=jobs).run(self, ordered)
+                estimates = ParallelSweep(
+                    jobs=jobs or 1, resilience=resilience
+                ).run(self, ordered)
                 if progress is not None:
                     for estimate in estimates:
                         progress(estimate)

@@ -1,0 +1,111 @@
+"""Deterministic fault injection for the sweep executor.
+
+The resilience layer is only trustworthy if its failure paths are
+exercised, and real infrastructure faults are neither portable nor
+reproducible.  :class:`FaultInjector` simulates them *deterministically*:
+every decision is a pure function of ``(seed, fault kind, chunk token,
+attempt)`` via SHA-256, so a given seed always injects the same faults at
+the same points -- across processes, machines and reruns -- while a
+retried attempt gets a fresh draw (which is exactly how transient faults
+behave).
+
+Four fault kinds, matched to the executor's failure classification:
+
+``crash_rate``
+    Raise :class:`InjectedCrash` (a
+    :class:`~repro.engine.resilience.TransientChunkError`) in the worker
+    before evaluating -- a clean in-process failure.
+``kill_rate``
+    ``os._exit(1)`` the worker -- a hard process death.  Under
+    :class:`~repro.engine.parallel.ParallelSweep` this breaks the whole
+    pool (``BrokenProcessPool``), the coarsest real-world failure.
+``hang_rate``
+    Sleep ``hang_seconds`` before evaluating -- trips the executor's
+    per-chunk timeout and its abandon-and-redispatch path.
+``corrupt_rate``
+    Replace the worker's result payload with garbage -- exercises payload
+    validation (:class:`~repro.engine.resilience.CorruptPayloadError`).
+
+The injector hooks the *dispatch* boundary, not the evaluators, so the
+executor's graceful-degradation path (in-parent serial evaluation of a
+chunk that exhausted its retries) runs clean -- mirroring how a sweep
+escapes genuinely unreliable infrastructure.
+
+Used by ``tests/test_resilience.py``, ``tests/test_chaos.py`` and the
+nightly CI chaos job (three seeds, resumed-equals-clean assertion).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.engine.resilience import TransientChunkError
+
+__all__ = ["CORRUPT_PAYLOAD", "FaultInjector", "InjectedCrash"]
+
+#: The sentinel a corrupted worker ships instead of a real payload.
+CORRUPT_PAYLOAD = ("repro.faults/corrupt-payload",)
+
+
+class InjectedCrash(TransientChunkError):
+    """A simulated in-worker crash (transient by definition)."""
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded crash/kill/hang/corrupt injection around chunk evaluation.
+
+    Rates are independent per-fault probabilities in ``[0, 1]``; each is
+    drawn once per ``(chunk, attempt)``.  The injector is a frozen
+    dataclass so it pickles into workers unchanged.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "kill_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+    def _draw(self, kind: str, token: Hashable, attempt: int) -> float:
+        """Deterministic uniform draw in ``[0, 1)`` for one decision."""
+        digest = hashlib.sha256(
+            repr((self.seed, kind, token, attempt)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def on_chunk_start(self, token: Hashable, attempt: int) -> None:
+        """Called in the worker before a chunk evaluates; may not return.
+
+        Order matters: a kill pre-empts a crash pre-empts a hang, so one
+        chunk suffers at most one fault per attempt.
+        """
+        if self._draw("kill", token, attempt) < self.kill_rate:
+            os._exit(1)
+        if self._draw("crash", token, attempt) < self.crash_rate:
+            raise InjectedCrash(
+                f"injected crash (seed={self.seed}, chunk={token}, "
+                f"attempt={attempt})"
+            )
+        if self._draw("hang", token, attempt) < self.hang_rate:
+            time.sleep(self.hang_seconds)
+
+    def mangle_payload(
+        self, token: Hashable, attempt: int, payload: Any
+    ) -> Any:
+        """Possibly replace a completed chunk's payload with garbage."""
+        if self._draw("corrupt", token, attempt) < self.corrupt_rate:
+            return CORRUPT_PAYLOAD
+        return payload

@@ -9,31 +9,62 @@ along trace-key boundaries, ships whole trace groups to workers, and
 restores the deterministic order on collection.  Results are bit-identical
 to the serial path (asserted by the test suite).
 
-Process pools are used when available; environments that cannot fork
-(restricted sandboxes) fall back to the serial path, logged at warning
-level so the degradation is never silent.
+Failure handling is per-chunk, not per-sweep (see
+:mod:`repro.engine.resilience`):
+
+* a chunk that fails transiently -- worker crash, broken pool, corrupt
+  payload, timeout -- is re-dispatched with exponential backoff up to
+  :attr:`~repro.engine.resilience.RetryPolicy.max_retries` times, then
+  degrades to clean in-parent serial evaluation of *that chunk only*;
+* a chunk whose evaluator raises any other exception fails the sweep
+  immediately with a :class:`~repro.engine.resilience.SweepChunkError`
+  naming the failing configurations (deterministic bugs do not deserve
+  retries);
+* environments that cannot fork or pickle at all (restricted sandboxes)
+  still fall back to serial execution of whatever is unfinished, logged
+  at warning level so the degradation is never silent;
+* with a :class:`~repro.engine.resilience.SweepCheckpoint` journal,
+  every completed chunk is durably recorded, and ``resume`` restarts a
+  killed sweep exactly where it stopped -- the resumed result table is
+  bit-identical to an uninterrupted run.
+
+Per-chunk timeouts are watchdog-style: whenever ``chunk_timeout_s``
+elapses without *any* chunk completing, the in-flight chunks are declared
+wedged, the pool is abandoned (hung workers are never joined), and only
+those chunks are re-dispatched to a fresh pool.
 
 Observability crosses the process boundary with the results: each worker
 evaluates its chunk under a fresh :class:`~repro.obs.spans.SpanCollector`
 (when the parent is profiling) and computes its metric and
 :class:`~repro.engine.cache.EvalCache` counter deltas against a
 chunk-start baseline, so that fork-inherited parent counts are never
-double-reported.  The parent merges everything back once all chunks have
-succeeded -- parent-side spans, the metrics registry and ``EvalCache``
-stats therefore stay truthful under ``jobs=N``.
+double-reported.  The parent merges each chunk's payload exactly once, as
+it completes -- retried chunks merge only their successful attempt -- so
+the metrics registry and ``EvalCache`` stats stay truthful under
+``jobs=N`` even across failures and resumes.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import logging
 import os
 import pickle
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
 from repro.engine.cache import get_eval_cache
+from repro.engine.resilience import (
+    CorruptPayloadError,
+    ResilienceOptions,
+    SweepCheckpoint,
+    SweepChunkError,
+    TransientChunkError,
+    sweep_fingerprint,
+)
 from repro.obs.metrics import get_metrics
 from repro.obs.spans import (
     SpanCollector,
@@ -56,6 +87,18 @@ _ChunkPayload = Tuple[
     Dict[str, Dict[str, int]],
 ]
 
+#: One chunk of work: ``(index, config)`` pairs in sweep order.
+_Chunk = List[Tuple[int, CacheConfig]]
+
+#: Failures that mark a chunk transient (worth re-dispatching).
+_TRANSIENT_ERRORS = (
+    TransientChunkError,
+    concurrent.futures.process.BrokenProcessPool,
+)
+
+#: Failures that mean this *environment* cannot run a pool at all.
+_ENVIRONMENT_ERRORS = (OSError, PermissionError, pickle.PicklingError)
+
 
 def _diff_cache_counters(
     current: Dict[str, Dict[str, int]], base: Dict[str, Dict[str, int]]
@@ -73,30 +116,72 @@ def _evaluate_chunk(
     evaluator: Any,
     indexed: Sequence[Tuple[int, CacheConfig]],
     profile: bool = False,
+    injector: Optional[Any] = None,
+    attempt: int = 0,
 ) -> _ChunkPayload:
     """Worker entry point: evaluate one chunk, tagging results by index.
 
     Counter deltas are taken against a chunk-start baseline because a
     forked worker inherits the parent's (and, on a reused pool worker, the
-    previous chunks') counts.
+    previous chunks') counts.  ``injector`` is the deterministic fault
+    harness (:class:`~repro.engine.faults.FaultInjector`); it runs at this
+    dispatch boundary only, so the parent's degradation paths stay clean.
     """
+    token = indexed[0][0] if indexed else -1
+    if injector is not None:
+        injector.on_chunk_start(token, attempt)
     cache = getattr(evaluator, "cache", None)
     if cache is None:  # e.g. CompositeProgram: its evaluators share the global
         cache = get_eval_cache()
     cache_base = cache.counters()
     metrics_base = get_metrics().snapshot()
     collector = SpanCollector()
-    token = activate(collector, enabled=profile)
+    span_token = activate(collector, enabled=profile)
     try:
         pairs = [(index, evaluator.evaluate(config)) for index, config in indexed]
     finally:
-        restore(token)
-    return (
+        restore(span_token)
+    payload: _ChunkPayload = (
         pairs,
         collector.snapshot() if profile else [],
         get_metrics().diff(metrics_base),
         _diff_cache_counters(cache.counters(), cache_base),
     )
+    if injector is not None:
+        payload = injector.mangle_payload(token, attempt, payload)
+    return payload
+
+
+def _validate_payload(
+    payload: Any, indexed: _Chunk
+) -> _ChunkPayload:
+    """Structural check of a worker payload; corrupt ones are transient."""
+    try:
+        pairs, spans, metrics_delta, cache_delta = payload
+    except (TypeError, ValueError):
+        raise CorruptPayloadError(
+            "worker payload has the wrong shape"
+        ) from None
+    try:
+        returned = {index for index, _ in pairs}
+        typed = all(
+            isinstance(estimate, PerformanceEstimate) for _, estimate in pairs
+        )
+    except (TypeError, ValueError):
+        raise CorruptPayloadError("worker estimates are malformed") from None
+    if returned != {index for index, _ in indexed} or not typed:
+        raise CorruptPayloadError(
+            "worker returned estimates for the wrong configurations"
+        )
+    if not isinstance(spans, list) or not isinstance(metrics_delta, dict):
+        raise CorruptPayloadError("worker observability payload is malformed")
+    if not isinstance(cache_delta, dict) or any(
+        not isinstance(row, dict)
+        or any(isinstance(v, bool) or not isinstance(v, int) for v in row.values())
+        for row in cache_delta.values()
+    ):
+        raise CorruptPayloadError("worker cache delta is malformed")
+    return payload
 
 
 def _group_key(evaluator: Any, config: CacheConfig):
@@ -119,10 +204,17 @@ class ParallelSweep:
         Minimum configurations per task; ``None`` picks a size that gives
         each worker a few chunks for load balancing.  Chunks never split a
         trace group, so each trace is generated by at most one worker.
+    resilience:
+        Retry/timeout/checkpoint behaviour
+        (:class:`~repro.engine.resilience.ResilienceOptions`); the default
+        retries transient chunk failures but journals nothing.
     """
 
     def __init__(
-        self, jobs: Optional[int] = None, chunk_size: Optional[int] = None
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("job count must be at least 1")
@@ -130,13 +222,17 @@ class ParallelSweep:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk size must be at least 1")
         self.chunk_size = chunk_size
+        self._explicit_resilience = resilience is not None
+        self.resilience = (
+            resilience if resilience is not None else ResilienceOptions()
+        )
 
     def _chunks(
         self, evaluator: Any, configs: Sequence[CacheConfig]
-    ) -> List[List[Tuple[int, CacheConfig]]]:
+    ) -> List[_Chunk]:
         # Consecutive configurations sharing a trace stay together.
-        groups: List[List[Tuple[int, CacheConfig]]] = []
-        last_key = object()
+        groups: List[_Chunk] = []
+        last_key: Any = object()
         for index, config in enumerate(configs):
             key = _group_key(evaluator, config)
             if not groups or key != last_key:
@@ -146,31 +242,13 @@ class ParallelSweep:
         target = self.chunk_size
         if target is None:
             target = max(1, len(configs) // max(1, self.jobs * 4))
-        chunks: List[List[Tuple[int, CacheConfig]]] = []
+        chunks: List[_Chunk] = []
         for group in groups:
             if chunks and len(chunks[-1]) < target:
                 chunks[-1].extend(group)
             else:
                 chunks.append(list(group))
         return chunks
-
-    def _merge_payloads(
-        self, evaluator: Any, payloads: List[_ChunkPayload]
-    ) -> List[Tuple[int, PerformanceEstimate]]:
-        """Fold every worker's observability payload into this process."""
-        cache = getattr(evaluator, "cache", None)
-        if cache is None:
-            cache = get_eval_cache()
-        metrics = get_metrics()
-        collector = get_collector()
-        tagged: List[Tuple[int, PerformanceEstimate]] = []
-        for pairs, span_snapshot, metrics_delta, cache_delta in payloads:
-            tagged.extend(pairs)
-            if span_snapshot:
-                collector.merge(span_snapshot)
-            metrics.merge(metrics_delta)
-            cache.merge_remote(cache_delta)
-        return tagged
 
     def run(
         self, evaluator: Any, configs: Sequence[CacheConfig]
@@ -182,47 +260,355 @@ class ParallelSweep:
         :class:`~repro.core.composite.CompositeProgram`, etc.
         """
         configs = list(configs)
-        if self.jobs <= 1 or len(configs) <= 1:
+        opts = self.resilience
+        # Without explicit resilience options, tiny/serial sweeps keep the
+        # historical direct path (raw exceptions, no journal, no wrapping).
+        if not self._explicit_resilience and (
+            self.jobs <= 1 or len(configs) <= 1
+        ):
             return [evaluator.evaluate(config) for config in configs]
-        chunks = self._chunks(evaluator, configs)
-        if len(chunks) <= 1:
-            return [evaluator.evaluate(config) for config in configs]
-        workers = min(self.jobs, len(chunks))
-        profile = profiling_enabled()
-        logger.debug(
-            "dispatching %d configs as %d chunks to %d workers",
-            len(configs),
-            len(chunks),
-            workers,
-        )
-        payloads: List[_ChunkPayload] = []
+        journal, tagged = self._open_journal(evaluator, configs, opts)
         try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                futures = [
-                    pool.submit(_evaluate_chunk, evaluator, chunk, profile)
-                    for chunk in chunks
-                ]
-                for future in concurrent.futures.as_completed(futures):
-                    payloads.append(future.result())
-        except (
-            OSError,
-            PermissionError,
-            pickle.PicklingError,
-            concurrent.futures.process.BrokenProcessPool,
-        ) as exc:
-            # No fork / no pickling in this environment: evaluate serially.
-            # Nothing from the partial parallel attempt is merged, so the
-            # serial recomputation below keeps every counter truthful.
-            logger.warning(
-                "parallel sweep (jobs=%d) fell back to serial execution: %s",
+            pending = self._pending_chunks(evaluator, configs, tagged)
+            logger.debug(
+                "dispatching %d configs as %d chunks (%d resumed) to %d workers",
+                len(configs),
+                len(pending),
+                len(tagged),
                 self.jobs,
-                exc,
             )
-            get_metrics().counter("parallel.serial_fallbacks").inc()
-            return [evaluator.evaluate(config) for config in configs]
-        get_metrics().counter("parallel.chunks_completed").inc(len(payloads))
-        tagged = self._merge_payloads(evaluator, payloads)
-        tagged.sort(key=lambda pair: pair[0])
-        return [estimate for _, estimate in tagged]
+            if self.jobs <= 1 or len(pending) <= 1:
+                self._run_chunks_serial(evaluator, pending, opts, journal, tagged)
+            else:
+                self._run_chunks_parallel(
+                    evaluator, pending, opts, journal, tagged
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        return [tagged[index] for index in range(len(configs))]
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+
+    def _open_journal(
+        self,
+        evaluator: Any,
+        configs: Sequence[CacheConfig],
+        opts: ResilienceOptions,
+    ) -> Tuple[Optional[SweepCheckpoint], Dict[int, PerformanceEstimate]]:
+        if opts.checkpoint is None:
+            return None, {}
+        journal = SweepCheckpoint(opts.checkpoint)
+        fingerprint = sweep_fingerprint(evaluator, configs)
+        done: Dict[int, PerformanceEstimate] = {}
+        if opts.resume:
+            loaded = journal.load(fingerprint)
+            done = {
+                index: estimate
+                for index, estimate in loaded.items()
+                if 0 <= index < len(configs)
+            }
+            if done:
+                get_metrics().counter("resilience.resumed_configs").inc(
+                    len(done)
+                )
+                logger.info(
+                    "resuming sweep from %s: %d of %d configs already done",
+                    opts.checkpoint,
+                    len(done),
+                    len(configs),
+                )
+        journal.open_for_append(
+            fingerprint, fresh=not opts.resume, configs=len(configs)
+        )
+        return journal, done
+
+    def _pending_chunks(
+        self,
+        evaluator: Any,
+        configs: Sequence[CacheConfig],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> List[_Chunk]:
+        pending: List[_Chunk] = []
+        for chunk in self._chunks(evaluator, configs):
+            rest = [(i, c) for i, c in chunk if i not in tagged]
+            if rest:
+                pending.append(rest)
+        return pending
+
+    def _commit(
+        self,
+        evaluator: Any,
+        pairs: Sequence[Tuple[int, PerformanceEstimate]],
+        payload: Optional[_ChunkPayload],
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> None:
+        """Fold one completed chunk into the sweep (merge, tag, journal)."""
+        if payload is not None:
+            self._merge_payload(evaluator, payload)
+        for index, estimate in pairs:
+            tagged[index] = estimate
+        if journal is not None:
+            journal.record_chunk(sorted(pairs, key=lambda pair: pair[0]))
+            get_metrics().counter("resilience.checkpoint_chunks").inc()
+
+    def _merge_payload(self, evaluator: Any, payload: _ChunkPayload) -> None:
+        """Fold one worker's observability payload into this process."""
+        cache = getattr(evaluator, "cache", None)
+        if cache is None:
+            cache = get_eval_cache()
+        _, span_snapshot, metrics_delta, cache_delta = payload
+        if span_snapshot:
+            get_collector().merge(span_snapshot)
+        get_metrics().merge(metrics_delta)
+        cache.merge_remote(cache_delta)
+
+    # ------------------------------------------------------------------
+    # serial paths (jobs=1, tiny sweeps, degraded chunks, no-fork sandboxes)
+
+    def _evaluate_clean(
+        self, evaluator: Any, indexed: _Chunk
+    ) -> List[Tuple[int, PerformanceEstimate]]:
+        """In-parent evaluation; deterministic failures name the chunk."""
+        try:
+            return [(index, evaluator.evaluate(config)) for index, config in indexed]
+        except Exception as exc:
+            raise SweepChunkError.from_chunk(indexed, exc) from exc
+
+    def _run_chunks_serial(
+        self,
+        evaluator: Any,
+        pending: Sequence[_Chunk],
+        opts: ResilienceOptions,
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> None:
+        for indexed in pending:
+            pairs = self._serial_chunk_with_retries(evaluator, indexed, opts)
+            self._commit(evaluator, pairs, None, journal, tagged)
+
+    def _serial_chunk_with_retries(
+        self, evaluator: Any, indexed: _Chunk, opts: ResilienceOptions
+    ) -> List[Tuple[int, PerformanceEstimate]]:
+        """One chunk in-process, honouring the injector and retry policy."""
+        injector = opts.fault_injector
+        metrics = get_metrics()
+        token = indexed[0][0]
+        attempt = 0
+        while True:
+            try:
+                if injector is not None:
+                    injector.on_chunk_start(token, attempt)
+                return self._evaluate_clean(evaluator, indexed)
+            except TransientChunkError as exc:
+                metrics.counter("resilience.chunk_failures").inc()
+                if attempt >= opts.retry.max_retries:
+                    metrics.counter("resilience.degraded_chunks").inc()
+                    logger.warning(
+                        "chunk at index %d exhausted %d retries (%s); "
+                        "degrading to clean serial evaluation",
+                        token,
+                        opts.retry.max_retries,
+                        exc,
+                    )
+                    return self._evaluate_clean(evaluator, indexed)
+                metrics.counter("resilience.chunk_retries").inc()
+                time.sleep(opts.retry.delay_s(attempt, token))
+                attempt += 1
+
+    def _environment_fallback(
+        self,
+        evaluator: Any,
+        chunks: Sequence[_Chunk],
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+        exc: BaseException,
+    ) -> None:
+        """No fork / no pickling here: finish every unfinished chunk serially.
+
+        Only chunks that never merged a worker payload are re-evaluated, so
+        counters stay truthful after the degradation.
+        """
+        logger.warning(
+            "parallel sweep (jobs=%d) fell back to serial execution: %s",
+            self.jobs,
+            exc,
+        )
+        get_metrics().counter("parallel.serial_fallbacks").inc()
+        for indexed in chunks:
+            pairs = self._evaluate_clean(evaluator, indexed)
+            self._commit(evaluator, pairs, None, journal, tagged)
+
+    def _degrade_chunk(
+        self,
+        evaluator: Any,
+        indexed: _Chunk,
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> None:
+        """Retries exhausted: evaluate this one chunk cleanly in-parent."""
+        get_metrics().counter("resilience.degraded_chunks").inc()
+        logger.warning(
+            "chunk at index %d exhausted its retries; "
+            "evaluating it serially in-parent",
+            indexed[0][0],
+        )
+        pairs = self._evaluate_clean(evaluator, indexed)
+        self._commit(evaluator, pairs, None, journal, tagged)
+
+    # ------------------------------------------------------------------
+    # the parallel executor proper
+
+    def _run_chunks_parallel(
+        self,
+        evaluator: Any,
+        pending: Sequence[_Chunk],
+        opts: ResilienceOptions,
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> None:
+        retry = opts.retry
+        attempts: Dict[int, int] = {chunk[0][0]: 0 for chunk in pending}
+        queue: List[_Chunk] = list(pending)
+        round_no = 0
+        while queue:
+            overdue = [
+                chunk for chunk in queue
+                if attempts[chunk[0][0]] > retry.max_retries
+            ]
+            queue = [
+                chunk for chunk in queue
+                if attempts[chunk[0][0]] <= retry.max_retries
+            ]
+            for indexed in overdue:
+                self._degrade_chunk(evaluator, indexed, journal, tagged)
+            if not queue:
+                break
+            if round_no > 0:
+                get_metrics().counter("resilience.chunk_retries").inc(
+                    len(queue)
+                )
+                time.sleep(
+                    max(
+                        retry.delay_s(
+                            max(0, attempts[chunk[0][0]] - 1), chunk[0][0]
+                        )
+                        for chunk in queue
+                    )
+                )
+            queue = self._dispatch_round(
+                evaluator, queue, opts, attempts, journal, tagged
+            )
+            round_no += 1
+
+    def _dispatch_round(
+        self,
+        evaluator: Any,
+        queue: Sequence[_Chunk],
+        opts: ResilienceOptions,
+        attempts: Dict[int, int],
+        journal: Optional[SweepCheckpoint],
+        tagged: Dict[int, PerformanceEstimate],
+    ) -> List[_Chunk]:
+        """One pool round over ``queue``; returns the transient failures.
+
+        Successes commit (merge + tag + journal) as they arrive.  A round
+        that stalls past ``chunk_timeout_s`` without any completion
+        abandons the pool -- hung workers are never joined -- and reports
+        everything unfinished as timed out.  Environments that cannot run
+        a pool finish the round serially and return no failures.
+        """
+        metrics = get_metrics()
+        profile = profiling_enabled()
+        injector = opts.fault_injector
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(queue))
+            )
+        except _ENVIRONMENT_ERRORS as exc:
+            self._environment_fallback(evaluator, queue, journal, tagged, exc)
+            return []
+        transient: List[_Chunk] = []
+        abandoned = False
+        try:
+            futures = {}
+            for indexed in queue:
+                token = indexed[0][0]
+                futures[
+                    pool.submit(
+                        _evaluate_chunk,
+                        evaluator,
+                        indexed,
+                        profile,
+                        injector,
+                        attempts[token],
+                    )
+                ] = indexed
+            not_done = set(futures)
+            while not_done:
+                done, not_done = concurrent.futures.wait(
+                    not_done,
+                    timeout=opts.chunk_timeout_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if not done:
+                    # Watchdog fired: nothing completed for a whole
+                    # timeout window, so the in-flight chunks are wedged.
+                    for future in not_done:
+                        indexed = futures[future]
+                        attempts[indexed[0][0]] += 1
+                        transient.append(indexed)
+                        future.cancel()
+                    metrics.counter("resilience.chunk_timeouts").inc(
+                        len(not_done)
+                    )
+                    logger.warning(
+                        "parallel sweep: %d chunk(s) made no progress in "
+                        "%.3gs; abandoning them for re-dispatch",
+                        len(not_done),
+                        opts.chunk_timeout_s,
+                    )
+                    abandoned = True
+                    break
+                for future in done:
+                    indexed = futures[future]
+                    token = indexed[0][0]
+                    try:
+                        payload = _validate_payload(future.result(), indexed)
+                    except _TRANSIENT_ERRORS as exc:
+                        attempts[token] += 1
+                        transient.append(indexed)
+                        metrics.counter("resilience.chunk_failures").inc()
+                        logger.warning(
+                            "chunk at index %d failed transiently "
+                            "(attempt %d): %s",
+                            token,
+                            attempts[token],
+                            exc,
+                        )
+                    except _ENVIRONMENT_ERRORS as exc:
+                        remaining = [indexed]
+                        remaining.extend(futures[f] for f in not_done)
+                        remaining.extend(transient)
+                        for f in not_done:
+                            f.cancel()
+                        self._environment_fallback(
+                            evaluator, remaining, journal, tagged, exc
+                        )
+                        return []
+                    except Exception as exc:
+                        for f in not_done:
+                            f.cancel()
+                        raise SweepChunkError.from_chunk(indexed, exc) from exc
+                    else:
+                        self._commit(
+                            evaluator, payload[0], payload, journal, tagged
+                        )
+                        metrics.counter("parallel.chunks_completed").inc()
+        finally:
+            # A broken pool shuts down instantly; an abandoned one must not
+            # be joined (its hung workers are exactly what we are escaping).
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return transient

@@ -1,0 +1,450 @@
+"""Fault tolerance for sweeps: retries, timeouts, checkpoint/resume.
+
+A production-scale exploration sweeps orders of magnitude more
+configurations than the paper's ``T x L x S x B`` grid, and at that scale
+partial failure is the normal case: a worker process dies, a chunk wedges
+on a pathological geometry, the whole sweep is killed and restarted.
+This module supplies the three pieces :class:`~repro.engine.parallel.ParallelSweep`
+composes into a fault-tolerant executor:
+
+* :class:`RetryPolicy` -- per-chunk retry with exponential backoff and
+  *deterministic* jitter (seeded, so two runs of the same sweep back off
+  identically and tests are reproducible);
+* :class:`SweepCheckpoint` -- an append-only JSONL journal of completed
+  ``(index, PerformanceEstimate)`` chunks.  Every record is flushed and
+  fsynced, so a sweep killed at any point restarts exactly where it
+  stopped; a torn trailing line (the signature of a mid-write kill) is
+  tolerated and ignored.  The journal is bound to a
+  :func:`sweep_fingerprint` of the workload, backend and configuration
+  list, so resuming against a *different* sweep fails loudly instead of
+  silently mixing results;
+* :class:`ResilienceOptions` -- the single bundle threaded from the CLI
+  flags (``--checkpoint`` / ``--resume`` / ``--chunk-timeout`` /
+  ``--max-retries``) down through every exploration layer.
+
+Failure classification is the contract between this module and the
+executor: :class:`TransientChunkError` (and its subclasses, including the
+fault harness's :class:`~repro.engine.faults.InjectedCrash`) marks a chunk
+worth re-dispatching; anything else raised by an evaluator is
+deterministic and surfaces immediately as a :class:`SweepChunkError`
+naming the failing chunk's configurations.
+
+Checkpoint schema (``repro.checkpoint/1``), one JSON object per line::
+
+    {"schema": "repro.checkpoint/1", "fingerprint": "<sha256>", "configs": N}
+    {"chunk": [[index, {estimate...}], ...]}
+
+Estimates round-trip exactly -- :func:`estimate_to_json` keeps every
+field, including the energy breakdown, and JSON floats serialise via
+``repr`` -- so a resumed sweep's result table is bit-identical to an
+uninterrupted run (asserted by the test suite for arbitrary kill points).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+from repro.energy.model import EnergyBreakdown
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CorruptPayloadError",
+    "ResilienceOptions",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "SweepChunkError",
+    "TransientChunkError",
+    "estimate_from_json",
+    "estimate_to_json",
+    "load_checkpoint_estimates",
+    "sweep_fingerprint",
+]
+
+logger = logging.getLogger(__name__)
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+
+class TransientChunkError(RuntimeError):
+    """A chunk failure worth retrying: crash, corruption, infrastructure.
+
+    The executor re-dispatches chunks that fail with this (or a subclass,
+    or a broken pool / timeout) up to :attr:`RetryPolicy.max_retries`
+    times before degrading to in-parent serial evaluation.  Any *other*
+    exception is treated as a deterministic evaluator bug and re-raised
+    as :class:`SweepChunkError`.
+    """
+
+
+class CorruptPayloadError(TransientChunkError):
+    """A worker returned a payload that fails structural validation."""
+
+
+class SweepChunkError(RuntimeError):
+    """A chunk failed deterministically; names the failing configurations."""
+
+    def __init__(self, message: str, configs: Sequence[CacheConfig]) -> None:
+        super().__init__(message)
+        self.configs = list(configs)
+
+    @classmethod
+    def from_chunk(
+        cls, indexed: Sequence[Tuple[int, CacheConfig]], cause: BaseException
+    ) -> "SweepChunkError":
+        configs = [config for _, config in indexed]
+        labels = ", ".join(config.label(full=True) for config in configs)
+        error = cls(
+            f"sweep chunk failed on [{labels}]: "
+            f"{type(cause).__name__}: {cause}",
+            configs,
+        )
+        error.__cause__ = cause
+        return error
+
+
+class CheckpointError(ValueError):
+    """A checkpoint journal could not be used."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The journal belongs to a different sweep (fingerprint mismatch)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``delay_s(attempt, token)`` doubles from ``backoff_base_s`` per
+    attempt, caps at ``backoff_cap_s``, and adds up to ``jitter`` of the
+    base delay drawn from a :class:`random.Random` seeded on
+    ``(seed, attempt, token)`` -- so distinct chunks desynchronise (no
+    thundering herd on retry) while identical runs stay reproducible.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delay_s(self, attempt: int, token: Hashable = None) -> float:
+        """Backoff before re-dispatch number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+        rng = random.Random(repr((self.seed, attempt, token)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Everything a fault-tolerant sweep needs, threaded as one object.
+
+    ``checkpoint`` names the JSONL journal (written per completed chunk);
+    ``resume`` loads it first and evaluates only what is missing.
+    ``chunk_timeout_s`` bounds how long the executor waits without *any*
+    chunk completing before declaring the in-flight chunks wedged and
+    re-dispatching them.  ``fault_injector`` is the deterministic chaos
+    harness (:class:`~repro.engine.faults.FaultInjector`) wrapped around
+    worker dispatch -- tests and the nightly CI chaos job only.
+    """
+
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    chunk_timeout_s: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_injector: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.resume and not self.checkpoint:
+            raise ValueError("resume requires a checkpoint path")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError("chunk timeout must be positive")
+
+
+def estimate_to_json(estimate: PerformanceEstimate) -> Dict[str, Any]:
+    """A JSON-compatible dict that round-trips the estimate *exactly*.
+
+    Unlike :mod:`repro.core.serialize` (which drops the breakdown for
+    compact result tables), the checkpoint keeps every field so resumed
+    estimates compare equal to freshly computed ones.
+    """
+    breakdown = estimate.energy_breakdown
+    return {
+        "config": [
+            estimate.config.size,
+            estimate.config.line_size,
+            estimate.config.ways,
+            estimate.config.tiling,
+        ],
+        "miss_rate": estimate.miss_rate,
+        "cycles": estimate.cycles,
+        "energy_nj": estimate.energy_nj,
+        "events": estimate.events,
+        "accesses": estimate.accesses,
+        "reads": estimate.reads,
+        "read_miss_rate": estimate.read_miss_rate,
+        "add_bs": estimate.add_bs,
+        "conflict_free_layout": estimate.conflict_free_layout,
+        "energy_breakdown": None
+        if breakdown is None
+        else {
+            "e_dec": breakdown.e_dec,
+            "e_cell": breakdown.e_cell,
+            "e_io": breakdown.e_io,
+            "e_main": breakdown.e_main,
+            "hit_rate": breakdown.hit_rate,
+            "miss_rate": breakdown.miss_rate,
+            "events": breakdown.events,
+        },
+    }
+
+
+def estimate_from_json(doc: Dict[str, Any]) -> PerformanceEstimate:
+    """Rebuild an estimate written by :func:`estimate_to_json`."""
+    breakdown_doc = doc.get("energy_breakdown")
+    breakdown = (
+        None
+        if breakdown_doc is None
+        else EnergyBreakdown(
+            e_dec=breakdown_doc["e_dec"],
+            e_cell=breakdown_doc["e_cell"],
+            e_io=breakdown_doc["e_io"],
+            e_main=breakdown_doc["e_main"],
+            hit_rate=breakdown_doc["hit_rate"],
+            miss_rate=breakdown_doc["miss_rate"],
+            events=breakdown_doc["events"],
+        )
+    )
+    size, line_size, ways, tiling = doc["config"]
+    return PerformanceEstimate(
+        config=CacheConfig(size, line_size, ways, tiling),
+        miss_rate=doc["miss_rate"],
+        cycles=doc["cycles"],
+        energy_nj=doc["energy_nj"],
+        events=doc["events"],
+        accesses=doc["accesses"],
+        reads=doc["reads"],
+        read_miss_rate=doc["read_miss_rate"],
+        add_bs=doc["add_bs"],
+        conflict_free_layout=doc["conflict_free_layout"],
+        energy_breakdown=breakdown,
+    )
+
+
+def _evaluator_identity(evaluator: Any) -> str:
+    """A stable textual identity of what is being evaluated.
+
+    Duck-typed over the two evaluator shapes the executor accepts: an
+    :class:`~repro.engine.evaluator.Evaluator` (workload + backend) or a
+    :class:`~repro.core.composite.CompositeProgram` (kernels + trips).
+    Reprs of the underlying frozen dataclasses are deterministic across
+    processes, unlike ``hash()``.
+    """
+    workload = getattr(evaluator, "workload", None)
+    backend = getattr(evaluator, "backend", None)
+    backend_name = getattr(backend, "name", backend)
+    backend_params = getattr(backend, "params", None)
+    if workload is not None:
+        return repr(
+            (
+                "workload",
+                repr(workload.key),
+                backend_name,
+                backend_params,
+                getattr(evaluator, "gray_code", None),
+            )
+        )
+    kernels = getattr(evaluator, "kernels", None)
+    trips = getattr(evaluator, "trips", None)
+    if kernels is not None:
+        return repr(
+            (
+                "composite",
+                [repr(kernel) for kernel in kernels],
+                sorted((trips or {}).items()),
+                backend_name,
+            )
+        )
+    return repr(("opaque", type(evaluator).__qualname__))
+
+
+def sweep_fingerprint(
+    evaluator: Any, configs: Sequence[CacheConfig]
+) -> str:
+    """SHA-256 identity of one sweep: evaluator + ordered config list.
+
+    Two sweeps share a fingerprint exactly when their journals are
+    interchangeable; :meth:`SweepCheckpoint.load` refuses anything else.
+    """
+    digest = hashlib.sha256()
+    digest.update(_evaluator_identity(evaluator).encode())
+    for config in configs:
+        digest.update(
+            f"|{config.size},{config.line_size},{config.ways},"
+            f"{config.tiling}".encode()
+        )
+    return digest.hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep chunks.
+
+    Lifecycle: :meth:`load` (on resume) returns everything already
+    evaluated, then :meth:`open_for_append` positions the journal for
+    writing (truncating it on a fresh run), and :meth:`record_chunk`
+    appends one flushed, fsynced line per completed chunk.  Records are
+    whole chunks, so a kill between writes loses at most the in-flight
+    chunks -- never corrupts committed ones -- and a torn trailing line is
+    skipped on load with a warning.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[Any] = None
+
+    def load(
+        self, fingerprint: str
+    ) -> Dict[int, PerformanceEstimate]:
+        """Completed ``index -> estimate`` pairs journaled for this sweep.
+
+        A missing file is an empty resume (first run).  A journal whose
+        header names a different fingerprint raises
+        :class:`CheckpointMismatchError`; a file that is not a checkpoint
+        at all raises :class:`CheckpointError`.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        done: Dict[int, PerformanceEstimate] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{self.path} is not a {CHECKPOINT_SCHEMA} journal"
+            ) from exc
+        if not isinstance(header, dict) or header.get("schema") != (
+            CHECKPOINT_SCHEMA
+        ):
+            raise CheckpointError(
+                f"{self.path} is not a {CHECKPOINT_SCHEMA} journal"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.path} was written by a different sweep "
+                "(workload, backend or configuration list changed); "
+                "delete it or drop --resume to start over"
+            )
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                pairs = record["chunk"]
+                parsed = [
+                    (int(index), estimate_from_json(doc))
+                    for index, doc in pairs
+                ]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # The signature of a kill mid-write: everything after the
+                # tear is unusable, so stop (the sweep re-evaluates it).
+                logger.warning(
+                    "checkpoint %s: ignoring torn record at line %d "
+                    "(and everything after it)",
+                    self.path,
+                    number,
+                )
+                break
+            for index, estimate in parsed:
+                done[index] = estimate
+        return done
+
+    def open_for_append(self, fingerprint: str, fresh: bool, configs: int) -> None:
+        """Start journaling: truncate + header when ``fresh``, else append.
+
+        On a resumed run with no existing file the header is written too,
+        so ``--resume`` is safe to pass on the very first attempt.
+        """
+        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            self._write_line(
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "fingerprint": fingerprint,
+                    "configs": configs,
+                }
+            )
+
+    def record_chunk(
+        self, pairs: Sequence[Tuple[int, PerformanceEstimate]]
+    ) -> None:
+        """Append one completed chunk (durable before returning)."""
+        if self._handle is None:
+            raise CheckpointError("checkpoint is not open for appending")
+        self._write_line(
+            {
+                "chunk": [
+                    [index, estimate_to_json(estimate)]
+                    for index, estimate in pairs
+                ]
+            }
+        )
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def load_checkpoint_estimates(path: str) -> List[PerformanceEstimate]:
+    """All estimates journaled at ``path``, in sweep order (no fingerprint
+    check -- inspection/tooling use; sweeps go through :meth:`SweepCheckpoint.load`).
+    """
+    checkpoint = SweepCheckpoint(path)
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+        fingerprint = header["fingerprint"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"{path} is not a {CHECKPOINT_SCHEMA} journal"
+        ) from exc
+    done = checkpoint.load(fingerprint)
+    return [done[index] for index in sorted(done)]

@@ -155,6 +155,20 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram()
             return instrument
 
+    def counters_matching(self, prefix: str) -> Dict[str, int]:
+        """Current values of the counters whose names start with ``prefix``.
+
+        Convenience for reporting layers that group related counters (the
+        ``repro stats`` table pulls ``parallel.`` / ``resilience.`` into a
+        sweep-resilience section this way).
+        """
+        with self._lock:
+            return {
+                name: counter.value
+                for name, counter in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-compatible copy of every instrument's current state."""
         with self._lock:

@@ -24,6 +24,33 @@ Schema (``repro.obs/1``)::
 deliberately imports nothing from :mod:`repro.engine` -- cache state is
 passed in as the plain dict ``EvalCache.snapshot()`` returns -- so the
 dependency arrow stays engine -> obs.
+
+Sweep-resilience counters (all under ``metrics.counters``; the schema
+version stays ``repro.obs/1`` because counters are open-ended by design):
+
+``parallel.chunks_completed``
+    Chunks whose worker payload merged successfully.
+``parallel.serial_fallbacks``
+    Whole rounds degraded to serial because the environment cannot run a
+    process pool (no fork / no pickling).
+``resilience.chunk_failures``
+    Transient chunk failures observed (worker crash, broken pool,
+    corrupt payload).
+``resilience.chunk_timeouts``
+    Chunks abandoned by the per-chunk watchdog timeout.
+``resilience.chunk_retries``
+    Chunk re-dispatches after a transient failure or timeout.
+``resilience.degraded_chunks``
+    Chunks that exhausted their retries and were evaluated serially
+    in-parent.
+``resilience.checkpoint_chunks``
+    Chunks durably journaled to the ``--checkpoint`` file.
+``resilience.resumed_configs``
+    Configurations loaded from the journal by ``--resume`` instead of
+    re-evaluated.
+
+These are rendered as their own block by :func:`render_stage_table`
+(``repro stats``).
 """
 
 from __future__ import annotations
@@ -122,9 +149,23 @@ def render_stage_table(report: Dict[str, Any]) -> str:
             )
 
     counters = report.get("metrics", {}).get("counters", {})
-    if counters:
+    resilience = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("parallel.", "resilience."))
+    }
+    if resilience:
+        lines.append("")
+        lines.append("sweep resilience (retries / timeouts / checkpointing)")
+        for name in sorted(resilience):
+            lines.append(f"  {name:<36s} {resilience[name]}")
+
+    general = {
+        name: value for name, value in counters.items() if name not in resilience
+    }
+    if general:
         lines.append("")
         lines.append("counters")
-        for name in sorted(counters):
-            lines.append(f"  {name:<36s} {counters[name]}")
+        for name in sorted(general):
+            lines.append(f"  {name:<36s} {general[name]}")
     return "\n".join(lines)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "SpanCollector",

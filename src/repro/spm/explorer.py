@@ -73,6 +73,7 @@ def compare_cache_vs_spm(
     line_sizes: Sequence[int] = (4, 8, 16, 32),
     backend: str = "fastsim",
     jobs: int = 1,
+    resilience=None,
 ) -> List[CacheVsSpmRow]:
     """Best cache vs scratchpad at every on-chip byte budget.
 
@@ -104,7 +105,7 @@ def compare_cache_vs_spm(
         for line in line_sizes
         if line <= budget
     ]
-    result = evaluator.sweep(configs=configs, jobs=jobs)
+    result = evaluator.sweep(configs=configs, jobs=jobs, resilience=resilience)
     rows = []
     for budget in budgets:
         candidates = [

@@ -1,0 +1,136 @@
+"""The benchmark regression gate (``benchmarks/check_regression.py``).
+
+The gate is a standalone script CI runs between a baseline and a fresh
+results directory; these tests load it by path and pin down its parsing
+(both table shapes the perf benches emit) and its verdict logic
+(threshold, absolute noise floor, missing measurements).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ENGINE_STYLE = """\
+Performance -- evaluation engine (compress sweep, 115 configs, 1 CPU(s))
+
+        path       seconds     configs/s
+serial, cold cache        0.29530           389
+serial, warm cache        0.00730         15673
+
+EvalCache behaviour over the cold+warm sweeps
+
+                 store    hits  misses  hit rate
+        traces (T,L,B)     185      45    0.8043
+"""
+
+OBS_STYLE = """\
+Performance -- observability overhead (compress warm sweep, 115 configs)
+
+     measure         value
+warm sweep, spans disabled (s)        0.0081
+warm sweep, spans enabled (s)        0.0095
+null span cost (ns)       86.9000
+disabled overhead per eval        0.0074
+"""
+
+
+class TestParsing:
+    def test_seconds_column_table(self, gate):
+        parsed = gate.parse_seconds(ENGINE_STYLE)
+        assert parsed == {
+            "serial, cold cache": 0.2953,
+            "serial, warm cache": 0.0073,
+        }
+
+    def test_label_with_seconds_unit(self, gate):
+        parsed = gate.parse_seconds(OBS_STYLE)
+        assert parsed == {
+            "warm sweep, spans disabled (s)": 0.0081,
+            "warm sweep, spans enabled (s)": 0.0095,
+        }
+
+    def test_cache_and_count_tables_ignored(self, gate):
+        assert "traces" not in " ".join(gate.parse_seconds(ENGINE_STYLE))
+
+    def test_load_directory_keys_by_file(self, gate, tmp_path):
+        (tmp_path / "perf_engine.txt").write_text(ENGINE_STYLE)
+        (tmp_path / "perf_obs.txt").write_text(OBS_STYLE)
+        (tmp_path / "fig01_energy_em.txt").write_text(ENGINE_STYLE)
+        loaded = gate.load_directory(tmp_path)
+        assert "perf_engine:serial, cold cache" in loaded
+        assert "perf_obs:warm sweep, spans enabled (s)" in loaded
+        assert not any(key.startswith("fig01") for key in loaded)
+
+
+class TestVerdicts:
+    def test_within_threshold_passes(self, gate):
+        regressions, _ = gate.compare(
+            {"a": 1.0}, {"a": 1.2}, threshold=0.25, floor=0.02
+        )
+        assert regressions == []
+
+    def test_regression_beyond_threshold_fails(self, gate):
+        regressions, _ = gate.compare(
+            {"a": 1.0}, {"a": 1.3}, threshold=0.25, floor=0.02
+        )
+        assert len(regressions) == 1
+        assert "+30.0%" in regressions[0]
+
+    def test_noise_floor_forgives_tiny_measurements(self, gate):
+        # 3x slower but only 10 ms absolute: scheduler noise, not a bug.
+        regressions, _ = gate.compare(
+            {"a": 0.005}, {"a": 0.015}, threshold=0.25, floor=0.02
+        )
+        assert regressions == []
+
+    def test_missing_measurement_fails(self, gate):
+        regressions, _ = gate.compare(
+            {"a": 1.0}, {}, threshold=0.25, floor=0.02
+        )
+        assert len(regressions) == 1
+        assert "missing" in regressions[0]
+
+    def test_improvements_and_new_rows_are_notes(self, gate):
+        regressions, notes = gate.compare(
+            {"a": 1.0}, {"a": 0.5, "b": 0.1}, threshold=0.25, floor=0.02
+        )
+        assert regressions == []
+        assert any("improved" in note for note in notes)
+        assert any("new measurement" in note for note in notes)
+
+
+class TestMain:
+    def test_end_to_end_pass_and_fail(self, gate, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        for directory in (baseline, current):
+            directory.mkdir()
+            (directory / "perf_engine.txt").write_text(ENGINE_STYLE)
+        assert gate.main([str(baseline), str(current)]) == 0
+        capsys.readouterr()
+
+        slower = ENGINE_STYLE.replace("0.29530", "0.59530")
+        (current / "perf_engine.txt").write_text(slower)
+        assert gate.main([str(baseline), str(current)]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_empty_baseline_is_an_error(self, gate, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        baseline.mkdir()
+        current.mkdir()
+        assert gate.main([str(baseline), str(current)]) == 2
