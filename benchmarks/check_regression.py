@@ -1,7 +1,8 @@
 """Benchmark regression gate: compare timing tables against baselines.
 
 The perf benches (``test_perf_engine.py``, ``test_perf_obs.py``,
-``test_perf_resilience.py``) write human-readable tables under
+``test_perf_resilience.py``, ``test_perf_serve.py``) write human-readable
+tables under
 ``benchmarks/results/``.  CI stashes the committed baselines, re-runs the
 benches, and calls this script to diff the two directories::
 
@@ -33,7 +34,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 #: Result files the gate covers (others under results/ are figure tables).
-PERF_FILES = ("perf_engine", "perf_obs", "perf_resilience")
+PERF_FILES = ("perf_engine", "perf_obs", "perf_resilience", "perf_serve")
 
 
 def _to_float(token: str):

@@ -33,6 +33,14 @@ Subcommands mirror the paper's workflow:
 ``stats``
     Run a profiled sweep and print the per-stage timing / cache-hit table
     (the human face of the observability layer).
+``serve``
+    Run the exploration service: an HTTP/JSON job queue with request
+    coalescing and the persistent sqlite result store (``repro.serve``).
+``submit``
+    Submit a sweep to a running service and (by default) wait for the
+    result table.
+``jobs``
+    List a service's jobs, or show/await one job.
 
 Every subcommand additionally accepts the observability flags
 ``--log-level`` / ``--log-json`` (structured logging for the ``repro``
@@ -47,6 +55,7 @@ table) and ``--metrics-out FILE.json`` (write the machine-readable
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -63,6 +72,22 @@ from repro.kernels import available_kernels, get_kernel, mpeg_decoder_kernels
 from repro.loops.reuse import group_references, min_cache_lines, min_cache_size
 
 __all__ = ["main"]
+
+
+def _package_version() -> str:
+    """The installed package version, from metadata when available.
+
+    A source checkout run via ``PYTHONPATH=src`` has no installed
+    distribution; fall back to the package's own ``__version__``.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
 
 
 def _add_energy_args(parser: argparse.ArgumentParser) -> None:
@@ -443,6 +468,117 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_spec(args: argparse.Namespace):
+    """Build a service :class:`~repro.serve.JobSpec` from explore-style flags."""
+    from repro.serve import JobSpec
+
+    return JobSpec(
+        kernel=args.kernel,
+        backend=args.backend,
+        max_size=args.max_size,
+        min_size=args.min_size,
+        ways=tuple(args.ways),
+        tilings=tuple(args.tilings) if args.tilings else None,
+        sram=args.sram,
+        optimize_layout=not args.no_layout_opt,
+        objective=args.objective,
+        cycle_bound=args.cycle_bound,
+        energy_bound=args.energy_bound,
+    )
+
+
+def _print_served_result(job: dict, result: ExplorationResult) -> int:
+    """Shared result rendering for ``submit --wait`` and ``jobs ID --wait``.
+
+    Both paths must print byte-identical output for the same job so the
+    crash-resume smoke test can diff them.
+    """
+    spec = job["spec"]
+    _print_table(result, sys.stdout)
+    try:
+        selection = select_configuration(
+            result.estimates,
+            objective=spec.get("objective", "energy"),
+            cycle_bound=spec.get("cycle_bound"),
+            energy_bound=spec.get("energy_bound"),
+        )
+        print(f"\n{selection}")
+    except SelectionError as exc:
+        print(f"\nselection failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _await_job(client, job_id: str, timeout_s: Optional[float]) -> int:
+    """Wait for a job, then print its result (or the failure)."""
+    job = client.wait(job_id, timeout_s=timeout_s)
+    if job["state"] == "failed":
+        print(f"job {job_id} failed: {job.get('error')}", file=sys.stderr)
+        return 1
+    if job["state"] != "done":
+        print(f"timed out waiting for job {job_id} "
+              f"({job['done_configs']}/{job['total_configs']} configs)",
+              file=sys.stderr)
+        return 1
+    return _print_served_result(job, client.result(job_id))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ExplorationService, install_signal_handlers, make_server
+
+    spool = args.spool if args.spool is not None else args.store + ".spool"
+    service = ExplorationService(
+        args.store,
+        spool,
+        queue_depth=args.queue_depth,
+        sweep_jobs=args.jobs,
+    ).start()
+    httpd = make_server(args.host, args.port, service)
+    install_signal_handlers(httpd, service)
+    host, port = httpd.server_address[:2]
+    print(f"serving on http://{host}:{port} (store={args.store})", flush=True)
+    try:
+        httpd.serve_forever()
+    finally:
+        httpd.server_close()
+        service.stop(wait=False)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    job = client.submit(_job_spec(args), priority=args.priority)
+    flag = " (coalesced)" if job.get("coalesced") else ""
+    print(f"job {job['job_id']}{flag}", file=sys.stderr)
+    if args.no_wait:
+        print(job["job_id"])
+        return 0
+    return _await_job(client, job["job_id"], args.timeout)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    if args.job_id is None:
+        rows = client.jobs()
+        print(f"{'job':>22s} {'state':>8s} {'progress':>10s} "
+              f"{'kernel':>10s} {'coalesced':>9s}")
+        for job in rows:
+            progress = f"{job['done_configs']}/{job['total_configs']}"
+            print(
+                f"{job['job_id']:>22s} {job['state']:>8s} {progress:>10s} "
+                f"{job['spec']['kernel']:>10s} {job['coalesced']:>9d}"
+            )
+        return 0
+    if args.wait:
+        return _await_job(client, args.job_id, args.timeout)
+    print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The :mod:`argparse` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -451,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Memory exploration for low-power embedded systems "
             "(reproduction of Shiue & Chakrabarti, DAC 1999)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -577,6 +718,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(stats)
     stats.set_defaults(func=_cmd_stats)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP exploration service (job queue + result store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--store", default="repro-results.db",
+                       help="persistent sqlite result store (repro.store/1)")
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="checkpoint journal directory "
+                            "(default: <store>.spool)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission-control bound on queued jobs")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes per sweep")
+    _add_obs_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running exploration service"
+    )
+    submit.add_argument("kernel")
+    submit.add_argument("--server", default="http://127.0.0.1:8000")
+    submit.add_argument("--priority", type=int, default=10,
+                        help="queue priority (lower runs sooner)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--max-size", type=int, default=512)
+    submit.add_argument("--min-size", type=int, default=16)
+    submit.add_argument("--ways", type=int, nargs="+", default=[1])
+    submit.add_argument("--tilings", type=int, nargs="+", default=None)
+    submit.add_argument("--objective", choices=["energy", "cycles"],
+                        default="energy")
+    submit.add_argument("--cycle-bound", type=float, default=None)
+    submit.add_argument("--energy-bound", type=float, default=None)
+    submit.add_argument(
+        "--backend", default="fastsim", choices=available_backends()
+    )
+    _add_energy_args(submit)
+    _add_obs_args(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list service jobs, or show/await one job"
+    )
+    jobs.add_argument("job_id", nargs="?", default=None)
+    jobs.add_argument("--server", default="http://127.0.0.1:8000")
+    jobs.add_argument("--wait", action="store_true",
+                      help="block until the job finishes, then print its result")
+    jobs.add_argument("--timeout", type=float, default=None,
+                      help="give up waiting after this many seconds")
+    _add_obs_args(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
     return parser
 
 
@@ -599,6 +797,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.enable_profiling()
     try:
         code = args.func(args)
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT, without a traceback splattered on
+        # the terminal.
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
         if args.profile:
             obs.disable_profiling()

@@ -52,7 +52,7 @@ import logging
 import os
 import pickle
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
@@ -208,6 +208,14 @@ class ParallelSweep:
         Retry/timeout/checkpoint behaviour
         (:class:`~repro.engine.resilience.ResilienceOptions`); the default
         retries transient chunk failures but journals nothing.
+    on_progress:
+        Optional ``(done, total)`` callback fired from the parent process
+        whenever completed configurations are committed (a chunk finishes
+        or a resume loads journaled work).  It runs on the executor's
+        threads and must be cheap and non-raising; the exploration
+        service uses it to stream job progress.  Only the resilient
+        executor reports -- the historical direct path (no explicit
+        resilience, tiny/serial sweep) stays bare.
     """
 
     def __init__(
@@ -215,6 +223,7 @@ class ParallelSweep:
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         resilience: Optional[ResilienceOptions] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("job count must be at least 1")
@@ -226,6 +235,8 @@ class ParallelSweep:
         self.resilience = (
             resilience if resilience is not None else ResilienceOptions()
         )
+        self.on_progress = on_progress
+        self._progress_total = 0
 
     def _chunks(
         self, evaluator: Any, configs: Sequence[CacheConfig]
@@ -268,6 +279,8 @@ class ParallelSweep:
         ):
             return [evaluator.evaluate(config) for config in configs]
         journal, tagged = self._open_journal(evaluator, configs, opts)
+        self._progress_total = len(configs)
+        self._report_progress(tagged)
         try:
             pending = self._pending_chunks(evaluator, configs, tagged)
             logger.debug(
@@ -353,6 +366,18 @@ class ParallelSweep:
         if journal is not None:
             journal.record_chunk(sorted(pairs, key=lambda pair: pair[0]))
             get_metrics().counter("resilience.checkpoint_chunks").inc()
+        self._report_progress(tagged)
+
+    def _report_progress(
+        self, tagged: Dict[int, PerformanceEstimate]
+    ) -> None:
+        """Fire the ``on_progress`` hook (never lets it break the sweep)."""
+        if self.on_progress is None:
+            return
+        try:
+            self.on_progress(len(tagged), self._progress_total)
+        except Exception:  # pragma: no cover - defensive
+            logger.warning("on_progress hook raised; ignoring", exc_info=True)
 
     def _merge_payload(self, evaluator: Any, payload: _ChunkPayload) -> None:
         """Fold one worker's observability payload into this process."""

@@ -73,6 +73,32 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+_CHECKPOINT_SCHEMA_PREFIX = "repro.checkpoint/"
+_CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def _check_journal_schema(header: Any, path: str) -> None:
+    """Raise :class:`CheckpointError` unless the header's schema is ours.
+
+    A journal written by a *newer* repro (``repro.checkpoint/2`` and up)
+    is named as such -- "upgrade or start over" is a far better failure
+    than the generic not-a-journal error (or a ``KeyError`` from blindly
+    indexing fields the old reader does not know).
+    """
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema == CHECKPOINT_SCHEMA:
+        return
+    if isinstance(schema, str) and schema.startswith(
+        _CHECKPOINT_SCHEMA_PREFIX
+    ):
+        suffix = schema[len(_CHECKPOINT_SCHEMA_PREFIX):]
+        if suffix.isdigit() and int(suffix) > _CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} uses schema {schema}, newer than the "
+                f"{CHECKPOINT_SCHEMA} this version reads; upgrade repro or "
+                "delete the journal to start over"
+            )
+    raise CheckpointError(f"{path} is not a {CHECKPOINT_SCHEMA} journal")
 
 
 class TransientChunkError(RuntimeError):
@@ -344,12 +370,7 @@ class SweepCheckpoint:
             raise CheckpointError(
                 f"{self.path} is not a {CHECKPOINT_SCHEMA} journal"
             ) from exc
-        if not isinstance(header, dict) or header.get("schema") != (
-            CHECKPOINT_SCHEMA
-        ):
-            raise CheckpointError(
-                f"{self.path} is not a {CHECKPOINT_SCHEMA} journal"
-            )
+        _check_journal_schema(header, self.path)
         if header.get("fingerprint") != fingerprint:
             raise CheckpointMismatchError(
                 f"checkpoint {self.path} was written by a different sweep "
@@ -441,10 +462,15 @@ def load_checkpoint_estimates(path: str) -> List[PerformanceEstimate]:
         first = handle.readline()
     try:
         header = json.loads(first)
-        fingerprint = header["fingerprint"]
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+    except json.JSONDecodeError as exc:
         raise CheckpointError(
             f"{path} is not a {CHECKPOINT_SCHEMA} journal"
         ) from exc
+    _check_journal_schema(header, path)
+    fingerprint = header.get("fingerprint")
+    if not isinstance(fingerprint, str):
+        raise CheckpointError(
+            f"{path} has no sweep fingerprint in its header"
+        )
     done = checkpoint.load(fingerprint)
     return [done[index] for index in sorted(done)]

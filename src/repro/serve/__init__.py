@@ -1,0 +1,83 @@
+"""repro.serve: exploration-as-a-service.
+
+The service layer on top of :mod:`repro.engine`: concurrent clients
+submit sweep requests to one long-lived process and share every
+evaluation, fleet-wide, instead of re-running one-shot CLI sweeps.
+
+* :mod:`repro.serve.store` -- :class:`ResultStore`, the disk-backed
+  (sqlite, schema ``repro.store/1``) result tier under the in-memory
+  :class:`~repro.engine.cache.EvalCache`: finished estimates are
+  content-addressed by evaluator fingerprint + configuration, survive
+  restarts, and are shared across processes.
+  :class:`StoreBackedEvaluator` layers the store under any engine
+  evaluator without changing sweep fingerprints.
+* :mod:`repro.serve.jobs` -- :class:`JobSpec` (the canonical, hashable
+  sweep request), :class:`JobManager` (bounded priority queue, request
+  coalescing, admission control, persistence) and :class:`JobRunner`
+  (checkpointed execution via
+  :class:`~repro.engine.parallel.ParallelSweep`, so a killed server
+  resumes bit-identically).
+* :mod:`repro.serve.server` -- the stdlib HTTP/JSON front end behind
+  ``repro serve`` (``/health``, ``/metrics``, ``/jobs`` with progress
+  streaming, 429 backpressure, graceful drain on SIGTERM).
+* :mod:`repro.serve.client` -- :class:`ServeClient`, the Python client
+  behind ``repro submit`` / ``repro jobs``.
+
+Quickstart (server side)::
+
+    from repro.serve import ExplorationService, make_server
+
+    service = ExplorationService("results.db", "spool").start()
+    make_server("127.0.0.1", 8000, service).serve_forever()
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import (
+    Job,
+    JobManager,
+    JobRunner,
+    JobSpec,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from repro.serve.server import (
+    SERVE_SCHEMA,
+    ExplorationService,
+    ServeHTTPServer,
+    install_signal_handlers,
+    make_server,
+)
+from repro.serve.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    StoreBackedEvaluator,
+    StoreError,
+    StoreSchemaError,
+    config_key,
+    evaluator_fingerprint,
+    open_store,
+)
+
+__all__ = [
+    "ExplorationService",
+    "Job",
+    "JobManager",
+    "JobRunner",
+    "JobSpec",
+    "QueueFullError",
+    "ResultStore",
+    "SERVE_SCHEMA",
+    "STORE_SCHEMA",
+    "ServeClient",
+    "ServeError",
+    "ServeHTTPServer",
+    "ServiceDrainingError",
+    "StoreBackedEvaluator",
+    "StoreError",
+    "StoreSchemaError",
+    "config_key",
+    "evaluator_fingerprint",
+    "install_signal_handlers",
+    "make_server",
+    "open_store",
+]

@@ -1,0 +1,198 @@
+"""Python client for the exploration service (stdlib ``urllib`` only).
+
+:class:`ServeClient` speaks the ``repro.serve/1`` HTTP/JSON protocol:
+submit sweeps (with automatic, bounded retry on ``429 Retry-After``
+backpressure), poll or long-poll job status, stream progress events, and
+fetch results -- which deserialise through the same exact
+:func:`~repro.engine.resilience.estimate_from_json` round-trip the
+checkpoint journal uses, so a result fetched over the wire compares equal
+to one computed locally.
+
+Quickstart::
+
+    from repro.serve import JobSpec, ServeClient
+
+    client = ServeClient("http://127.0.0.1:8000")
+    job = client.submit(JobSpec(kernel="compress", max_size=256))
+    job = client.wait(job["job_id"])
+    result = client.result(job["job_id"])
+    print(result.min_energy())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.engine.resilience import estimate_from_json
+from repro.engine.result import ExplorationResult
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP request to the service failed (carries status and body)."""
+
+    def __init__(self, status: int, message: str, doc: Optional[Dict] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.doc = doc or {}
+
+
+class ServeClient:
+    """A small, dependency-free client for one service endpoint."""
+
+    def __init__(
+        self, base_url: str = "http://127.0.0.1:8000", timeout_s: float = 30.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s
+            ) as response:
+                return json.loads(response.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError:
+                doc = {"error": raw}
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after is not None:
+                doc.setdefault("retry_after_s", float(retry_after))
+            raise ServeError(
+                exc.code, doc.get("error", raw), doc
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` (the ``repro.obs/1`` report + store section)."""
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        priority: int = 10,
+        max_attempts: int = 6,
+    ) -> Dict[str, Any]:
+        """``POST /jobs``, honouring ``429 Retry-After`` backpressure.
+
+        Retries up to ``max_attempts`` times, sleeping the server's
+        ``Retry-After`` hint (capped at 10 s) between attempts; any other
+        error surfaces immediately as :class:`ServeError`.  Returns the
+        job record with a ``"coalesced"`` flag folded in.
+        """
+        doc = spec.to_json() if isinstance(spec, JobSpec) else dict(spec)
+        body = {"spec": doc, "priority": priority}
+        for attempt in range(max_attempts):
+            try:
+                reply = self._request("POST", "/jobs", body=body)
+            except ServeError as exc:
+                if exc.status != 429 or attempt == max_attempts - 1:
+                    raise
+                time.sleep(min(float(exc.doc.get("retry_after_s", 1.0)), 10.0))
+                continue
+            job = reply["job"]
+            job["coalesced"] = reply.get("coalesced", False)
+            return job
+        raise ServeError(429, "job queue stayed full")  # pragma: no cover
+
+    def job(
+        self, job_id: str, wait_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` (long-polling when ``wait_s`` is given)."""
+        path = f"/jobs/{job_id}"
+        timeout = None
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+            timeout = wait_s + self.timeout_s
+        return self._request("GET", path, timeout_s=timeout)["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs``: every known job, most recent first."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(
+        self, job_id: str, timeout_s: Optional[float] = None, poll_s: float = 5.0
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal (long-polls in ``poll_s`` slices)."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id, wait_s=poll_s)
+            if job["state"] in ("done", "failed"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                return job
+
+    def result(self, job_id: str) -> ExplorationResult:
+        """``GET /jobs/<id>/result`` as an exact :class:`ExplorationResult`."""
+        doc = self._request("GET", f"/jobs/{job_id}/result")
+        return ExplorationResult(
+            [estimate_from_json(row) for row in doc["estimates"]]
+        )
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """``GET /jobs/<id>/events``: yield progress snapshots until terminal."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode())
+        except urllib.error.HTTPError as exc:
+            raise ServeError(exc.code, exc.read().decode(errors="replace"))
+
+    def submit_and_wait(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        priority: int = 10,
+        timeout_s: Optional[float] = None,
+    ) -> ExplorationResult:
+        """Submit, wait for completion, and fetch the exact result."""
+        job = self.submit(spec, priority=priority)
+        finished = self.wait(job["job_id"], timeout_s=timeout_s)
+        if finished["state"] != "done":
+            raise ServeError(
+                500,
+                f"job {job['job_id']} ended {finished['state']}: "
+                f"{finished.get('error')}",
+            )
+        return self.result(job["job_id"])

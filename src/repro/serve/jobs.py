@@ -1,0 +1,613 @@
+"""Job model for the exploration service: specs, queue, coalescing, runner.
+
+A *job* is one sweep request -- ``(workload, config grid, bounds,
+backend)`` -- expressed as a :class:`JobSpec` whose canonical JSON hashes
+to a ``spec_hash``.  The hash is the coalescing key: while a job with the
+same hash is queued or running, further submissions attach to it instead
+of enqueueing duplicates, so concurrent clients sweeping the same grid
+pay for it once.  Overlapping-but-different grids deduplicate one level
+down, per configuration, through the
+:class:`~repro.serve.store.ResultStore` L2 tier: a configuration any
+previous job evaluated is served from the store without touching the
+engine.
+
+:class:`JobManager` owns the bounded priority queue (admission control:
+a full queue rejects with a retry hint, which the HTTP layer turns into
+``429 Retry-After``) and the job registry; every state transition is
+persisted to the store's ``jobs`` table, so a ``kill -9`` of the server
+loses nothing -- :meth:`JobManager.recover` re-enqueues interrupted jobs
+on restart and :class:`JobRunner` resumes them from their checkpoint
+journals with bit-identical results.
+
+Counters fed into the :mod:`repro.obs` registry: ``serve.jobs_submitted``,
+``serve.jobs_coalesced``, ``serve.jobs_rejected``, ``serve.jobs_completed``,
+``serve.jobs_failed`` and ``serve.jobs_recovered``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import json
+import logging
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import CacheConfig, design_space
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAM_CATALOG
+from repro.engine.backends import available_backends
+from repro.engine.evaluator import Evaluator, order_configs
+from repro.engine.parallel import ParallelSweep
+from repro.engine.resilience import ResilienceOptions, estimate_to_json
+from repro.engine.result import ExplorationResult
+from repro.engine.workload import KernelWorkload
+from repro.kernels import available_kernels, get_kernel
+from repro.obs.metrics import get_metrics
+from repro.serve.store import ResultStore, StoreBackedEvaluator, evaluator_fingerprint
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobRunner",
+    "JobSpec",
+    "QueueFullError",
+    "ServiceDrainingError",
+    "JOB_STATES",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Lifecycle states of a job (terminal: ``done``, ``failed``).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default priority; lower numbers run sooner.
+DEFAULT_PRIORITY = 10
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission (queue at capacity)."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"job queue is full; retry after {retry_after_s:.0f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDrainingError(RuntimeError):
+    """The service is draining (SIGTERM) and accepts no new jobs."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sweep request: workload, grid, bounds and backend.
+
+    The canonical JSON of the spec (sorted keys, normalised tuples) hashes
+    to :attr:`spec_hash`, the fleet-wide coalescing key.  ``objective`` /
+    ``cycle_bound`` / ``energy_bound`` ride along so the service can
+    report the bounded selection with the result.
+    """
+
+    kernel: str
+    backend: str = "fastsim"
+    max_size: int = 512
+    min_size: int = 16
+    ways: Tuple[int, ...] = (1,)
+    tilings: Optional[Tuple[int, ...]] = None
+    sram: str = "CY7C-2Mbit"
+    optimize_layout: bool = True
+    objective: str = "energy"
+    cycle_bound: Optional[float] = None
+    energy_bound: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel not in available_kernels():
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.backend not in available_backends():
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.sram not in SRAM_CATALOG:
+            raise ValueError(f"unknown SRAM part {self.sram!r}")
+        if self.objective not in ("energy", "cycles"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.min_size <= 0 or self.max_size < self.min_size:
+            raise ValueError("size bounds must satisfy 0 < min <= max")
+        object.__setattr__(self, "ways", tuple(int(w) for w in self.ways))
+        if self.tilings is not None:
+            object.__setattr__(
+                self, "tilings", tuple(int(b) for b in self.tilings)
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-compatible dict accepted back by :meth:`from_json`."""
+        return {
+            "kernel": self.kernel,
+            "backend": self.backend,
+            "max_size": self.max_size,
+            "min_size": self.min_size,
+            "ways": list(self.ways),
+            "tilings": None if self.tilings is None else list(self.tilings),
+            "sram": self.sram,
+            "optimize_layout": self.optimize_layout,
+            "objective": self.objective,
+            "cycle_bound": self.cycle_bound,
+            "energy_bound": self.energy_bound,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "JobSpec":
+        """Validate and build a spec from a client-supplied document."""
+        if not isinstance(doc, dict):
+            raise ValueError("job spec must be a JSON object")
+        known = {
+            "kernel", "backend", "max_size", "min_size", "ways", "tilings",
+            "sram", "optimize_layout", "objective", "cycle_bound",
+            "energy_bound",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        if "kernel" not in doc:
+            raise ValueError("job spec needs a kernel")
+        kwargs: Dict[str, Any] = dict(doc)
+        if "ways" in kwargs:
+            kwargs["ways"] = tuple(kwargs["ways"])
+        if kwargs.get("tilings") is not None:
+            kwargs["tilings"] = tuple(kwargs["tilings"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ValueError(f"malformed job spec: {exc}") from exc
+
+    def canonical(self) -> str:
+        """Canonical JSON text (the input to :attr:`spec_hash`)."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @property
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical spec: the coalescing key."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def configs(self) -> List[CacheConfig]:
+        """The grid in canonical sweep order."""
+        return order_configs(
+            design_space(
+                max_size=self.max_size,
+                min_size=self.min_size,
+                ways=self.ways,
+                tilings=self.tilings,
+            )
+        )
+
+    def build_evaluator(
+        self, store: Optional[ResultStore] = None
+    ) -> Any:
+        """The engine evaluator for this spec (store-backed when given)."""
+        evaluator = Evaluator(
+            KernelWorkload(
+                get_kernel(self.kernel), optimize_layout=self.optimize_layout
+            ),
+            backend=self.backend,
+            energy_model=EnergyModel(sram=SRAM_CATALOG[self.sram]),
+        )
+        if store is None:
+            return evaluator
+        return StoreBackedEvaluator(evaluator, store)
+
+    def eval_id(self) -> str:
+        """The store fingerprint of this spec's evaluator."""
+        return evaluator_fingerprint(self.build_evaluator())
+
+
+@dataclass
+class Job:
+    """One tracked sweep: spec + lifecycle + progress + result."""
+
+    spec: JobSpec
+    priority: int = DEFAULT_PRIORITY
+    job_id: str = ""
+    state: str = "queued"
+    submitted_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    error: Optional[str] = None
+    done_configs: int = 0
+    total_configs: int = 0
+    coalesced: int = 0
+    resumed: bool = False
+    #: Bumped on every visible change; progress streams key off it.
+    version: int = 0
+    #: In-memory result (after restart, results come from the store).
+    result: Optional[ExplorationResult] = None
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            self.job_id = f"{self.spec.spec_hash[:12]}-{uuid.uuid4().hex[:8]}"
+        if not self.total_configs:
+            self.total_configs = len(self.spec.configs())
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached ``done`` or ``failed``."""
+        return self.state in ("done", "failed")
+
+    def to_json(self) -> Dict[str, Any]:
+        """The job record served by ``GET /jobs/<id>`` (and persisted)."""
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_json(),
+            "spec_hash": self.spec.spec_hash,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "error": self.error,
+            "done_configs": self.done_configs,
+            "total_configs": self.total_configs,
+            "coalesced": self.coalesced,
+            "resumed": self.resumed,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "Job":
+        """Rebuild a persisted job record (dropping volatile fields)."""
+        return cls(
+            spec=JobSpec.from_json(doc["spec"]),
+            priority=int(doc.get("priority", DEFAULT_PRIORITY)),
+            job_id=doc["job_id"],
+            state=doc.get("state", "queued"),
+            submitted_s=float(doc.get("submitted_s", 0.0)),
+            started_s=doc.get("started_s"),
+            finished_s=doc.get("finished_s"),
+            error=doc.get("error"),
+            done_configs=int(doc.get("done_configs", 0)),
+            total_configs=int(doc.get("total_configs", 0)),
+            coalesced=int(doc.get("coalesced", 0)),
+            resumed=bool(doc.get("resumed", False)),
+        )
+
+
+class JobManager:
+    """Bounded priority queue + registry + persistence for jobs.
+
+    All mutation happens under one condition variable; every visible
+    change bumps the job's ``version`` and wakes waiters, which is what
+    the long-poll and progress-streaming endpoints block on.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_depth: int = 16,
+        retry_after_s: float = 2.0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        self.store = store
+        self.max_depth = max_depth
+        self.retry_after_s = retry_after_s
+        self._cond = threading.Condition()
+        self._jobs: "Dict[str, Job]" = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        #: spec_hash -> job_id for every queued or running job.
+        self._active: Dict[str, str] = {}
+        self._draining = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # submission / admission control / coalescing
+
+    def submit(
+        self, spec: JobSpec, priority: int = DEFAULT_PRIORITY
+    ) -> Tuple[Job, bool]:
+        """Queue a job (or coalesce onto an active one).
+
+        Returns ``(job, coalesced)``.  Raises :class:`QueueFullError`
+        when the queue is at capacity and :class:`ServiceDrainingError`
+        during drain.
+        """
+        metrics = get_metrics()
+        with self._cond:
+            if self._draining:
+                raise ServiceDrainingError(
+                    "service is draining; not accepting new jobs"
+                )
+            active_id = self._active.get(spec.spec_hash)
+            if active_id is not None:
+                job = self._jobs[active_id]
+                job.coalesced += 1
+                job.version += 1
+                metrics.counter("serve.jobs_coalesced").inc()
+                self._persist(job)
+                self._cond.notify_all()
+                return job, True
+            if len(self._heap) >= self.max_depth:
+                metrics.counter("serve.jobs_rejected").inc()
+                raise QueueFullError(self.retry_after_s)
+            job = Job(spec=spec, priority=priority)
+            self._register(job)
+            metrics.counter("serve.jobs_submitted").inc()
+            metrics.gauge("serve.queue_depth").set(len(self._heap))
+            self._persist(job)
+            self._cond.notify_all()
+            return job, False
+
+    def _register(self, job: Job) -> None:
+        """Track a queued job (caller holds the lock)."""
+        self._jobs[job.job_id] = job
+        self._active[job.spec.spec_hash] = job.job_id
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job.job_id))
+
+    def recover(self) -> int:
+        """Re-enqueue persisted jobs interrupted by a crash or restart.
+
+        ``queued`` and ``running`` records go back on the queue (their
+        checkpoint journals make the resume cheap); terminal records are
+        registered for ``GET /jobs`` history.  Returns the number of jobs
+        re-enqueued.
+        """
+        recovered = 0
+        docs = sorted(self.store.load_jobs(), key=lambda d: d.get("submitted_s", 0.0))
+        with self._cond:
+            for doc in docs:
+                try:
+                    job = Job.from_json(doc)
+                except (KeyError, ValueError) as exc:
+                    logger.warning(
+                        "ignoring unreadable persisted job record: %s", exc
+                    )
+                    continue
+                if job.job_id in self._jobs:
+                    continue
+                if job.terminal:
+                    self._jobs[job.job_id] = job
+                    continue
+                job.state = "queued"
+                job.resumed = True
+                job.version += 1
+                self._register(job)
+                self._persist(job)
+                recovered += 1
+            if recovered:
+                get_metrics().counter("serve.jobs_recovered").inc(recovered)
+                self._cond.notify_all()
+        if recovered:
+            logger.info("recovered %d interrupted job(s)", recovered)
+        return recovered
+
+    # ------------------------------------------------------------------
+    # runner side
+
+    def next_job(self, timeout_s: float = 0.5) -> Optional[Job]:
+        """Claim the highest-priority queued job (blocks up to ``timeout_s``)."""
+        with self._cond:
+            if not self._heap:
+                self._cond.wait(timeout_s)
+            if not self._heap:
+                return None
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs[job_id]
+            job.state = "running"
+            job.started_s = time.time()
+            job.version += 1
+            get_metrics().gauge("serve.queue_depth").set(len(self._heap))
+            self._persist(job)
+            self._cond.notify_all()
+            return job
+
+    def progress(self, job: Job, done: int, total: int) -> None:
+        """Record sweep progress (journaled chunks) for streaming clients."""
+        with self._cond:
+            job.done_configs = done
+            job.total_configs = total
+            job.version += 1
+            self._cond.notify_all()
+
+    def finish(self, job: Job, result: ExplorationResult) -> None:
+        """Mark a job done and release its coalescing slot."""
+        with self._cond:
+            job.result = result
+            job.state = "done"
+            job.done_configs = len(result)
+            job.total_configs = len(result)
+            job.finished_s = time.time()
+            job.version += 1
+            self._release(job)
+            get_metrics().counter("serve.jobs_completed").inc()
+            self._persist(job)
+            self._cond.notify_all()
+
+    def fail(self, job: Job, error: str) -> None:
+        """Mark a job failed and release its coalescing slot."""
+        with self._cond:
+            job.state = "failed"
+            job.error = error
+            job.finished_s = time.time()
+            job.version += 1
+            self._release(job)
+            get_metrics().counter("serve.jobs_failed").inc()
+            self._persist(job)
+            self._cond.notify_all()
+
+    def _release(self, job: Job) -> None:
+        if self._active.get(job.spec.spec_hash) == job.job_id:
+            del self._active[job.spec.spec_hash]
+
+    def _persist(self, job: Job) -> None:
+        try:
+            self.store.save_job(job.job_id, job.to_json())
+        except sqlite3.Error as exc:  # pragma: no cover - disk trouble
+            logger.warning("could not persist job %s: %s", job.job_id, exc)
+
+    # ------------------------------------------------------------------
+    # reads / waiting
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job called ``job_id``, if known."""
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        """Every known job, most recently submitted first."""
+        with self._cond:
+            return sorted(
+                self._jobs.values(),
+                key=lambda job: job.submitted_s,
+                reverse=True,
+            )
+
+    def wait(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> Optional[Job]:
+        """Block until ``job_id`` is terminal (or the timeout passes)."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.terminal:
+                    return job
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return job
+                self._cond.wait(
+                    0.5 if remaining is None else min(0.5, remaining)
+                )
+
+    def wait_change(
+        self, job_id: str, seen_version: int, timeout_s: float = 10.0
+    ) -> Optional[Job]:
+        """Block until the job's version moves past ``seen_version``."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.version != seen_version or job.terminal:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job
+                self._cond.wait(min(0.5, remaining))
+
+    # ------------------------------------------------------------------
+    # drain / shutdown
+
+    def begin_drain(self) -> None:
+        """Stop admitting jobs; queued and running work still completes."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service is refusing new submissions."""
+        return self._draining
+
+    def stop(self) -> None:
+        """Drain and tell the runner to exit once the queue is empty."""
+        with self._cond:
+            self._draining = True
+            self._stopped = True
+            self._cond.notify_all()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the runner should exit when idle."""
+        return self._stopped
+
+    def idle(self) -> bool:
+        """Whether nothing is queued or running."""
+        with self._cond:
+            return not self._heap and not self._active
+
+
+class JobRunner(threading.Thread):
+    """The worker loop: claim, sweep (with checkpoints), record.
+
+    One runner executes jobs strictly in priority order; parallelism
+    *within* a job comes from ``sweep_jobs``
+    (:class:`~repro.engine.parallel.ParallelSweep` fan-out).  Every job
+    journals to ``<spool>/<job_id>.jsonl`` and always runs with
+    ``resume=True``, so a job interrupted by ``kill -9`` picks up exactly
+    where its journal stops and the final result is bit-identical to an
+    uninterrupted run.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        spool_dir: str,
+        sweep_jobs: int = 1,
+    ) -> None:
+        super().__init__(name="repro-serve-runner", daemon=True)
+        self.manager = manager
+        self.spool_dir = str(spool_dir)
+        self.sweep_jobs = max(1, int(sweep_jobs))
+        os.makedirs(self.spool_dir, exist_ok=True)
+
+    def checkpoint_path(self, job: Job) -> str:
+        """Where one job journals its completed chunks."""
+        return os.path.join(self.spool_dir, f"{job.job_id}.jsonl")
+
+    def run(self) -> None:  # pragma: no cover - exercised via the service
+        while True:
+            job = self.manager.next_job(timeout_s=0.2)
+            if job is None:
+                if self.manager.stopped:
+                    return
+                continue
+            self.execute(job)
+
+    def execute(self, job: Job) -> None:
+        """Run one job to a terminal state (never raises)."""
+        started = time.perf_counter()
+        try:
+            result = self._sweep(job)
+        except Exception as exc:
+            logger.warning("job %s failed: %s", job.job_id, exc)
+            self.manager.fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        self.manager.finish(job, result)
+        get_metrics().histogram("serve.job_seconds").observe(
+            time.perf_counter() - started
+        )
+        try:
+            os.remove(self.checkpoint_path(job))
+        except OSError:
+            pass
+
+    def _sweep(self, job: Job) -> ExplorationResult:
+        spec = job.spec
+        evaluator = spec.build_evaluator(self.manager.store)
+        configs = spec.configs()
+        self.manager.progress(job, 0, len(configs))
+        resilience = ResilienceOptions(
+            checkpoint=self.checkpoint_path(job), resume=True
+        )
+        sweep = ParallelSweep(
+            jobs=self.sweep_jobs,
+            resilience=resilience,
+            on_progress=lambda done, total: self.manager.progress(
+                job, done, total
+            ),
+        )
+        estimates = sweep.run(evaluator, configs)
+        # Rows resumed from the checkpoint journal never pass through the
+        # evaluator; backfill them so the store holds the complete sweep
+        # (INSERT OR IGNORE makes the overlap free).
+        self.manager.store.put_many(evaluator.eval_id, zip(configs, estimates))
+        return ExplorationResult(estimates)
+
+
+def result_to_json(result: ExplorationResult) -> List[Dict[str, Any]]:
+    """Serialise a result exactly (the wire format of ``/jobs/<id>/result``)."""
+    return [estimate_to_json(estimate) for estimate in result]

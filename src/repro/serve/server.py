@@ -1,0 +1,383 @@
+"""The exploration service: a stdlib-only HTTP/JSON front end.
+
+``repro serve`` binds :class:`ExplorationService` -- store + job manager +
+runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
+(all JSON):
+
+``GET /health``
+    Liveness: ``{"status": "ok" | "draining", "schema": "repro.serve/1"}``.
+``GET /metrics``
+    The ``repro.obs/1`` report (metrics registry, EvalCache snapshot)
+    plus a ``store`` section with the persistent-store counters.
+``POST /jobs``
+    Submit ``{"spec": {...}, "priority": N}``.  Replies ``202`` with the
+    job record (``"coalesced": true`` when the submission attached to an
+    already-active identical job), ``429`` with a ``Retry-After`` header
+    when admission control rejects it, ``503`` while draining, ``400``
+    for a malformed spec.
+``GET /jobs``
+    All known jobs, most recent first.
+``GET /jobs/<id>[?wait=SECONDS]``
+    One job record; ``wait`` long-polls until the job is terminal.
+``GET /jobs/<id>/result``
+    The exact result rows once the job is ``done`` (``409`` before).
+``GET /jobs/<id>/events``
+    Progress streaming: newline-delimited JSON snapshots of the job
+    record, one per state/progress change, ending at the terminal state.
+
+Graceful drain: the first ``SIGTERM`` (or ``SIGINT``) stops admission
+(new submissions get ``503``), lets the running job finish, then shuts
+the listener down.  A ``kill -9`` instead is recovered on the next start:
+interrupted jobs re-enqueue from the store and resume from their
+checkpoint journals with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import obs
+from repro.engine.cache import get_eval_cache
+from repro.obs.metrics import get_metrics
+from repro.serve.jobs import (
+    Job,
+    JobManager,
+    JobRunner,
+    JobSpec,
+    QueueFullError,
+    ServiceDrainingError,
+    result_to_json,
+)
+from repro.serve.store import STORE_SCHEMA, ResultStore, open_store
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "ExplorationService",
+    "ServeHTTPServer",
+    "install_signal_handlers",
+    "make_server",
+]
+
+SERVE_SCHEMA = "repro.serve/1"
+
+logger = logging.getLogger(__name__)
+
+
+class ExplorationService:
+    """Store + job manager + runner, glued for the HTTP layer (and tests).
+
+    ``start()`` recovers interrupted jobs from the store and launches the
+    runner thread; ``stop()`` drains and joins it.  The service object is
+    usable without HTTP -- the test suite drives it directly as well as
+    through a live server.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        spool_dir: str,
+        queue_depth: int = 16,
+        sweep_jobs: int = 1,
+        retry_after_s: float = 2.0,
+    ) -> None:
+        self.store: ResultStore = open_store(store_path)
+        self.manager = JobManager(
+            self.store, max_depth=queue_depth, retry_after_s=retry_after_s
+        )
+        self.runner = JobRunner(
+            self.manager, spool_dir=spool_dir, sweep_jobs=sweep_jobs
+        )
+        self._started = False
+
+    def start(self) -> "ExplorationService":
+        """Recover persisted jobs and start executing."""
+        if not self._started:
+            self.manager.recover()
+            self.runner.start()
+            self._started = True
+        return self
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; in-flight work keeps running."""
+        self.manager.begin_drain()
+
+    def stop(self, wait: bool = True, timeout_s: float = 60.0) -> None:
+        """Drain, let the runner finish, and close the store."""
+        self.manager.stop()
+        if self._started and wait:
+            self.runner.join(timeout_s)
+        self.store.close()
+
+    # ------------------------------------------------------------------
+    # request-level operations (shared by HTTP handler and tests)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/health`` document."""
+        from repro import __version__
+
+        return {
+            "schema": SERVE_SCHEMA,
+            "status": "draining" if self.manager.draining else "ok",
+            "version": __version__,
+            "queue_idle": self.manager.idle(),
+        }
+
+    def metrics_report(self) -> Dict[str, Any]:
+        """The ``/metrics`` document: ``repro.obs/1`` + store counters."""
+        report = obs.build_report(cache=get_eval_cache().snapshot())
+        counters = get_metrics().counters_matching("store.")
+        report["store"] = {
+            "schema": STORE_SCHEMA,
+            "path": self.store.path,
+            "entries": len(self.store),
+            "counters": counters,
+        }
+        report["serve"] = get_metrics().counters_matching("serve.")
+        return report
+
+    def submit(
+        self, doc: Dict[str, Any]
+    ) -> Tuple[Job, bool]:
+        """Validate and enqueue one submission document."""
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        spec = JobSpec.from_json(doc.get("spec", doc.get("job", None)))
+        priority = doc.get("priority", 10)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError("priority must be an integer")
+        return self.manager.submit(spec, priority=priority)
+
+    def job_result(self, job: Job) -> Optional[Dict[str, Any]]:
+        """The exact result document for a done job (``None`` otherwise).
+
+        After a restart the in-memory result is gone; the rows are then
+        reassembled from the persistent store, which holds every
+        configuration the job evaluated.
+        """
+        if job.state != "done":
+            return None
+        result = job.result
+        if result is None:
+            result = self.store.result_for(
+                job.spec.eval_id(), job.spec.configs()
+            )
+            if result is None:
+                return None
+            job.result = result
+        return {
+            "job_id": job.job_id,
+            "schema": SERVE_SCHEMA,
+            "estimates": result_to_json(result),
+        }
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying the service object."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, service: ExplorationService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> ExplorationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route access logs through the repro hierarchy instead of stderr.
+        logging.getLogger("repro.serve.http").debug(
+            "%s %s", self.address_string(), format % args
+        )
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _send_json(
+        self,
+        code: int,
+        doc: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, **extra: Any) -> None:
+        doc = {"error": message}
+        headers = extra.pop("headers", None)
+        doc.update(extra)
+        self._send_json(code, doc, headers=headers)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw.decode())
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        params = parse_qs(parsed.query)
+        if parts == ["health"]:
+            self._send_json(200, self.service.health())
+        elif parts == ["metrics"]:
+            self._send_json(200, self.service.metrics_report())
+        elif parts == ["jobs"]:
+            jobs = [job.to_json() for job in self.service.manager.list_jobs()]
+            self._send_json(200, {"jobs": jobs})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._get_job(parts[1], params)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._get_result(parts[1])
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            self._stream_events(parts[1])
+        else:
+            self._error(404, f"no route for {parsed.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") != "/jobs":
+            self._error(404, f"no route for {parsed.path}")
+            return
+        try:
+            doc = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"bad request body: {exc}")
+            return
+        try:
+            job, coalesced = self.service.submit(doc)
+        except ServiceDrainingError as exc:
+            self._error(503, str(exc), headers={"Retry-After": "10"})
+            return
+        except QueueFullError as exc:
+            self._error(
+                429,
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+                headers={"Retry-After": f"{exc.retry_after_s:.0f}"},
+            )
+            return
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(202, {"job": job.to_json(), "coalesced": coalesced})
+
+    # ------------------------------------------------------------------
+    # job endpoints
+
+    def _get_job(self, job_id: str, params: Dict[str, Any]) -> None:
+        job = self.service.manager.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        wait = params.get("wait")
+        if wait:
+            try:
+                timeout_s = min(float(wait[0]), 300.0)
+            except ValueError:
+                self._error(400, "wait must be a number of seconds")
+                return
+            job = self.service.manager.wait(job_id, timeout_s=timeout_s)
+        assert job is not None
+        self._send_json(200, {"job": job.to_json()})
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.service.manager.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        doc = self.service.job_result(job)
+        if doc is None:
+            self._error(
+                409,
+                f"job {job_id} is {job.state}; no result yet",
+                state=job.state,
+            )
+            return
+        self._send_json(200, doc)
+
+    def _stream_events(self, job_id: str) -> None:
+        manager = self.service.manager
+        job = manager.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        while True:
+            # Snapshot first, then the version: if the job moves in
+            # between, the version bump makes wait_change return at once
+            # and the next iteration streams the newer state.  Terminate
+            # on the *written* snapshot, never the live object, so the
+            # terminal state is always the last line on the wire.
+            snapshot = job.to_json()
+            version = job.version
+            try:
+                self.wfile.write((json.dumps(snapshot) + "\n").encode())
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if snapshot["state"] in ("done", "failed"):
+                return
+            job = manager.wait_change(job_id, version, timeout_s=10.0)
+            if job is None:
+                return
+
+
+def make_server(
+    host: str, port: int, service: ExplorationService
+) -> ServeHTTPServer:
+    """Bind the service on ``host:port`` (``port=0`` picks a free port)."""
+    return ServeHTTPServer((host, port), _Handler, service)
+
+
+def install_signal_handlers(
+    httpd: ServeHTTPServer, service: ExplorationService
+) -> None:
+    """SIGTERM/SIGINT -> graceful drain, then shut the listener down.
+
+    The handler returns immediately (drain happens on a helper thread so
+    the serving loop keeps answering status polls while work finishes).
+    Only callable from the main thread; the CLI uses it, tests do their
+    own lifecycle management.
+    """
+
+    def _drain(signum: int, frame: Any) -> None:
+        logger.info(
+            "signal %d: draining (no new jobs; finishing in-flight work)",
+            signum,
+        )
+        service.begin_drain()
+
+        def _finish() -> None:
+            service.stop(wait=True)
+            httpd.shutdown()
+
+        threading.Thread(
+            target=_finish, name="repro-serve-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)

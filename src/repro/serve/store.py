@@ -1,0 +1,403 @@
+"""Persistent, cross-process result store (sqlite, schema ``repro.store/1``).
+
+The in-memory :class:`~repro.engine.cache.EvalCache` dies with its
+process, so every CLI invocation and every restarted service re-evaluates
+configurations the fleet has already paid for.  :class:`ResultStore` is
+the durable L2 tier underneath it: a single sqlite file holding finished
+:class:`~repro.core.metrics.PerformanceEstimate` records, content-addressed
+by the same fingerprint family :mod:`repro.engine.resilience` computes for
+checkpoints -- an *evaluator fingerprint* (workload + backend + energy
+model) plus the ``(T, L, S, B)`` configuration key.  Estimates round-trip
+through :func:`~repro.engine.resilience.estimate_to_json`, whose floats
+serialise via ``repr``, so a stored result is bit-identical to a freshly
+computed one.
+
+:class:`StoreBackedEvaluator` wraps any engine evaluator with the store:
+``evaluate(config)`` first consults the store (an L2 hit skips the whole
+pipeline, including the EvalCache), and writes every freshly computed
+estimate back.  The wrapper delegates ``workload`` / ``backend`` /
+``cache`` to the inner evaluator, so sweep fingerprints, checkpoint
+journals and :class:`~repro.engine.parallel.ParallelSweep` chunking are
+identical with or without the store; it also drops its sqlite connection
+on pickling and lazily reopens it, so ``jobs=N`` workers each talk to the
+store directly (WAL journaling makes that safe).
+
+Store schema (``repro.store/1``)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)        -- {"schema": "repro.store/1"}
+    estimates(eval_id TEXT, config_key TEXT,      -- "T,L,S,B"
+              estimate TEXT,                      -- estimate_to_json JSON
+              created_s REAL,
+              PRIMARY KEY (eval_id, config_key))
+    jobs(job_id TEXT PRIMARY KEY, doc TEXT)       -- repro.serve job records
+
+Counters fed into the :mod:`repro.obs` registry: ``store.hits``,
+``store.misses`` (reads) and ``store.puts`` (writes) -- the numbers the
+coalescing acceptance tests assert on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.core.metrics import PerformanceEstimate
+from repro.engine.resilience import (
+    _evaluator_identity,
+    estimate_from_json,
+    estimate_to_json,
+)
+from repro.engine.result import ExplorationResult
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoreBackedEvaluator",
+    "StoreError",
+    "StoreSchemaError",
+    "config_key",
+    "evaluator_fingerprint",
+    "open_store",
+]
+
+STORE_SCHEMA = "repro.store/1"
+_SCHEMA_PREFIX = "repro.store/"
+_SCHEMA_VERSION = 1
+
+_DDL = (
+    "CREATE TABLE IF NOT EXISTS meta ("
+    " key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS estimates ("
+    " eval_id TEXT NOT NULL,"
+    " config_key TEXT NOT NULL,"
+    " estimate TEXT NOT NULL,"
+    " created_s REAL NOT NULL,"
+    " PRIMARY KEY (eval_id, config_key))",
+    "CREATE TABLE IF NOT EXISTS jobs ("
+    " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
+)
+
+
+class StoreError(ValueError):
+    """The result store file could not be used."""
+
+
+class StoreSchemaError(StoreError):
+    """The store was written by a newer schema than this version reads."""
+
+
+def config_key(config: CacheConfig) -> str:
+    """The ``"T,L,S,B"`` row key of one configuration."""
+    return f"{config.size},{config.line_size},{config.ways},{config.tiling}"
+
+
+def evaluator_fingerprint(evaluator: Any) -> str:
+    """SHA-256 identity of *what one configuration evaluates against*.
+
+    Builds on the same textual identity
+    :func:`repro.engine.resilience.sweep_fingerprint` hashes (workload key,
+    backend name and parameters, Gray coding), extended with the energy
+    model's constants -- two evaluators that would disagree on any
+    estimate field must never share store rows.
+    """
+    model = getattr(evaluator, "energy_model", None)
+    model_id = (
+        None
+        if model is None
+        else (
+            repr(model.tech),
+            repr(model.sram),
+            model.subbanks,
+            model.phased,
+        )
+    )
+    digest = hashlib.sha256()
+    digest.update(_evaluator_identity(evaluator).encode())
+    digest.update(repr(model_id).encode())
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Disk-backed, cross-process store of finished estimates and jobs.
+
+    One sqlite connection, shared across threads behind a lock; WAL
+    journaling (best-effort -- some filesystems refuse it) lets several
+    *processes* read and write the same file concurrently.  Writes use
+    ``INSERT OR IGNORE``: estimates are deterministic for a given
+    ``(eval_id, config)``, so the first writer wins and races are benign.
+    """
+
+    def __init__(self, path: str, timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout_s, check_same_thread=False
+        )
+        metrics = get_metrics()
+        self._hit_counter = metrics.counter("store.hits")
+        self._miss_counter = metrics.counter("store.misses")
+        self._put_counter = metrics.counter("store.puts")
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._migrate()
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise StoreError(
+                f"{self.path} is not a {STORE_SCHEMA} store: {exc}"
+            ) from exc
+
+    def _migrate(self) -> None:
+        """Create the schema on an empty database; verify it otherwise."""
+        with self._lock, self._conn:
+            for statement in _DDL:
+                self._conn.execute(statement)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                    (STORE_SCHEMA,),
+                )
+                return
+        tag = row[0]
+        if tag == STORE_SCHEMA:
+            return
+        version: Optional[int] = None
+        if isinstance(tag, str) and tag.startswith(_SCHEMA_PREFIX):
+            suffix = tag[len(_SCHEMA_PREFIX):]
+            if suffix.isdigit():
+                version = int(suffix)
+        if version is not None and version > _SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"{self.path} uses schema {tag}, newer than the "
+                f"{STORE_SCHEMA} this version reads; upgrade repro or "
+                "point --store at a fresh file"
+            )
+        raise StoreError(
+            f"{self.path} is not a {STORE_SCHEMA} store (schema tag {tag!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # estimates
+
+    def get(
+        self, eval_id: str, config: CacheConfig
+    ) -> Optional[PerformanceEstimate]:
+        """The stored estimate for one configuration, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT estimate FROM estimates"
+                " WHERE eval_id = ? AND config_key = ?",
+                (eval_id, config_key(config)),
+            ).fetchone()
+        if row is None:
+            self._miss_counter.inc()
+            return None
+        self._hit_counter.inc()
+        return estimate_from_json(json.loads(row[0]))
+
+    def get_many(
+        self, eval_id: str, configs: Sequence[CacheConfig]
+    ) -> Dict[CacheConfig, PerformanceEstimate]:
+        """Every stored estimate among ``configs`` (missing ones omitted)."""
+        found: Dict[CacheConfig, PerformanceEstimate] = {}
+        with self._lock:
+            for config in configs:
+                row = self._conn.execute(
+                    "SELECT estimate FROM estimates"
+                    " WHERE eval_id = ? AND config_key = ?",
+                    (eval_id, config_key(config)),
+                ).fetchone()
+                if row is not None:
+                    found[config] = estimate_from_json(json.loads(row[0]))
+        hits = len(found)
+        if hits:
+            self._hit_counter.inc(hits)
+        misses = len(configs) - hits
+        if misses:
+            self._miss_counter.inc(misses)
+        return found
+
+    def put(
+        self, eval_id: str, config: CacheConfig, estimate: PerformanceEstimate
+    ) -> None:
+        """Durably record one estimate (first writer wins)."""
+        self.put_many(eval_id, [(config, estimate)])
+
+    def put_many(
+        self,
+        eval_id: str,
+        pairs: Iterable[Tuple[CacheConfig, PerformanceEstimate]],
+    ) -> None:
+        """Durably record a batch of estimates in one transaction."""
+        rows = [
+            (
+                eval_id,
+                config_key(config),
+                json.dumps(estimate_to_json(estimate), sort_keys=True),
+                time.time(),
+            )
+            for config, estimate in pairs
+        ]
+        if not rows:
+            return
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO estimates"
+                " (eval_id, config_key, estimate, created_s)"
+                " VALUES (?, ?, ?, ?)",
+                rows,
+            )
+        self._put_counter.inc(len(rows))
+
+    def result_for(
+        self, eval_id: str, configs: Sequence[CacheConfig]
+    ) -> Optional[ExplorationResult]:
+        """The full sweep result, or ``None`` unless *every* row is stored."""
+        found = self.get_many(eval_id, configs)
+        if len(found) != len(configs):
+            return None
+        return ExplorationResult([found[config] for config in configs])
+
+    def count(self, eval_id: Optional[str] = None) -> int:
+        """Stored estimates, overall or for one evaluator fingerprint."""
+        with self._lock:
+            if eval_id is None:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM estimates"
+                ).fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM estimates WHERE eval_id = ?",
+                    (eval_id,),
+                ).fetchone()
+        return int(row[0])
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # ------------------------------------------------------------------
+    # job persistence (used by repro.serve.jobs across restarts)
+
+    def save_job(self, job_id: str, doc: Dict[str, Any]) -> None:
+        """Persist (or update) one job record as JSON."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs (job_id, doc) VALUES (?, ?)",
+                (job_id, json.dumps(doc, sort_keys=True)),
+            )
+
+    def load_jobs(self) -> List[Dict[str, Any]]:
+        """Every persisted job record (insertion order is not guaranteed)."""
+        with self._lock:
+            rows = self._conn.execute("SELECT doc FROM jobs").fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def delete_job(self, job_id: str) -> None:
+        """Drop one persisted job record (idempotent)."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM jobs WHERE job_id = ?", (job_id,))
+
+    def close(self) -> None:
+        """Close the underlying connection (the file remains usable)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class StoreBackedEvaluator:
+    """An evaluator with the persistent store as its L2 result tier.
+
+    ``evaluate(config)`` returns the stored estimate when one exists --
+    skipping trace generation, miss measurement and the in-memory
+    :class:`~repro.engine.cache.EvalCache` entirely -- and otherwise
+    delegates to the wrapped evaluator and records the fresh estimate.
+    Every delegated attribute (``workload``, ``backend``, ``cache``,
+    ``energy_model``, ``gray_code``) mirrors the inner evaluator, so
+    checkpoint fingerprints and sweep chunking do not change when the
+    store is layered in.
+    """
+
+    def __init__(
+        self,
+        evaluator: Any,
+        store: ResultStore,
+        eval_id: Optional[str] = None,
+    ) -> None:
+        self.inner = evaluator
+        self.eval_id = (
+            eval_id if eval_id is not None else evaluator_fingerprint(evaluator)
+        )
+        self._store: Optional[ResultStore] = store
+        self._store_path = store.path
+
+    # The sqlite connection is process-local: when the evaluator crosses a
+    # process boundary (ParallelSweep workers), each worker reopens the
+    # same file lazily.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_store"] = None
+        return state
+
+    @property
+    def store(self) -> ResultStore:
+        """The persistent store (reopened after unpickling)."""
+        if self._store is None:
+            self._store = ResultStore(self._store_path)
+        return self._store
+
+    @property
+    def workload(self):
+        """The inner evaluator's workload (identity passthrough)."""
+        return getattr(self.inner, "workload", None)
+
+    @property
+    def backend(self):
+        """The inner evaluator's backend (identity passthrough)."""
+        return getattr(self.inner, "backend", None)
+
+    @property
+    def energy_model(self):
+        """The inner evaluator's energy model (identity passthrough)."""
+        return getattr(self.inner, "energy_model", None)
+
+    @property
+    def gray_code(self):
+        """The inner evaluator's Gray-coding flag (identity passthrough)."""
+        return getattr(self.inner, "gray_code", None)
+
+    @property
+    def cache(self):
+        """The inner evaluator's in-memory L1 cache."""
+        return getattr(self.inner, "cache", None)
+
+    def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
+        """One configuration, from the store when possible."""
+        stored = self.store.get(self.eval_id, config)
+        if stored is not None:
+            return stored
+        estimate = self.inner.evaluate(config)
+        self.store.put(self.eval_id, config, estimate)
+        return estimate
+
+
+def open_store(path: str) -> ResultStore:
+    """Open (creating directories as needed) the store at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return ResultStore(path)

@@ -144,3 +144,89 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "Em (main memory)" in out
         assert "swing" in out
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("memexplore ")
+        assert out.split()[1][0].isdigit()
+
+    def test_version_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_returns_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        # main() rebuilds the parser per call, so the subcommand default
+        # picks up the patched module global.
+        monkeypatch.setattr(cli, "_cmd_list", interrupted)
+        assert cli.main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    def test_parsers_wired(self):
+        parser = build_parser()
+        for argv in (
+            ["serve", "--port", "0"],
+            ["submit", "compress", "--no-wait"],
+            ["jobs"],
+            ["jobs", "some-job-id", "--wait"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_submit_and_jobs_against_live_service(self, tmp_path, capsys):
+        import threading
+
+        from repro.serve import ExplorationService, make_server
+
+        service = ExplorationService(
+            str(tmp_path / "r.db"), str(tmp_path / "spool")
+        ).start()
+        httpd = make_server("127.0.0.1", 0, service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        server = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            code = main(
+                ["submit", "compress", "--max-size", "32", "--tilings", "1",
+                 "--server", server]
+            )
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "min energy" in captured.out
+            job_id = captured.err.split()[1]
+
+            assert main(["jobs", "--server", server]) == 0
+            assert job_id in capsys.readouterr().out
+
+            # `jobs <id> --wait` renders the same result byte-for-byte.
+            assert main(["jobs", job_id, "--wait", "--server", server]) == 0
+            assert capsys.readouterr().out == captured.out
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.stop()
+
+    def test_submit_unreachable_server_fails_cleanly(self):
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError, match="cannot reach"):
+            main(
+                ["submit", "compress", "--no-wait",
+                 "--server", "http://127.0.0.1:1"]
+            )

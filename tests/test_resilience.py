@@ -185,6 +185,22 @@ class TestSweepCheckpoint:
         with pytest.raises(CheckpointError, match=CHECKPOINT_SCHEMA):
             SweepCheckpoint(str(path)).load("aaaa")
 
+    def test_newer_schema_refused_with_clear_error(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = {"schema": "repro.checkpoint/2", "fingerprint": "aaaa", "configs": 4}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="newer than"):
+            SweepCheckpoint(str(path)).load("aaaa")
+        with pytest.raises(CheckpointError, match="newer than"):
+            load_checkpoint_estimates(str(path))
+
+    def test_missing_fingerprint_refused_clearly(self, tmp_path):
+        path = tmp_path / "anon.jsonl"
+        header = {"schema": CHECKPOINT_SCHEMA, "configs": 4}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            load_checkpoint_estimates(str(path))
+
     def test_torn_trailing_line_tolerated(self, tmp_path):
         evaluator = Evaluator(KernelWorkload(make_compress(n=7)))
         configs = _small_configs()

@@ -1,0 +1,346 @@
+"""The exploration service (``repro.serve``): queue, coalescing, HTTP, crash-resume.
+
+The load-bearing claims:
+
+* a result fetched over the wire is bit-identical to a direct engine
+  sweep (the store/JSON round-trip loses nothing);
+* concurrent identical submissions coalesce onto one job -- each unique
+  configuration is evaluated exactly once fleet-wide, proven by the
+  ``engine.configs_evaluated`` counter;
+* a second identical submission after completion is served entirely
+  from the persistent store with **zero** engine evaluations, and
+  overlapping grids only pay for their set difference;
+* admission control rejects over-capacity submissions with ``429`` +
+  ``Retry-After``, and a draining service answers ``503``;
+* a service killed mid-job (``kill -9`` semantics: no goodbye, journal
+  truncated mid-chunk) recovers on restart and finishes with results
+  bit-identical to an uninterrupted run.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.resilience import ResilienceOptions
+from repro.obs.metrics import get_metrics
+from repro.serve import (
+    ExplorationService,
+    JobManager,
+    JobSpec,
+    QueueFullError,
+    ServeClient,
+    ServeError,
+    ServiceDrainingError,
+    make_server,
+    open_store,
+)
+
+#: Small grids so each sweep is fast; SMALL is a strict subset of BIG.
+SMALL = JobSpec(kernel="compress", max_size=32, min_size=16, tilings=(1,))
+BIG = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+
+
+def _evaluated():
+    return get_metrics().counter("engine.configs_evaluated").value
+
+
+class LiveServer:
+    """An in-process service + HTTP listener + client, on a free port."""
+
+    def __init__(self, tmp_path, queue_depth=16, start=True):
+        self.service = ExplorationService(
+            str(tmp_path / "results.db"),
+            str(tmp_path / "spool"),
+            queue_depth=queue_depth,
+        )
+        if start:
+            self.service.start()
+        self.httpd = make_server("127.0.0.1", 0, self.service)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+        port = self.httpd.server_address[1]
+        self.client = ServeClient(f"http://127.0.0.1:{port}", timeout_s=60)
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.stop()
+
+
+@pytest.fixture
+def live(tmp_path):
+    server = LiveServer(tmp_path)
+    yield server
+    server.close()
+
+
+class TestJobSpec:
+    def test_round_trips_through_json(self):
+        spec = JobSpec(kernel="conv2d", ways=(1, 2), tilings=(1, 4))
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_hash_is_stable(self):
+        assert SMALL.spec_hash == JobSpec.from_json(SMALL.to_json()).spec_hash
+        assert SMALL.spec_hash != BIG.spec_hash
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            JobSpec(kernel="nope")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            JobSpec.from_json({"kernel": "compress", "surprise": 1})
+
+    def test_kernel_required(self):
+        with pytest.raises(ValueError, match="kernel"):
+            JobSpec.from_json({"max_size": 64})
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bounds"):
+            JobSpec(kernel="compress", max_size=16, min_size=64)
+
+
+class TestQueue:
+    def test_priority_order(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        manager = JobManager(store)
+        manager.submit(SMALL, priority=10)
+        urgent, _ = manager.submit(BIG, priority=1)
+        assert manager.next_job().job_id == urgent.job_id
+
+    def test_queue_full_rejects_with_retry_hint(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        manager = JobManager(store, max_depth=1, retry_after_s=7.0)
+        manager.submit(SMALL)
+        with pytest.raises(QueueFullError) as excinfo:
+            manager.submit(BIG)
+        assert excinfo.value.retry_after_s == 7.0
+
+    def test_coalesced_submission_never_rejected(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        manager = JobManager(store, max_depth=1)
+        first, coalesced = manager.submit(SMALL)
+        assert not coalesced
+        again, coalesced = manager.submit(SMALL)  # full queue, same spec
+        assert coalesced and again.job_id == first.job_id
+
+    def test_draining_refuses_submissions(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        manager = JobManager(store)
+        manager.begin_drain()
+        with pytest.raises(ServiceDrainingError):
+            manager.submit(SMALL)
+
+
+class TestHTTP:
+    def test_health(self, live):
+        doc = live.client.health()
+        assert doc["status"] == "ok"
+        assert doc["schema"] == "repro.serve/1"
+
+    def test_result_bit_identical_to_direct_sweep(self, live):
+        result = live.client.submit_and_wait(SMALL, timeout_s=120)
+        direct = SMALL.build_evaluator().sweep(configs=SMALL.configs())
+        assert list(result.estimates) == list(direct.estimates)
+
+    def test_metrics_exposes_store_and_serve_sections(self, live):
+        live.client.submit_and_wait(SMALL, timeout_s=120)
+        doc = live.client.metrics()
+        assert doc["store"]["schema"] == "repro.store/1"
+        assert doc["store"]["entries"] == len(SMALL.configs())
+        assert doc["serve"]["serve.jobs_submitted"] >= 1
+
+    def test_bad_spec_is_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client.submit({"kernel": "compress", "surprise": 1})
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client.job("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_result_before_done_is_409(self, tmp_path):
+        env = LiveServer(tmp_path, start=False)  # runner off: job stays queued
+        try:
+            job = env.client.submit(SMALL)
+            with pytest.raises(ServeError) as excinfo:
+                env.client.result(job["job_id"])
+            assert excinfo.value.status == 409
+        finally:
+            env.close()
+
+    def test_draining_is_503(self, live):
+        live.service.begin_drain()
+        assert live.client.health()["status"] == "draining"
+        with pytest.raises(ServeError) as excinfo:
+            live.client.submit(SMALL, max_attempts=1)
+        assert excinfo.value.status == 503
+
+    def test_backpressure_is_429_with_retry_after(self, tmp_path):
+        env = LiveServer(tmp_path, queue_depth=1, start=False)
+        try:
+            env.client.submit(SMALL)
+            with pytest.raises(ServeError) as excinfo:
+                env.client.submit(BIG, max_attempts=1)
+            assert excinfo.value.status == 429
+            assert excinfo.value.doc["retry_after_s"] > 0
+        finally:
+            env.close()
+
+    def test_events_stream_ends_terminal(self, live):
+        job = live.client.submit(SMALL)
+        events = list(live.client.events(job["job_id"]))
+        assert events, "stream yielded nothing"
+        last = events[-1]
+        assert last["state"] == "done"
+        assert last["done_configs"] == last["total_configs"]
+
+    def test_jobs_listing(self, live):
+        job = live.client.submit(SMALL)
+        live.client.wait(job["job_id"], timeout_s=120)
+        listed = live.client.jobs()
+        assert job["job_id"] in {j["job_id"] for j in listed}
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_run_once(self, tmp_path):
+        env = LiveServer(tmp_path, start=False)  # hold the queue still
+        try:
+            jobs, errors = [], []
+
+            def submit():
+                try:
+                    jobs.append(env.client.submit(SMALL))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len({j["job_id"] for j in jobs}) == 1, "one shared job"
+            assert sum(1 for j in jobs if j["coalesced"]) == 3
+
+            before = _evaluated()
+            env.service.start()
+            job_id = jobs[0]["job_id"]
+            finished = env.client.wait(job_id, timeout_s=120)
+            assert finished["state"] == "done"
+            assert finished["coalesced"] == 3
+            # The fleet of 4 paid for the grid exactly once.
+            assert _evaluated() - before == len(SMALL.configs())
+            results = [env.client.result(job_id) for _ in range(4)]
+            assert all(
+                list(r.estimates) == list(results[0].estimates)
+                for r in results
+            )
+        finally:
+            env.close()
+
+    def test_resubmission_served_from_store(self, live):
+        first = live.client.submit_and_wait(SMALL, timeout_s=120)
+        before = _evaluated()
+        job = live.client.submit(SMALL)
+        assert not job["coalesced"], "terminal jobs do not coalesce"
+        finished = live.client.wait(job["job_id"], timeout_s=120)
+        assert finished["state"] == "done"
+        assert _evaluated() == before, "no engine work on resubmission"
+        again = live.client.result(job["job_id"])
+        assert list(again.estimates) == list(first.estimates)
+
+    def test_overlapping_grids_pay_the_difference(self, live):
+        live.client.submit_and_wait(SMALL, timeout_s=120)
+        before = _evaluated()
+        live.client.submit_and_wait(BIG, timeout_s=120)
+        expected = len(BIG.configs()) - len(SMALL.configs())
+        assert _evaluated() - before == expected
+
+
+class TestCrashRecovery:
+    def _truncate(self, path, chunk_lines):
+        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[: 1 + chunk_lines]) + "\n")
+
+    def test_killed_job_resumes_bit_identically(self, tmp_path):
+        spec = BIG
+        configs = spec.configs()
+        direct = spec.build_evaluator().sweep(configs=configs)
+
+        # Session one: claim the job (state=running), journal part of the
+        # sweep, then vanish without any goodbye -- kill -9 semantics.
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        job, _ = first.manager.submit(spec)
+        claimed = first.manager.next_job()
+        assert claimed.job_id == job.job_id
+        journal = first.runner.checkpoint_path(job)
+        spec.build_evaluator().sweep(
+            configs=configs,
+            resilience=ResilienceOptions(checkpoint=journal),
+        )
+        self._truncate(journal, chunk_lines=2)
+
+        # Session two: a fresh service over the same store re-enqueues the
+        # interrupted job and resumes it from the torn journal.
+        recovered_before = get_metrics().counter("serve.jobs_recovered").value
+        second = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            done = second.manager.wait(job.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+            assert done.resumed
+            assert (
+                get_metrics().counter("serve.jobs_recovered").value
+                == recovered_before + 1
+            )
+            doc = second.job_result(done)
+            assert doc is not None
+            result = done.result
+            assert list(result.estimates) == list(direct.estimates)
+        finally:
+            second.stop()
+
+    def test_queued_job_survives_restart(self, tmp_path):
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        job, _ = first.manager.submit(SMALL)
+        # No runner ever started; the record only lives in the store.
+        second = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            done = second.manager.wait(job.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+        finally:
+            second.stop()
+
+    def test_terminal_jobs_recover_as_history(self, tmp_path):
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        job, _ = first.manager.submit(SMALL)
+        first.manager.wait(job.job_id, timeout_s=120)
+        first.stop()
+
+        second = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            again = second.manager.get(job.job_id)
+            assert again is not None and again.state == "done"
+            # The in-memory result died with session one; the store
+            # reassembles it exactly.
+            doc = second.job_result(again)
+            assert doc is not None
+            assert len(doc["estimates"]) == len(SMALL.configs())
+        finally:
+            second.stop()

@@ -1,0 +1,266 @@
+"""The persistent result store (``repro.serve.store``).
+
+The load-bearing claims:
+
+* an estimate round-trips through the sqlite store bit-identically
+  (floats serialise via ``repr``, dataclass equality is exact);
+* rows are addressed by ``(evaluator fingerprint, config)``: different
+  energy models or backends never share rows, identical evaluators
+  always do -- across store instances and processes;
+* an empty database migrates to ``repro.store/1`` on first open, a
+  future-schema database is refused with a clear error, and garbage
+  files are refused rather than clobbered;
+* :class:`StoreBackedEvaluator` is a transparent L2 tier: store hits
+  bypass the engine entirely, misses delegate and write back, and the
+  wrapper leaves sweep fingerprints unchanged.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAM_CATALOG
+from repro.engine import Evaluator, KernelWorkload, order_configs
+from repro.engine.resilience import sweep_fingerprint
+from repro.kernels import get_kernel, make_compress
+from repro.obs.metrics import get_metrics
+from repro.serve import (
+    STORE_SCHEMA,
+    ResultStore,
+    StoreBackedEvaluator,
+    StoreError,
+    StoreSchemaError,
+    config_key,
+    evaluator_fingerprint,
+    open_store,
+)
+
+
+def _evaluator(**kwargs):
+    return Evaluator(KernelWorkload(make_compress(n=7)), **kwargs)
+
+
+def _configs():
+    return order_configs(
+        CacheConfig(size, line) for size in (32, 64) for line in (4, 8)
+    )
+
+
+def _counter(name):
+    return get_metrics().counter(name).value
+
+
+class TestRoundTrip:
+    def test_estimate_round_trips_exactly(self, tmp_path):
+        evaluator = _evaluator()
+        config = CacheConfig(64, 8)
+        estimate = evaluator.evaluate(config)
+        store = ResultStore(str(tmp_path / "r.db"))
+        store.put("eval-a", config, estimate)
+        loaded = store.get("eval-a", config)
+        # Frozen-dataclass equality: every field, floats included, exact.
+        assert loaded == estimate
+        assert loaded.energy_nj == estimate.energy_nj
+        assert repr(loaded) == repr(estimate)
+
+    def test_full_result_round_trips_exactly(self, tmp_path):
+        evaluator = _evaluator()
+        configs = _configs()
+        run = evaluator.sweep(configs=configs)
+        store = ResultStore(str(tmp_path / "r.db"))
+        store.put_many("eval-a", zip(configs, run.estimates))
+        result = store.result_for("eval-a", configs)
+        assert list(result.estimates) == list(run.estimates)
+
+    def test_config_identity_keys_rows(self, tmp_path):
+        evaluator = _evaluator()
+        a, b = CacheConfig(64, 8, 1, 1), CacheConfig(64, 8, 2, 1)
+        assert config_key(a) != config_key(b)
+        store = ResultStore(str(tmp_path / "r.db"))
+        store.put("eval-a", a, evaluator.evaluate(a))
+        assert store.get("eval-a", b) is None
+        assert store.get("eval-a", CacheConfig(64, 8, 1, 1)) is not None
+
+    def test_partial_sweep_yields_no_result(self, tmp_path):
+        evaluator = _evaluator()
+        configs = _configs()
+        store = ResultStore(str(tmp_path / "r.db"))
+        store.put("eval-a", configs[0], evaluator.evaluate(configs[0]))
+        assert store.result_for("eval-a", configs) is None
+
+    def test_shared_across_instances(self, tmp_path):
+        path = str(tmp_path / "r.db")
+        evaluator = _evaluator()
+        config = CacheConfig(64, 8)
+        with ResultStore(path) as writer:
+            writer.put("eval-a", config, evaluator.evaluate(config))
+        with ResultStore(path) as reader:
+            assert reader.get("eval-a", config) == evaluator.evaluate(config)
+
+    def test_first_writer_wins(self, tmp_path):
+        evaluator = _evaluator()
+        config = CacheConfig(64, 8)
+        first = evaluator.evaluate(config)
+        second = evaluator.evaluate(CacheConfig(32, 4))
+        store = ResultStore(str(tmp_path / "r.db"))
+        store.put("eval-a", config, first)
+        store.put("eval-a", config, second)  # ignored, not replaced
+        assert store.get("eval-a", config) == first
+
+    def test_hit_miss_put_counters(self, tmp_path):
+        evaluator = _evaluator()
+        config = CacheConfig(64, 8)
+        store = ResultStore(str(tmp_path / "r.db"))
+        misses, hits, puts = (
+            _counter("store.misses"), _counter("store.hits"),
+            _counter("store.puts"),
+        )
+        assert store.get("eval-a", config) is None
+        store.put("eval-a", config, evaluator.evaluate(config))
+        assert store.get("eval-a", config) is not None
+        assert _counter("store.misses") == misses + 1
+        assert _counter("store.hits") == hits + 1
+        assert _counter("store.puts") == puts + 1
+
+
+class TestSchema:
+    def test_empty_db_migrates(self, tmp_path):
+        path = str(tmp_path / "fresh.db")
+        store = ResultStore(path)
+        assert len(store) == 0
+        store.close()
+        conn = sqlite3.connect(path)
+        tag = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema'"
+        ).fetchone()[0]
+        conn.close()
+        assert tag == STORE_SCHEMA
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = str(tmp_path / "future.db")
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = 'repro.store/2' WHERE key = 'schema'"
+            )
+        conn.close()
+        with pytest.raises(StoreSchemaError, match="newer than"):
+            ResultStore(path)
+
+    def test_unrecognised_schema_tag_refused(self, tmp_path):
+        path = str(tmp_path / "odd.db")
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = 'something-else' WHERE key = 'schema'"
+            )
+        conn.close()
+        with pytest.raises(StoreError, match="not a repro.store/1 store"):
+            ResultStore(path)
+
+    def test_garbage_file_refused(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_text("this is not sqlite at all, not even close........\n")
+        with pytest.raises(StoreError, match="not a repro.store/1 store"):
+            ResultStore(str(path))
+
+    def test_open_store_creates_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "r.db"
+        store = open_store(str(path))
+        assert path.exists()
+        store.close()
+
+
+class TestEvaluatorFingerprint:
+    def test_same_setup_same_fingerprint(self):
+        assert evaluator_fingerprint(_evaluator()) == evaluator_fingerprint(
+            _evaluator()
+        )
+
+    def test_backend_changes_fingerprint(self):
+        assert evaluator_fingerprint(
+            _evaluator(backend="fastsim")
+        ) != evaluator_fingerprint(_evaluator(backend="reference"))
+
+    def test_energy_model_changes_fingerprint(self):
+        sloww = EnergyModel(sram=SRAM_CATALOG["low-power-2Mbit"])
+        assert evaluator_fingerprint(
+            _evaluator(energy_model=sloww)
+        ) != evaluator_fingerprint(_evaluator())
+
+    def test_workload_changes_fingerprint(self):
+        other = Evaluator(KernelWorkload(get_kernel("conv2d")))
+        assert evaluator_fingerprint(other) != evaluator_fingerprint(
+            _evaluator()
+        )
+
+
+class TestStoreBackedEvaluator:
+    def test_miss_delegates_and_writes_back(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.db"))
+        wrapped = StoreBackedEvaluator(_evaluator(), store)
+        config = CacheConfig(64, 8)
+        estimate = wrapped.evaluate(config)
+        assert store.get(wrapped.eval_id, config) == estimate
+
+    def test_hit_bypasses_engine(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.db"))
+        first = StoreBackedEvaluator(_evaluator(), store)
+        config = CacheConfig(64, 8)
+        expected = first.evaluate(config)
+
+        class Exploding:
+            workload = backend = energy_model = gray_code = cache = None
+
+            def evaluate(self, config):
+                raise AssertionError("store hit must not reach the engine")
+
+        second = StoreBackedEvaluator(
+            Exploding(), store, eval_id=first.eval_id
+        )
+        assert second.evaluate(config) == expected
+
+    def test_sweep_fingerprint_unchanged_by_wrapper(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        configs = _configs()
+        assert sweep_fingerprint(
+            StoreBackedEvaluator(evaluator, store), configs
+        ) == sweep_fingerprint(evaluator, configs)
+
+    def test_pickles_without_connection(self, tmp_path):
+        import pickle
+
+        store = ResultStore(str(tmp_path / "r.db"))
+        wrapped = StoreBackedEvaluator(_evaluator(), store)
+        config = CacheConfig(64, 8)
+        expected = wrapped.evaluate(config)
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone.evaluate(config) == expected
+
+    def test_distinct_evaluators_do_not_share_rows(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.db"))
+        config = CacheConfig(64, 8)
+        fast = StoreBackedEvaluator(_evaluator(), store)
+        fast.evaluate(config)
+        other = StoreBackedEvaluator(
+            Evaluator(KernelWorkload(get_kernel("conv2d"))), store
+        )
+        assert store.get(other.eval_id, config) is None
+
+
+class TestJobPersistence:
+    def test_job_records_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.db"))
+        doc = {"job_id": "j1", "state": "queued", "nested": {"a": [1, 2]}}
+        store.save_job("j1", doc)
+        assert store.load_jobs() == [doc]
+        store.save_job("j1", {"job_id": "j1", "state": "done"})
+        assert store.load_jobs() == [{"job_id": "j1", "state": "done"}]
+        store.delete_job("j1")
+        assert store.load_jobs() == []
