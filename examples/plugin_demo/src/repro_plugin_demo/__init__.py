@@ -1,0 +1,89 @@
+"""repro-plugin-demo: an out-of-tree plugin distribution for repro.
+
+Installing this package (``pip install examples/plugin_demo``) adds three
+components to every repro front end -- the CLI, the exploration service
+and the engine -- without touching a single core module:
+
+* backend ``coarse``: set-sampled miss measurement with a wide stride
+  (cheap, approximate; inherits the engine's sampling machinery);
+* kernel ``fir16``: a 16-tap FIR filter loop nest, the kind of DSP
+  workload the paper's benchmark set does not cover;
+* SRAM part ``demo-1Mbit``: a fictional low-energy off-chip part.
+
+Try::
+
+    memexplore plugins
+    memexplore explore fir16 --backend coarse --max-size 128
+    memexplore submit fir16 --backend coarse --server http://...
+
+The only integration point is the ``repro.plugins`` entry point in
+``pyproject.toml``, which names :func:`register` below.
+"""
+
+from repro.engine.backends import SampledBackend
+from repro.energy.params import SRAMPart
+from repro.kernels.base import Kernel
+from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
+
+__all__ = ["make_coarse_backend", "make_demo_sram", "make_fir16", "register"]
+
+_FIR_SOURCE = """\
+int x[n + 16], y[n], h[16];
+for i = 0, n - 1:
+    for k = 0, 15:
+        y[i] += h[k] * x[i + k];
+"""
+
+
+def make_fir16(n: int = 64, element_size: int = 1) -> Kernel:
+    """A 16-tap FIR filter over an ``n``-sample window."""
+    if n < 1:
+        raise ValueError("FIR needs a positive sample count")
+    i, k = var("i"), var("k")
+    nest = LoopNest(
+        name="fir16",
+        loops=(Loop("i", 0, n - 1), Loop("k", 0, 15)),
+        refs=(
+            ArrayRef("h", (k,)),
+            ArrayRef("x", (i + k,)),
+            ArrayRef("y", (i,), is_write=True),
+        ),
+        arrays=(
+            ArrayDecl("h", (16,), element_size),
+            ArrayDecl("x", (n + 16,), element_size),
+            ArrayDecl("y", (n,), element_size),
+        ),
+        description="16-tap FIR filter (plugin demo kernel)",
+    )
+    return Kernel(nest=nest, source=_FIR_SOURCE)
+
+
+class CoarseBackend(SampledBackend):
+    """Set sampling with a deliberately wide stride: fast, approximate."""
+
+    name = "coarse"
+
+    def __init__(self, sample_every: int = 8, offset: int = 0) -> None:
+        super().__init__(sample_every=sample_every, offset=offset)
+
+
+def make_coarse_backend(**kwargs) -> CoarseBackend:
+    """Factory the registry calls for ``--backend coarse``."""
+    return CoarseBackend(**kwargs)
+
+
+def make_demo_sram() -> SRAMPart:
+    """A fictional 1 Mbit low-energy off-chip part."""
+    return SRAMPart(
+        name="demo-1Mbit",
+        size_bits=1 * 1024 * 1024,
+        energy_per_access_nj=4.2,
+        access_time_ns=12.0,
+    )
+
+
+def register(hook) -> None:
+    """The ``repro.plugins`` entry point: add every component to repro."""
+    hook.backend("coarse", make_coarse_backend)
+    hook.kernel("fir16", make_fir16)
+    hook.sram("demo-1Mbit", make_demo_sram)

@@ -18,7 +18,12 @@ The package implements the paper's complete stack:
 * :mod:`repro.engine` -- the pluggable, parallel evaluation engine every
   explorer runs on: workloads, miss-measurement backends (``fastsim``,
   ``reference``, ``sampled``, ``analytic``), the process-wide
-  :class:`~repro.engine.cache.EvalCache`, and multi-process sweeps.
+  :class:`~repro.engine.cache.EvalCache`, and multi-process sweeps;
+* :mod:`repro.registry` -- the ``repro.plugins`` entry-point registry all
+  component names (backends, kernels, energy models, SRAM parts, store
+  tiers) resolve through, plus ``repro.manifest/1`` run manifests;
+* :mod:`repro.serve` -- exploration-as-a-service: job queue, request
+  coalescing, and the persistent ``repro.store/1`` result store.
 
 Quickstart::
 

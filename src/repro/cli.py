@@ -40,7 +40,12 @@ Subcommands mirror the paper's workflow:
     Submit a sweep to a running service and (by default) wait for the
     result table.
 ``jobs``
-    List a service's jobs, or show/await one job.
+    List a service's jobs, or show/await one job (``--manifest`` prints
+    the job's ``repro.manifest/1`` provenance document).
+``plugins``
+    List every registered component -- backends, kernels, energy models,
+    SRAM parts, store tiers -- with the origin and version that provided
+    it (built-ins and installed ``repro.plugins`` entry points alike).
 
 Every subcommand additionally accepts the observability flags
 ``--log-level`` / ``--log-json`` (structured logging for the ``repro``
@@ -49,7 +54,9 @@ table) and ``--metrics-out FILE.json`` (write the machine-readable
 ``repro.obs/1`` report).  The sweeping subcommands (``explore``,
 ``mpeg``, ``spm``, ``stats``) also take the resilience flags
 ``--checkpoint FILE.jsonl`` / ``--resume`` / ``--chunk-timeout`` /
-``--max-retries`` for fault-tolerant, resumable sweeps.
+``--max-retries`` for fault-tolerant, resumable sweeps, and (with
+``search``) ``--manifest-out FILE.json`` to write the run's
+``repro.manifest/1`` provenance document.
 """
 
 from __future__ import annotations
@@ -65,8 +72,13 @@ from repro.core.config import CacheConfig, design_space, powers_of_two
 from repro.core.explorer import ExplorationResult, MemExplorer
 from repro.core.pareto import pareto_front
 from repro.core.selection import SelectionError, select_configuration
+from repro.energy import (
+    available_energy_models,
+    available_srams,
+    get_energy_model,
+    get_sram,
+)
 from repro.energy.model import EnergyModel
-from repro.energy.params import SRAM_CATALOG
 from repro.engine import available_backends, get_eval_cache
 from repro.kernels import available_kernels, get_kernel, mpeg_decoder_kernels
 from repro.loops.reuse import group_references, min_cache_lines, min_cache_size
@@ -90,12 +102,41 @@ def _package_version() -> str:
         return __version__
 
 
+class CLIError(Exception):
+    """A user-facing CLI failure: message on stderr, exit code 2."""
+
+
+def _resolve_kernel(name: str):
+    """Build a kernel through the plugin registry, or fail helpfully.
+
+    Every kernel-taking subcommand funnels through this one resolver, so
+    an unknown name produces one consistent message -- with a did-you-mean
+    suggestion -- instead of a per-command traceback.
+    """
+    from repro.registry import UnknownPluginError, get_registry
+
+    try:
+        return get_registry().create("kernel", name)
+    except UnknownPluginError as exc:
+        hint = f"; did you mean {exc.suggestion!r}?" if exc.suggestion else ""
+        raise CLIError(
+            f"unknown kernel {name!r}{hint} "
+            f"(run 'memexplore list' to see every registered kernel)"
+        ) from None
+
+
 def _add_energy_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sram",
         default="CY7C-2Mbit",
-        choices=sorted(SRAM_CATALOG),
+        choices=available_srams(),
         help="off-chip SRAM part supplying Em (default: the paper's Cypress)",
+    )
+    parser.add_argument(
+        "--energy-model",
+        default="hwo",
+        choices=available_energy_models(),
+        help="cache energy model (default: the paper's Hicks/Walnock/Owens)",
     )
     parser.add_argument(
         "--no-layout-opt",
@@ -198,7 +239,65 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _energy_model(args: argparse.Namespace) -> EnergyModel:
-    return EnergyModel(sram=SRAM_CATALOG[args.sram])
+    return get_energy_model(
+        getattr(args, "energy_model", "hwo"), sram=get_sram(args.sram)
+    )
+
+
+def _add_manifest_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--manifest-out",
+        metavar="FILE.json",
+        default=None,
+        help="write the run's repro.manifest/1 provenance document here",
+    )
+
+
+def _write_manifest(
+    args: argparse.Namespace,
+    kernels: Sequence[str],
+    evaluator=None,
+    configs=None,
+) -> None:
+    """Serialise the run's ``repro.manifest/1`` document (``--manifest-out``).
+
+    ``kernels`` are registry kernel names; ``evaluator`` (when the command
+    has one) contributes the store-level evaluator fingerprint, and
+    ``configs`` (the swept list, in order) the sweep fingerprint.
+    """
+    if getattr(args, "manifest_out", None) is None:
+        return
+    from repro.registry import MANIFEST_SCHEMA, build_manifest
+
+    eval_id = None
+    sweep_fp = None
+    if evaluator is not None:
+        from repro.serve.store import evaluator_fingerprint
+
+        eval_id = evaluator_fingerprint(evaluator)
+        if configs is not None:
+            from repro.engine.resilience import sweep_fingerprint
+
+            sweep_fp = sweep_fingerprint(evaluator, list(configs))
+    resilience = _resilience(args) if hasattr(args, "checkpoint") else None
+    seed = resilience.retry.seed if resilience is not None else 0
+    plugins = [("kernel", name) for name in kernels]
+    plugins.append(("backend", args.backend))
+    plugins.append(("energy", getattr(args, "energy_model", "hwo")))
+    plugins.append(("sram", args.sram))
+    manifest = build_manifest(
+        plugins,
+        eval_id=eval_id,
+        sweep_fingerprint=sweep_fp,
+        seeds={"retry_backoff": seed},
+    )
+    with open(args.manifest_out, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {MANIFEST_SCHEMA} manifest to {args.manifest_out}",
+        file=sys.stderr,
+    )
 
 
 def _print_table(result: ExplorationResult, stream) -> None:
@@ -218,7 +317,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     explorer = MemExplorer(
         kernel,
         energy_model=_energy_model(args),
@@ -232,6 +331,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         tilings=tuple(args.tilings) if args.tilings else None,
         jobs=args.jobs,
         resilience=_resilience(args),
+    )
+    _write_manifest(
+        args,
+        [args.kernel],
+        evaluator=explorer.evaluator,
+        configs=[estimate.config for estimate in result.estimates],
     )
     _print_table(result, sys.stdout)
     print("\nPareto frontier (cycles vs energy):")
@@ -252,7 +357,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_mincache(args: argparse.Namespace) -> int:
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     nest = kernel.nest
     print(f"kernel {kernel.name}: {nest}")
     print("\nequivalence classes / cases:")
@@ -268,7 +373,7 @@ def _cmd_mincache(args: argparse.Namespace) -> int:
 
 
 def _cmd_layout(args: argparse.Namespace) -> int:
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     assignment = kernel.optimized_layout(args.cache_size, args.line_size)
     print(
         f"assignment for {kernel.name} @ C{args.cache_size}L{args.line_size}: "
@@ -297,6 +402,12 @@ def _cmd_mpeg(args: argparse.Namespace) -> int:
         )
     )
     result = program.explore(configs, jobs=args.jobs, resilience=_resilience(args))
+    _write_manifest(
+        args,
+        [f"mpeg:{name}" for name in sorted(k.name for k in program.kernels)],
+        evaluator=program,
+        configs=configs,
+    )
     best_e = result.min_energy()
     best_t = result.min_cycles()
     print(f"explored {len(result)} configurations over {len(program.kernels)} kernels")
@@ -311,7 +422,7 @@ def _cmd_mpeg(args: argparse.Namespace) -> int:
 def _cmd_spm(args: argparse.Namespace) -> int:
     from repro.spm.explorer import compare_cache_vs_spm
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     rows = compare_cache_vs_spm(
         kernel,
         budgets=args.budgets,
@@ -320,6 +431,7 @@ def _cmd_spm(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resilience=_resilience(args),
     )
+    _write_manifest(args, [args.kernel])
     print(f"{'budget':>8s} {'cache nJ':>10s} {'spm nJ':>10s} "
           f"{'spm hit':>8s} {'E winner':>9s} {'t winner':>9s}")
     for row in rows:
@@ -335,7 +447,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.cache.dinero import write_din_trace
     from repro.cache.distance import miss_ratio_curve, reuse_profile
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     if args.optimized:
         layout = kernel.optimized_layout(args.cache_size, args.line_size).layout
     else:
@@ -364,7 +476,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.core.search import greedy_descent
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     explorer = MemExplorer(
         kernel,
         energy_model=_energy_model(args),
@@ -376,6 +488,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         objective=args.objective,
         sizes=tuple(powers_of_two(args.min_size, args.max_size)),
     )
+    _write_manifest(args, [args.kernel], evaluator=explorer.evaluator)
     print(f"best ({args.objective}): {outcome.best}")
     print(f"evaluations spent: {outcome.evaluations}")
     return 0
@@ -384,7 +497,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     from repro.core.report import datasheet, render_datasheet
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     config = CacheConfig(args.cache_size, args.line_size, args.ways, args.tiling)
     sheet = datasheet(
         kernel,
@@ -399,7 +512,7 @@ def _cmd_datasheet(args: argparse.Namespace) -> int:
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.loops.codegen import generate_c
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     if args.no_layout_opt:
         layout = kernel.default_layout()
     else:
@@ -416,7 +529,7 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.core.sensitivity import tornado
 
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     configs = [
         CacheConfig(t, l)
         for t in powers_of_two(args.min_size, args.max_size)
@@ -436,7 +549,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    kernel = get_kernel(args.kernel)
+    kernel = _resolve_kernel(args.kernel)
     explorer = MemExplorer(
         kernel,
         energy_model=_energy_model(args),
@@ -459,6 +572,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     finally:
         if not was_profiling:
             obs.disable_profiling()
+    _write_manifest(
+        args,
+        [args.kernel],
+        evaluator=explorer.evaluator,
+        configs=[estimate.config for estimate in result.estimates],
+    )
     print(
         f"swept {len(result)} configurations of {kernel.name} "
         f"(backend={args.backend}, jobs={args.jobs})\n"
@@ -472,6 +591,14 @@ def _job_spec(args: argparse.Namespace):
     """Build a service :class:`~repro.serve.JobSpec` from explore-style flags."""
     from repro.serve import JobSpec
 
+    if getattr(args, "energy_model", "hwo") != "hwo":
+        # The job spec carries no energy-model field: adding one would
+        # change every spec hash, orphaning stored results.  Served sweeps
+        # always run the paper's model.
+        raise CLIError(
+            "the exploration service does not support --energy-model; "
+            "served sweeps always use the paper's 'hwo' model"
+        )
     return JobSpec(
         kernel=args.kernel,
         backend=args.backend,
@@ -562,6 +689,14 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
 
     client = ServeClient(args.server)
+    if args.manifest:
+        if args.job_id is None:
+            raise CLIError("jobs --manifest requires a job id")
+        manifest = client.job(args.job_id).get("manifest")
+        if manifest is None:
+            raise CLIError(f"job {args.job_id} has no manifest recorded yet")
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
     if args.job_id is None:
         rows = client.jobs()
         print(f"{'job':>22s} {'state':>8s} {'progress':>10s} "
@@ -576,6 +711,21 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if args.wait:
         return _await_job(client, args.job_id, args.timeout)
     print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_plugins(args: argparse.Namespace) -> int:
+    from repro.registry import get_registry
+
+    infos = get_registry().infos(args.kind)
+    if args.json:
+        print(json.dumps([info.to_json() for info in infos],
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{'kind':<8s} {'name':<24s} {'origin':<24s} {'version'}")
+    for info in infos:
+        print(f"{info.kind:<8s} {info.name:<24s} {info.origin:<24s} "
+              f"{info.version}")
     return 0
 
 
@@ -611,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_args(explore)
     _add_engine_args(explore)
     _add_resilience_args(explore)
+    _add_manifest_args(explore)
     _add_obs_args(explore)
     explore.set_defaults(func=_cmd_explore)
 
@@ -634,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_args(mpeg)
     _add_engine_args(mpeg)
     _add_resilience_args(mpeg)
+    _add_manifest_args(mpeg)
     _add_obs_args(mpeg)
     mpeg.set_defaults(func=_cmd_mpeg)
 
@@ -646,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_args(spm)
     _add_engine_args(spm)
     _add_resilience_args(spm)
+    _add_manifest_args(spm)
     _add_obs_args(spm)
     spm.set_defaults(func=_cmd_spm)
 
@@ -670,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--min-size", type=int, default=16)
     _add_energy_args(search)
     _add_engine_args(search)
+    _add_manifest_args(search)
     _add_obs_args(search)
     search.set_defaults(func=_cmd_search)
 
@@ -715,6 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_args(stats)
     _add_engine_args(stats)
     _add_resilience_args(stats)
+    _add_manifest_args(stats)
     _add_obs_args(stats)
     stats.set_defaults(func=_cmd_stats)
 
@@ -772,8 +927,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="block until the job finishes, then print its result")
     jobs.add_argument("--timeout", type=float, default=None,
                       help="give up waiting after this many seconds")
+    jobs.add_argument("--manifest", action="store_true",
+                      help="print the job's repro.manifest/1 document")
     _add_obs_args(jobs)
     jobs.set_defaults(func=_cmd_jobs)
+
+    from repro.registry import KINDS
+
+    plugins = sub.add_parser(
+        "plugins",
+        help="list registered components (built-ins and installed plugins)",
+    )
+    plugins.add_argument(
+        "--kind", choices=KINDS, default=None,
+        help="show one component kind only",
+    )
+    plugins.add_argument(
+        "--json", action="store_true",
+        help="emit the table as JSON instead of text",
+    )
+    _add_obs_args(plugins)
+    plugins.set_defaults(func=_cmd_plugins)
 
     return parser
 
@@ -797,6 +971,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.enable_profiling()
     try:
         code = args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
     except KeyboardInterrupt:
         # Conventional 128 + SIGINT, without a traceback splattered on
         # the terminal.

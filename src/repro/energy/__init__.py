@@ -34,6 +34,46 @@ from repro.energy.kamble_ghose import KambleGhoseModel
 from repro.energy.dram import DramModel, DramStats, miss_stream_energy
 from repro.energy.area import cache_area_bits, tag_bits_per_line
 
+
+def available_energy_models() -> "tuple[str, ...]":
+    """Energy-model names (built-ins plus installed plugins)."""
+    from repro.registry import get_registry
+
+    return get_registry().names("energy")
+
+
+def get_energy_model(name: str, **kwargs) -> EnergyModel:
+    """Build an energy model by registry name (``hwo`` is the paper's)."""
+    from repro.registry import UnknownPluginError, get_registry
+
+    try:
+        return get_registry().create("energy", name, **kwargs)
+    except UnknownPluginError:
+        raise ValueError(
+            f"unknown energy model {name!r}; "
+            f"choose from {available_energy_models()}"
+        ) from None
+
+
+def available_srams() -> "tuple[str, ...]":
+    """Off-chip SRAM part names (the paper's catalog plus plugins)."""
+    from repro.registry import get_registry
+
+    return get_registry().names("sram")
+
+
+def get_sram(name: str) -> SRAMPart:
+    """Resolve an off-chip SRAM part by registry name."""
+    from repro.registry import UnknownPluginError, get_registry
+
+    try:
+        return get_registry().create("sram", name)
+    except UnknownPluginError:
+        raise ValueError(
+            f"unknown SRAM part {name!r}; choose from {available_srams()}"
+        ) from None
+
+
 __all__ = [
     "CY7C_2MBIT",
     "EnergyBreakdown",
@@ -47,8 +87,12 @@ __all__ = [
     "SRAM_CATALOG",
     "TechnologyParams",
     "address_bus_switching",
+    "available_energy_models",
+    "available_srams",
     "bus_switching",
     "cache_area_bits",
+    "get_energy_model",
+    "get_sram",
     "gray_decode",
     "gray_encode",
     "hamming_distance",

@@ -18,14 +18,17 @@ accuracy for speed:
     The paper's own closed-form model (:mod:`repro.core.analytic`);
     simulation-free, only defined for loop-nest kernels.
 
-Backends are selected by name through :func:`get_backend`, so every
-explorer and the CLI can swap them without touching the pipeline.
+Backends are selected by name through :func:`get_backend`, which resolves
+through the :mod:`repro.registry` plugin registry -- the built-ins above
+are registered there alongside any ``repro.plugins`` entry points, so
+every explorer and the CLI can swap in third-party backends without
+touching the pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Optional, Type, Union
+from typing import TYPE_CHECKING, Hashable, Optional, Union
 
 import numpy as np
 
@@ -252,32 +255,31 @@ class AnalyticBackend(Backend):
         )
 
 
-_BACKENDS: Dict[str, Type[Backend]] = {
-    FastSimBackend.name: FastSimBackend,
-    ReferenceBackend.name: ReferenceBackend,
-    SampledBackend.name: SampledBackend,
-    AnalyticBackend.name: AnalyticBackend,
-}
-
-
 def available_backends() -> "tuple[str, ...]":
-    """Names accepted by :func:`get_backend` (and the CLI ``--backend``)."""
-    return tuple(sorted(_BACKENDS))
+    """Names accepted by :func:`get_backend` (and the CLI ``--backend``).
+
+    Sourced from the plugin registry: the four built-ins plus every
+    backend an installed ``repro.plugins`` entry point registered.
+    """
+    from repro.registry import get_registry
+
+    return get_registry().names("backend")
 
 
 def get_backend(backend: Union[str, Backend, None], **kwargs) -> Backend:
-    """Resolve a backend name (or pass an instance through)."""
+    """Resolve a backend name through the registry (instances pass through)."""
     if backend is None:
         return FastSimBackend()
     if isinstance(backend, Backend):
         return backend
+    from repro.registry import UnknownPluginError, get_registry
+
     try:
-        cls = _BACKENDS[backend]
-    except KeyError:
+        return get_registry().create("backend", backend, **kwargs)
+    except UnknownPluginError:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {available_backends()}"
         ) from None
-    return cls(**kwargs)
 
 
 def cached_miss_vector(

@@ -2,11 +2,13 @@
 examples, and the nine-kernel MPEG decoder suite.
 
 :data:`PAPER_KERNELS` lists the five benchmarks of Figures 2, 6, 8 and 9 in
-the paper's column order.  :func:`get_kernel` builds any bundled kernel by
-name with its default (paper) parameters.
+the paper's column order.  :func:`get_kernel` builds any registered kernel
+by name with its default (paper) parameters -- resolution goes through the
+:mod:`repro.registry` plugin registry, so kernels contributed by installed
+``repro.plugins`` entry points are built the same way the bundled ones are.
 """
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.kernels.base import Kernel
 from repro.kernels.compress import make_compress
@@ -47,34 +49,32 @@ __all__ = [
 #: The five benchmarks of the paper's figures, in column order.
 PAPER_KERNELS = ("compress", "matmul", "pde", "sor", "dequant")
 
-_FACTORIES: Dict[str, Callable[[], Kernel]] = {
-    "compress": make_compress,
-    "conv2d": make_conv2d,
-    "matmul": make_matmul,
-    "matadd": make_matadd,
-    "pde": make_pde,
-    "sor": make_sor,
-    "dequant": make_dequant,
-    "transpose": make_transpose,
-}
-
-
 def available_kernels() -> List[str]:
-    """Names accepted by :func:`get_kernel`."""
-    return sorted(_FACTORIES) + [f"mpeg:{name}" for name in MPEG_KERNEL_NAMES]
+    """Names accepted by :func:`get_kernel`.
+
+    Non-MPEG kernels sort first, then the ``mpeg:*`` suite -- the order
+    the CLI ``list`` command has always printed.  Sourced from the plugin
+    registry, so kernels from installed ``repro.plugins`` entry points
+    appear too.
+    """
+    from repro.registry import get_registry
+
+    names = get_registry().names("kernel")
+    plain = [name for name in names if not name.startswith("mpeg:")]
+    mpeg = [name for name in names if name.startswith("mpeg:")]
+    return plain + mpeg
 
 
 def get_kernel(name: str) -> Kernel:
-    """Build a bundled kernel by name (``mpeg:<kernel>`` for MPEG kernels)."""
-    if name.startswith("mpeg:"):
-        return make_mpeg_kernel(name.split(":", 1)[1])
+    """Build a registered kernel by name (``mpeg:<kernel>`` for MPEG kernels)."""
+    from repro.registry import UnknownPluginError, get_registry
+
     try:
-        factory = _FACTORIES[name]
-    except KeyError:
+        return get_registry().create("kernel", name)
+    except UnknownPluginError:
         raise KeyError(
             f"unknown kernel {name!r}; choose from {available_kernels()}"
         ) from None
-    return factory()
 
 
 def paper_kernels() -> List[Kernel]:

@@ -1,0 +1,73 @@
+"""repro.registry: the plugin registry and reproducible run manifests.
+
+One entry-point-based registry (group ``repro.plugins``) is the single
+source of truth for every pluggable component family -- miss-measurement
+backends, benchmark kernels, energy models, SRAM parts and result-store
+tiers.  Built-ins register through the same hook protocol third-party
+distributions use, so dropping a new backend into the fleet is a
+``pip install``, not a core-module edit:
+
+* :mod:`repro.registry.core` -- :class:`PluginRegistry` (lazy, deterministic
+  discovery; first registration wins, collisions warn), :class:`PluginInfo`
+  provenance rows, :class:`RegistryHook` (what a plugin's ``register(hook)``
+  receives) and the did-you-mean :class:`UnknownPluginError`;
+* :mod:`repro.registry.builtins` -- the bundled components, registered via
+  the same hook;
+* :mod:`repro.registry.manifest` -- ``repro.manifest/1`` run manifests:
+  the provenance document (plugins + versions, python, seeds,
+  fingerprints) recorded alongside every sweep/job result.
+
+Quickstart (plugin author)::
+
+    # mypkg/__init__.py
+    def register(hook):
+        hook.backend("mybackend", MyBackend)
+        hook.kernel("mykernel", make_my_kernel)
+
+    # pyproject.toml
+    [project.entry-points."repro.plugins"]
+    mypkg = "mypkg:register"
+
+Quickstart (consumer)::
+
+    from repro.registry import get_registry
+
+    registry = get_registry()
+    backend = registry.create("backend", "mybackend")
+    for info in registry.infos():
+        print(info.kind, info.name, info.origin, info.version)
+"""
+
+from repro.registry.core import (
+    EP_GROUP,
+    KINDS,
+    PluginCollisionWarning,
+    PluginError,
+    PluginInfo,
+    PluginRegistry,
+    RegistryHook,
+    UnknownPluginError,
+    get_registry,
+    reset_registry,
+)
+from repro.registry.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    check_manifest,
+)
+
+__all__ = [
+    "EP_GROUP",
+    "KINDS",
+    "MANIFEST_SCHEMA",
+    "PluginCollisionWarning",
+    "PluginError",
+    "PluginInfo",
+    "PluginRegistry",
+    "RegistryHook",
+    "UnknownPluginError",
+    "build_manifest",
+    "check_manifest",
+    "get_registry",
+    "reset_registry",
+]

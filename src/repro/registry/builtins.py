@@ -1,0 +1,106 @@
+"""Built-in component registration -- through the same hook plugins use.
+
+Everything repro bundles (four miss-measurement backends, seventeen
+kernels, two energy models, three SRAM parts, the sqlite store tier) is
+registered here, via exactly the :class:`~repro.registry.core.RegistryHook`
+protocol a third-party ``repro.plugins`` entry point receives.  There is
+no privileged wiring path: deleting a line here and re-adding it from an
+installed package would be behaviour-preserving (modulo the ``origin``
+recorded in manifests).
+
+Imports are deliberately local to :func:`register`: the registry is
+discovered lazily from inside :mod:`repro.engine.backends` and
+:mod:`repro.kernels`, and importing those modules at the top level here
+would recurse.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.registry.core import RegistryHook
+
+__all__ = ["register"]
+
+
+def register(hook: "RegistryHook") -> None:
+    """Register every bundled component on ``hook``."""
+    _register_backends(hook)
+    _register_kernels(hook)
+    _register_energy(hook)
+    _register_srams(hook)
+    _register_stores(hook)
+
+
+def _register_backends(hook: "RegistryHook") -> None:
+    from repro.engine import backends
+
+    hook.backend(backends.FastSimBackend.name, backends.FastSimBackend)
+    hook.backend(backends.ReferenceBackend.name, backends.ReferenceBackend)
+    hook.backend(backends.SampledBackend.name, backends.SampledBackend)
+    hook.backend(backends.AnalyticBackend.name, backends.AnalyticBackend)
+
+
+def _register_kernels(hook: "RegistryHook") -> None:
+    from repro import kernels
+    from repro.kernels.mpeg import MPEG_KERNEL_NAMES, make_mpeg_kernel
+
+    hook.kernel("compress", kernels.make_compress)
+    hook.kernel("conv2d", kernels.make_conv2d)
+    hook.kernel("matmul", kernels.make_matmul)
+    hook.kernel("matadd", kernels.make_matadd)
+    hook.kernel("pde", kernels.make_pde)
+    hook.kernel("sor", kernels.make_sor)
+    hook.kernel("dequant", kernels.make_dequant)
+    hook.kernel("transpose", kernels.make_transpose)
+    for name in MPEG_KERNEL_NAMES:
+        hook.kernel(
+            f"mpeg:{name}",
+            _bind_mpeg_kernel(make_mpeg_kernel, name),
+        )
+
+
+def _bind_mpeg_kernel(make_mpeg_kernel, name):
+    """A zero-argument factory for one MPEG decoder kernel."""
+
+    def factory():
+        return make_mpeg_kernel(name)
+
+    factory.__name__ = f"make_mpeg_{name}"
+    factory.__qualname__ = factory.__name__
+    factory.__doc__ = f"The MPEG decoder kernel {name!r} (paper defaults)."
+    return factory
+
+
+def _register_energy(hook: "RegistryHook") -> None:
+    from repro.energy.kamble_ghose import KambleGhoseModel
+    from repro.energy.model import EnergyModel
+
+    hook.energy("hwo", EnergyModel)
+    hook.energy("kamble-ghose", KambleGhoseModel)
+
+
+def _register_srams(hook: "RegistryHook") -> None:
+    from repro.energy.params import SRAM_CATALOG
+
+    for name, part in SRAM_CATALOG.items():
+        hook.sram(name, _bind_sram(part))
+
+
+def _bind_sram(part):
+    """A zero-argument factory returning one (frozen) SRAM part."""
+
+    def factory():
+        return part
+
+    factory.__name__ = f"sram_{part.name}"
+    factory.__qualname__ = factory.__name__
+    factory.__doc__ = f"The off-chip SRAM part {part.name!r}."
+    return factory
+
+
+def _register_stores(hook: "RegistryHook") -> None:
+    from repro.serve.store import open_store
+
+    hook.store("sqlite", open_store)

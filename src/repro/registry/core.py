@@ -1,0 +1,392 @@
+"""The plugin registry: one name -> factory table for every component kind.
+
+Before this module, each subsystem wired its components by name in a
+private dict (``_BACKENDS`` in :mod:`repro.engine.backends`,
+``_FACTORIES`` in :mod:`repro.kernels`, ``SRAM_CATALOG`` membership
+checks in the CLI and :class:`~repro.serve.jobs.JobSpec`).  Dropping in a
+new backend or kernel meant editing core modules.  The registry replaces
+all of those dicts with one table, keyed by ``(kind, name)``:
+
+``backend``
+    Miss-measurement backends (:class:`~repro.engine.backends.Backend`
+    subclasses; the factory is called with the backend's kwargs).
+``kernel``
+    Benchmark kernels (zero-argument factories returning
+    :class:`~repro.kernels.base.Kernel`).
+``energy``
+    Energy models (factories with the :class:`~repro.energy.model.EnergyModel`
+    constructor signature).
+``sram``
+    Off-chip SRAM parts (zero-argument factories returning
+    :class:`~repro.energy.params.SRAMPart`).
+``store``
+    Result-store tiers (factories with the
+    :func:`~repro.serve.store.open_store` signature).
+
+Population happens lazily, on first lookup, in two deterministic steps:
+
+1. the built-ins register through :func:`repro.registry.builtins.register`
+   -- the *same* hook protocol third-party packages use;
+2. every ``repro.plugins`` entry point is loaded in sorted order and
+   called with a :class:`RegistryHook` bound to its distribution, so the
+   origin and version of every plugin are recorded for run manifests.
+
+Name collisions are resolved deterministically: the first registration
+wins (built-ins always run first, so a plugin can never shadow a built-in)
+and a :class:`PluginCollisionWarning` is emitted naming both origins.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import warnings
+from dataclasses import dataclass
+from difflib import get_close_matches
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "EP_GROUP",
+    "KINDS",
+    "PluginCollisionWarning",
+    "PluginError",
+    "PluginInfo",
+    "PluginRegistry",
+    "RegistryHook",
+    "UnknownPluginError",
+    "get_registry",
+    "reset_registry",
+]
+
+logger = logging.getLogger(__name__)
+
+#: The entry-point group third-party packages register under.
+EP_GROUP = "repro.plugins"
+
+#: Component kinds the registry manages.
+KINDS = ("backend", "kernel", "energy", "sram", "store")
+
+#: Origin tag of components bundled with repro itself.
+BUILTIN_ORIGIN = "builtin"
+
+
+class PluginError(Exception):
+    """A plugin could not be registered or resolved."""
+
+
+class UnknownPluginError(PluginError, LookupError):
+    """No plugin of the requested kind carries the requested name.
+
+    Carries the sorted ``available`` names and a did-you-mean
+    ``suggestion`` (or ``None``) so front ends can render a helpful
+    message instead of a traceback.
+    """
+
+    def __init__(self, kind: str, name: str, available: Tuple[str, ...]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = available
+        matches = get_close_matches(name, available, n=1, cutoff=0.5)
+        self.suggestion: Optional[str] = matches[0] if matches else None
+        hint = f"; did you mean {self.suggestion!r}?" if self.suggestion else ""
+        super().__init__(
+            f"unknown {kind} {name!r}{hint} (available: {', '.join(available)})"
+        )
+
+
+class PluginCollisionWarning(UserWarning):
+    """Two registrations claimed the same ``(kind, name)``; first wins."""
+
+
+@dataclass(frozen=True)
+class PluginInfo:
+    """One registered component: identity, factory and provenance.
+
+    ``origin`` is ``"builtin"`` for bundled components, otherwise the
+    distribution (or module) that provided the plugin; ``version`` is that
+    distribution's version.  Both flow into run manifests, which is how a
+    stored result names the exact code that produced it.
+    """
+
+    kind: str
+    name: str
+    factory: Callable[..., Any]
+    origin: str
+    version: str
+
+    def create(self, **kwargs: Any) -> Any:
+        """Instantiate the component (``factory(**kwargs)``)."""
+        return self.factory(**kwargs)
+
+    def to_json(self) -> Dict[str, str]:
+        """The manifest row for this plugin (no factory, provenance only)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "origin": self.origin,
+            "version": self.version,
+        }
+
+
+@dataclass
+class RegistryHook:
+    """What a plugin's ``register(hook)`` entry point receives.
+
+    The hook pre-binds the plugin's provenance, so registrations made
+    through it are attributed to the right distribution without the
+    plugin author spelling it out.  Built-ins register through a hook
+    bound to ``origin="builtin"`` -- one mechanism for everything.
+    """
+
+    registry: "PluginRegistry"
+    origin: str
+    version: str
+
+    def add(
+        self, kind: str, name: str, factory: Callable[..., Any]
+    ) -> Optional[PluginInfo]:
+        """Register ``factory`` as the ``kind`` component called ``name``."""
+        return self.registry.register(
+            kind, name, factory, origin=self.origin, version=self.version
+        )
+
+    # Convenience verbs, one per kind -- what plugin code actually calls.
+
+    def backend(self, name: str, factory: Callable[..., Any]):
+        """Register a miss-measurement backend."""
+        return self.add("backend", name, factory)
+
+    def kernel(self, name: str, factory: Callable[..., Any]):
+        """Register a benchmark kernel factory."""
+        return self.add("kernel", name, factory)
+
+    def energy(self, name: str, factory: Callable[..., Any]):
+        """Register an energy model."""
+        return self.add("energy", name, factory)
+
+    def sram(self, name: str, factory: Callable[..., Any]):
+        """Register an off-chip SRAM part."""
+        return self.add("sram", name, factory)
+
+    def store(self, name: str, factory: Callable[..., Any]):
+        """Register a result-store tier."""
+        return self.add("store", name, factory)
+
+
+def _iter_entry_points() -> List[Any]:
+    """Every ``repro.plugins`` entry point."""
+    from importlib import metadata
+
+    try:
+        eps: Iterable[Any] = metadata.entry_points(group=EP_GROUP)
+    except TypeError:  # Python 3.9: entry_points() takes no kwargs
+        eps = metadata.entry_points().get(EP_GROUP, [])  # type: ignore[attr-defined]
+    return list(eps)
+
+
+def _entry_point_provenance(ep: Any) -> Tuple[str, str]:
+    """Best-effort ``(origin, version)`` of one entry point."""
+    dist = getattr(ep, "dist", None)
+    if dist is not None:
+        try:
+            return dist.name, dist.version
+        except Exception:  # pragma: no cover - exotic metadata backends
+            pass
+    # Python 3.9 entry points carry no dist; fall back to the module's
+    # top-level distribution when one exists.
+    module = ep.value.split(":", 1)[0].split(".", 1)[0]
+    try:
+        from importlib import metadata
+
+        return module, metadata.version(module)
+    except Exception:
+        return module, "unknown"
+
+
+class PluginRegistry:
+    """The ``(kind, name) -> PluginInfo`` table with lazy discovery.
+
+    ``entry_points`` overrides the entry-point source (tests register
+    fake plugins without installing a distribution).  All lookups are
+    thread-safe; discovery runs at most once per registry.
+    """
+
+    def __init__(
+        self,
+        entry_points: Optional[Callable[[], Iterable[Any]]] = None,
+    ) -> None:
+        self._plugins: Dict[Tuple[str, str], PluginInfo] = {}
+        self._entry_points = (
+            entry_points if entry_points is not None else _iter_entry_points
+        )
+        self._discovered = False
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        factory: Callable[..., Any],
+        origin: str = BUILTIN_ORIGIN,
+        version: Optional[str] = None,
+    ) -> Optional[PluginInfo]:
+        """Record one component; first registration of a name wins.
+
+        Returns the registered :class:`PluginInfo`, or ``None`` when the
+        name was already taken (a :class:`PluginCollisionWarning` is
+        emitted naming both origins).
+        """
+        if kind not in KINDS:
+            raise PluginError(
+                f"unknown plugin kind {kind!r} (one of: {', '.join(KINDS)})"
+            )
+        if not name or not isinstance(name, str):
+            raise PluginError(f"plugin names must be non-empty strings: {name!r}")
+        if not callable(factory):
+            raise PluginError(f"{kind} {name!r}: factory must be callable")
+        if version is None:
+            version = _repro_version()
+        info = PluginInfo(
+            kind=kind, name=name, factory=factory, origin=origin, version=version
+        )
+        with self._lock:
+            taken = self._plugins.get((kind, name))
+            if taken is not None:
+                warnings.warn(
+                    f"{kind} {name!r} from {origin} {version} ignored: "
+                    f"already registered by {taken.origin} {taken.version}",
+                    PluginCollisionWarning,
+                    stacklevel=2,
+                )
+                return None
+            self._plugins[(kind, name)] = info
+        return info
+
+    def _discover(self) -> None:
+        """Built-ins first, then entry points -- exactly once."""
+        with self._lock:
+            if self._discovered:
+                return
+            # Mark first: builtins.register resolves names through this
+            # registry's own modules, which must not recurse into discovery.
+            self._discovered = True
+            from repro.registry import builtins as builtin_plugins
+
+            builtin_plugins.register(
+                RegistryHook(
+                    registry=self,
+                    origin=BUILTIN_ORIGIN,
+                    version=_repro_version(),
+                )
+            )
+            # Sorted here (not in the source) so collision resolution is
+            # deterministic for injected entry-point sources too.
+            eps = sorted(
+                self._entry_points(), key=lambda ep: (ep.name, ep.value)
+            )
+            for ep in eps:
+                origin, version = _entry_point_provenance(ep)
+                try:
+                    register_fn = ep.load()
+                except Exception as exc:
+                    logger.warning(
+                        "could not load plugin entry point %r from %s: %s",
+                        ep.name, origin, exc,
+                    )
+                    continue
+                if not callable(register_fn):
+                    logger.warning(
+                        "plugin entry point %r from %s is not callable; ignored",
+                        ep.name, origin,
+                    )
+                    continue
+                hook = RegistryHook(
+                    registry=self, origin=origin, version=version
+                )
+                try:
+                    register_fn(hook)
+                except Exception as exc:
+                    logger.warning(
+                        "plugin %r from %s failed to register: %s",
+                        ep.name, origin, exc,
+                    )
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def get(self, kind: str, name: str) -> PluginInfo:
+        """The :class:`PluginInfo` for ``(kind, name)``.
+
+        Raises :class:`UnknownPluginError` (with a did-you-mean
+        suggestion and the available names) when nothing matches.
+        """
+        self._discover()
+        with self._lock:
+            info = self._plugins.get((kind, name))
+        if info is None:
+            raise UnknownPluginError(kind, name, self.names(kind))
+        return info
+
+    def create(self, kind: str, name: str, **kwargs: Any) -> Any:
+        """Resolve and instantiate in one step."""
+        return self.get(kind, name).create(**kwargs)
+
+    def has(self, kind: str, name: str) -> bool:
+        """Whether ``(kind, name)`` resolves."""
+        self._discover()
+        with self._lock:
+            return (kind, name) in self._plugins
+
+    def names(self, kind: str) -> Tuple[str, ...]:
+        """Sorted names registered under ``kind``."""
+        self._discover()
+        with self._lock:
+            return tuple(
+                sorted(n for (k, n) in self._plugins if k == kind)
+            )
+
+    def infos(self, kind: Optional[str] = None) -> List[PluginInfo]:
+        """Every registration (of one kind, or all), sorted by (kind, name)."""
+        self._discover()
+        with self._lock:
+            rows = [
+                info
+                for (k, _), info in self._plugins.items()
+                if kind is None or k == kind
+            ]
+        return sorted(rows, key=lambda info: (info.kind, info.name))
+
+
+def _repro_version() -> str:
+    """The installed distribution version, else the package fallback."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+_registry: Optional[PluginRegistry] = None
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> PluginRegistry:
+    """The process-wide registry (created, not yet discovered, on first use)."""
+    global _registry
+    with _registry_lock:
+        if _registry is None:
+            _registry = PluginRegistry()
+        return _registry
+
+
+def reset_registry(registry: Optional[PluginRegistry] = None) -> None:
+    """Replace the process-wide registry (tests; pass ``None`` to re-create)."""
+    global _registry
+    with _registry_lock:
+        _registry = registry

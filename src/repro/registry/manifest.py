@@ -1,0 +1,143 @@
+"""Reproducible run manifests (schema ``repro.manifest/1``).
+
+A fleet of services sharing one content-addressed result store can only
+trust each other's cached rows if every row's provenance is on record:
+which code -- down to the exact plugin distributions and versions --
+produced it, on which Python, with which seeds.  A *manifest* is that
+record: a small JSON document built next to every sweep/job and persisted
+alongside (never mixed into) the store keys.  Fingerprints stay what they
+were before manifests existed, so pre-manifest ``repro.store/1`` databases
+remain valid; the manifest is pure metadata about a key, not part of it.
+
+Document layout::
+
+    {
+      "schema": "repro.manifest/1",
+      "spec_hash": "<sha256 | null>",      -- the JobSpec hash, when any
+      "eval_id": "<sha256 | null>",        -- evaluator fingerprint
+      "sweep_fingerprint": "<sha256 | null>",
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "repro_version": "1.0.0",
+      "packages": {"repro": "1.0.0", "numpy": "..."},
+      "plugins": [{"kind", "name", "origin", "version"}, ...],
+      "seeds": {"retry_backoff": 0},
+      "created_s": 1754500000.0
+    }
+
+``plugins`` names only the registry entries the run actually used (its
+kernel, backend, energy model, SRAM part, store tier), each with the
+distribution that provided it -- so a result produced by a third-party
+backend is attributable even after the plugin is uninstalled.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.registry.core import UnknownPluginError, get_registry
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "check_manifest",
+]
+
+MANIFEST_SCHEMA = "repro.manifest/1"
+
+#: Distributions whose versions every manifest records.
+_CORE_PACKAGES = ("repro", "numpy")
+
+
+def _package_versions() -> Dict[str, str]:
+    from importlib import metadata
+
+    versions: Dict[str, str] = {}
+    for name in _CORE_PACKAGES:
+        try:
+            versions[name] = metadata.version(name)
+        except Exception:
+            if name == "repro":
+                from repro import __version__
+
+                versions[name] = __version__
+    return versions
+
+
+def build_manifest(
+    plugins: Iterable[Tuple[str, str]],
+    spec_hash: Optional[str] = None,
+    eval_id: Optional[str] = None,
+    sweep_fingerprint: Optional[str] = None,
+    seeds: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one ``repro.manifest/1`` document.
+
+    ``plugins`` is the ``(kind, name)`` list of registry entries the run
+    used; each is resolved to its full provenance row.  Entries that do
+    not resolve (e.g. a stale name) are recorded with origin
+    ``"unresolved"`` rather than dropped -- an honest manifest beats a
+    silently incomplete one.  ``extra`` keys are merged at the top level
+    (they must not collide with the schema's own fields).
+    """
+    registry = get_registry()
+    rows = []
+    for kind, name in plugins:
+        try:
+            rows.append(registry.get(kind, name).to_json())
+        except UnknownPluginError:
+            rows.append(
+                {
+                    "kind": kind,
+                    "name": name,
+                    "origin": "unresolved",
+                    "version": "unknown",
+                }
+            )
+    rows.sort(key=lambda row: (row["kind"], row["name"]))
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "spec_hash": spec_hash,
+        "eval_id": eval_id,
+        "sweep_fingerprint": sweep_fingerprint,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": _package_versions().get("repro", "unknown"),
+        "packages": _package_versions(),
+        "plugins": rows,
+        "seeds": dict(seeds or {}),
+        "created_s": time.time(),
+    }
+    if extra:
+        collisions = set(extra) & set(manifest)
+        if collisions:
+            raise ValueError(
+                f"extra manifest fields collide with the schema: "
+                f"{sorted(collisions)}"
+            )
+        manifest.update(extra)
+    return manifest
+
+
+def check_manifest(doc: Any) -> Dict[str, Any]:
+    """Validate the shape of a manifest document and return it.
+
+    Raises ``ValueError`` on anything that is not a ``repro.manifest/1``
+    object (including manifests from a newer schema, named as such).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("manifest must be a JSON object")
+    schema = doc.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        if isinstance(schema, str) and schema.startswith("repro.manifest/"):
+            raise ValueError(
+                f"manifest uses schema {schema}, newer than the "
+                f"{MANIFEST_SCHEMA} this version reads"
+            )
+        raise ValueError(f"not a {MANIFEST_SCHEMA} document (schema {schema!r})")
+    if not isinstance(doc.get("plugins"), list):
+        raise ValueError("manifest has no plugins list")
+    return doc

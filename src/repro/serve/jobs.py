@@ -40,16 +40,19 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import CacheConfig, design_space
-from repro.energy.model import EnergyModel
-from repro.energy.params import SRAM_CATALOG
-from repro.engine.backends import available_backends
+from repro.energy import get_energy_model, get_sram
 from repro.engine.evaluator import Evaluator, order_configs
 from repro.engine.parallel import ParallelSweep
-from repro.engine.resilience import ResilienceOptions, estimate_to_json
+from repro.engine.resilience import (
+    ResilienceOptions,
+    estimate_to_json,
+    sweep_fingerprint,
+)
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import KernelWorkload
-from repro.kernels import available_kernels, get_kernel
+from repro.kernels import get_kernel
 from repro.obs.metrics import get_metrics
+from repro.registry import build_manifest, get_registry
 from repro.serve.store import ResultStore, StoreBackedEvaluator, evaluator_fingerprint
 
 __all__ = [
@@ -108,11 +111,12 @@ class JobSpec:
     energy_bound: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.kernel not in available_kernels():
+        registry = get_registry()
+        if not registry.has("kernel", self.kernel):
             raise ValueError(f"unknown kernel {self.kernel!r}")
-        if self.backend not in available_backends():
+        if not registry.has("backend", self.backend):
             raise ValueError(f"unknown backend {self.backend!r}")
-        if self.sram not in SRAM_CATALOG:
+        if not registry.has("sram", self.sram):
             raise ValueError(f"unknown SRAM part {self.sram!r}")
         if self.objective not in ("energy", "cycles"):
             raise ValueError(f"unknown objective {self.objective!r}")
@@ -194,7 +198,7 @@ class JobSpec:
                 get_kernel(self.kernel), optimize_layout=self.optimize_layout
             ),
             backend=self.backend,
-            energy_model=EnergyModel(sram=SRAM_CATALOG[self.sram]),
+            energy_model=get_energy_model("hwo", sram=get_sram(self.sram)),
         )
         if store is None:
             return evaluator
@@ -605,7 +609,42 @@ class JobRunner(threading.Thread):
         # evaluator; backfill them so the store holds the complete sweep
         # (INSERT OR IGNORE makes the overlap free).
         self.manager.store.put_many(evaluator.eval_id, zip(configs, estimates))
+        self._record_manifest(job, evaluator, configs, resilience)
         return ExplorationResult(estimates)
+
+    def _record_manifest(
+        self,
+        job: Job,
+        evaluator: Any,
+        configs: List[CacheConfig],
+        resilience: ResilienceOptions,
+    ) -> None:
+        """Persist the job's ``repro.manifest/1`` provenance document.
+
+        The manifest lives in its own store table, keyed by job id --
+        provenance *about* the result rows, never part of their keys.  A
+        manifest failure must not fail the sweep it describes.
+        """
+        spec = job.spec
+        try:
+            manifest = build_manifest(
+                [
+                    ("kernel", spec.kernel),
+                    ("backend", spec.backend),
+                    ("energy", "hwo"),
+                    ("sram", spec.sram),
+                    ("store", "sqlite"),
+                ],
+                spec_hash=spec.spec_hash,
+                eval_id=evaluator.eval_id,
+                sweep_fingerprint=sweep_fingerprint(evaluator, configs),
+                seeds={"retry_backoff": resilience.retry.seed},
+            )
+            self.manager.store.save_manifest(job.job_id, manifest)
+        except Exception as exc:  # pragma: no cover - provenance best-effort
+            logger.warning(
+                "could not record manifest for job %s: %s", job.job_id, exc
+            )
 
 
 def result_to_json(result: ExplorationResult) -> List[Dict[str, Any]]:

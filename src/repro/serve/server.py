@@ -18,7 +18,9 @@ runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
 ``GET /jobs``
     All known jobs, most recent first.
 ``GET /jobs/<id>[?wait=SECONDS]``
-    One job record; ``wait`` long-polls until the job is terminal.
+    One job record; ``wait`` long-polls until the job is terminal.  Once
+    a sweep has run, the record carries the job's ``repro.manifest/1``
+    provenance document under ``manifest``.
 ``GET /jobs/<id>/result``
     The exact result rows once the job is ``done`` (``409`` before).
 ``GET /jobs/<id>/events``
@@ -299,7 +301,11 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             job = self.service.manager.wait(job_id, timeout_s=timeout_s)
         assert job is not None
-        self._send_json(200, {"job": job.to_json()})
+        doc = job.to_json()
+        manifest = self.service.manager.store.load_manifest(job_id)
+        if manifest is not None:
+            doc["manifest"] = manifest
+        self._send_json(200, {"job": doc})
 
     def _get_result(self, job_id: str) -> None:
         job = self.service.manager.get(job_id)

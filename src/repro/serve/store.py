@@ -30,6 +30,12 @@ Store schema (``repro.store/1``)::
               created_s REAL,
               PRIMARY KEY (eval_id, config_key))
     jobs(job_id TEXT PRIMARY KEY, doc TEXT)       -- repro.serve job records
+    manifests(job_id TEXT PRIMARY KEY, doc TEXT)  -- repro.manifest/1 documents
+
+The ``manifests`` table records the provenance document of every finished
+job *alongside* the keys, never inside them: the schema tag stays
+``repro.store/1`` and every fingerprint is byte-identical to what earlier
+versions wrote, so pre-manifest stores open (and gain the table) in place.
 
 Counters fed into the :mod:`repro.obs` registry: ``store.hits``,
 ``store.misses`` (reads) and ``store.puts`` (writes) -- the numbers the
@@ -82,6 +88,8 @@ _DDL = (
     " PRIMARY KEY (eval_id, config_key))",
     "CREATE TABLE IF NOT EXISTS jobs ("
     " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS manifests ("
+    " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
 )
 
 
@@ -105,19 +113,28 @@ def evaluator_fingerprint(evaluator: Any) -> str:
     :func:`repro.engine.resilience.sweep_fingerprint` hashes (workload key,
     backend name and parameters, Gray coding), extended with the energy
     model's constants -- two evaluators that would disagree on any
-    estimate field must never share store rows.
+    estimate field must never share store rows.  Energy-model *subclasses*
+    (e.g. :class:`~repro.energy.kamble_ghose.KambleGhoseModel`) additionally
+    contribute their class name: they change ``E_cell`` without changing
+    any constant, so sharing rows with the paper's model would poison the
+    store.  The class qualifier is omitted for the base
+    :class:`~repro.energy.model.EnergyModel`, keeping every fingerprint
+    ever written by earlier versions byte-identical.
     """
+    from repro.energy.model import EnergyModel
+
     model = getattr(evaluator, "energy_model", None)
-    model_id = (
-        None
-        if model is None
-        else (
+    if model is None:
+        model_id = None
+    else:
+        model_id = (
             repr(model.tech),
             repr(model.sram),
             model.subbanks,
             model.phased,
         )
-    )
+        if type(model) is not EnergyModel:
+            model_id = (type(model).__qualname__,) + model_id
     digest = hashlib.sha256()
     digest.update(_evaluator_identity(evaluator).encode())
     digest.update(repr(model_id).encode())
@@ -306,6 +323,26 @@ class ResultStore:
         """Drop one persisted job record (idempotent)."""
         with self._lock, self._conn:
             self._conn.execute("DELETE FROM jobs WHERE job_id = ?", (job_id,))
+
+    # ------------------------------------------------------------------
+    # run manifests (repro.manifest/1 provenance, keyed by job)
+
+    def save_manifest(self, job_id: str, doc: Dict[str, Any]) -> None:
+        """Persist one job's ``repro.manifest/1`` document."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO manifests (job_id, doc)"
+                " VALUES (?, ?)",
+                (job_id, json.dumps(doc, sort_keys=True)),
+            )
+
+    def load_manifest(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job's manifest, or ``None`` when none was recorded."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT doc FROM manifests WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
 
     def close(self) -> None:
         """Close the underlying connection (the file remains usable)."""

@@ -230,3 +230,60 @@ class TestServeCommands:
                 ["submit", "compress", "--no-wait",
                  "--server", "http://127.0.0.1:1"]
             )
+
+
+class TestRegistryIntegration:
+    def test_explore_writes_manifest(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "32", "--min-size", "32",
+                "--tilings", "1", "--manifest-out", str(target),
+            ]
+        )
+        assert code == 0
+        assert "wrote repro.manifest/1 manifest" in capsys.readouterr().err
+        import json as _json
+
+        from repro.registry import check_manifest
+
+        manifest = check_manifest(_json.loads(target.read_text()))
+        used = {(row["kind"], row["name"]) for row in manifest["plugins"]}
+        assert ("kernel", "compress") in used
+        assert ("backend", "fastsim") in used
+        assert manifest["eval_id"]
+        assert manifest["sweep_fingerprint"]
+
+    def test_explore_kamble_ghose_energy_model(self, capsys):
+        code = main(
+            [
+                "explore", "compress",
+                "--max-size", "32", "--min-size", "32",
+                "--tilings", "1", "--energy-model", "kamble-ghose",
+            ]
+        )
+        assert code == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+
+    def test_unknown_kernel_is_exit_2_with_suggestion(self, capsys):
+        for argv in (["explore", "comprss"], ["mincache", "comprss"],
+                     ["datasheet", "comprss"]):
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert "unknown kernel 'comprss'" in err
+            assert "did you mean 'compress'" in err
+
+    def test_plugins_lists_every_kind(self, capsys):
+        assert main(["plugins"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fastsim", "compress", "hwo", "CY7C-2Mbit", "sqlite"):
+            assert name in out
+
+    def test_submit_rejects_energy_model(self, capsys):
+        code = main(
+            ["submit", "compress", "--energy-model", "kamble-ghose",
+             "--server", "http://127.0.0.1:1", "--no-wait"]
+        )
+        assert code == 2
+        assert "does not support --energy-model" in capsys.readouterr().err

@@ -1,0 +1,193 @@
+"""Byte-identity of fingerprints and store keys across the registry refactor.
+
+The golden values in ``tests/data/golden_fingerprints.json`` and the
+``repro.store/1`` database in ``tests/data/prerefactor_store.db`` were
+captured from the code *before* components resolved through
+:mod:`repro.registry`.  These tests recompute every fingerprint family --
+evaluator fingerprints, job spec hashes, sweep fingerprints, store config
+keys -- and read the old database back, asserting nothing moved: a drift
+here orphans every estimate a fleet has ever stored and invalidates every
+checkpoint journal.
+"""
+
+import json
+import os
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.energy.kamble_ghose import KambleGhoseModel
+from repro.energy.model import EnergyModel
+from repro.energy.params import SRAM_CATALOG
+from repro.engine.evaluator import Evaluator
+from repro.engine.resilience import estimate_to_json, sweep_fingerprint
+from repro.engine.workload import KernelWorkload
+from repro.kernels import get_kernel
+from repro.serve.jobs import JobSpec
+from repro.serve.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    config_key,
+    evaluator_fingerprint,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+with open(os.path.join(DATA_DIR, "golden_fingerprints.json")) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+@pytest.mark.parametrize("kernel", ["compress", "matmul", "mpeg:idct"])
+@pytest.mark.parametrize(
+    "backend", ["fastsim", "reference", "sampled", "analytic"]
+)
+def test_evaluator_fingerprints_unchanged(kernel, backend):
+    evaluator = Evaluator(KernelWorkload(get_kernel(kernel)), backend=backend)
+    assert (
+        evaluator_fingerprint(evaluator) == GOLDEN[f"eval:{kernel}:{backend}"]
+    )
+
+
+def test_energy_model_variant_fingerprint_unchanged():
+    evaluator = Evaluator(
+        KernelWorkload(get_kernel("compress")),
+        energy_model=EnergyModel(sram=SRAM_CATALOG["16Mbit"]),
+    )
+    assert (
+        evaluator_fingerprint(evaluator) == GOLDEN["eval:compress:fastsim:16Mbit"]
+    )
+
+
+def test_job_spec_hashes_unchanged():
+    spec = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+    assert spec.spec_hash == GOLDEN["spec_hash:compress-64"]
+    assert spec.eval_id() == GOLDEN["eval_id:compress-64"]
+    spec2 = JobSpec(kernel="matmul", backend="sampled", ways=(1, 2),
+                    sram="16Mbit")
+    assert spec2.spec_hash == GOLDEN["spec_hash:matmul-sampled"]
+    assert spec2.eval_id() == GOLDEN["eval_id:matmul-sampled"]
+
+
+def test_sweep_fingerprints_and_config_keys_unchanged():
+    spec = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+    configs = spec.configs()
+    assert [config_key(c) for c in configs] == GOLDEN["config_keys:compress-64"]
+    assert (
+        sweep_fingerprint(spec.build_evaluator(), configs)
+        == GOLDEN["sweep:compress-64"]
+    )
+    spec2 = JobSpec(kernel="matmul", backend="sampled", ways=(1, 2),
+                    sram="16Mbit")
+    assert (
+        sweep_fingerprint(spec2.build_evaluator(), spec2.configs())
+        == GOLDEN["sweep:matmul-sampled"]
+    )
+
+
+def test_kamble_ghose_never_shares_rows_with_paper_model():
+    """Regression: subclass models must not collide with the base model.
+
+    ``KambleGhoseModel`` changes ``E_cell`` without changing any of the
+    constants the fingerprint hashes, so before the class qualifier was
+    added it shared store rows with ``EnergyModel`` -- store poisoning the
+    moment the CLI exposed ``--energy-model``.  The base model's
+    fingerprint must stay golden at the same time.
+    """
+    base = Evaluator(KernelWorkload(get_kernel("compress")))
+    kg = Evaluator(
+        KernelWorkload(get_kernel("compress")),
+        energy_model=KambleGhoseModel(),
+    )
+    assert evaluator_fingerprint(base) == GOLDEN["eval:compress:fastsim"]
+    assert evaluator_fingerprint(kg) != evaluator_fingerprint(base)
+
+
+@pytest.fixture
+def prerefactor_store(tmp_path):
+    """A copy of the committed pre-refactor store (never open the original:
+
+    opening adds the ``manifests`` table in place, and the fixture must
+    stay byte-for-byte what the old code wrote)."""
+    path = tmp_path / "prerefactor_store.db"
+    shutil.copyfile(os.path.join(DATA_DIR, "prerefactor_store.db"), path)
+    return str(path)
+
+
+def test_prerefactor_store_reads_back_unchanged(prerefactor_store):
+    with open(os.path.join(DATA_DIR, "prerefactor_store_rows.json")) as fh:
+        golden_rows = json.load(fh)
+    spec = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+    configs = spec.configs()
+    with ResultStore(prerefactor_store) as store:
+        # Same schema tag: the old database opens without migration fuss.
+        result = store.result_for(golden_rows["eval_id"], configs)
+        assert result is not None, "pre-refactor rows not found under new keys"
+        assert [estimate_to_json(e) for e in result] == golden_rows["estimates"]
+        # The spec's newly computed eval_id must address the same rows.
+        assert spec.eval_id() == golden_rows["eval_id"]
+        assert store.count(spec.eval_id()) == len(configs)
+
+
+def test_prerefactor_store_schema_tag_not_bumped(prerefactor_store):
+    with ResultStore(prerefactor_store):
+        pass
+    conn = sqlite3.connect(prerefactor_store)
+    try:
+        (tag,) = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema'"
+        ).fetchone()
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+    finally:
+        conn.close()
+    assert tag == STORE_SCHEMA == "repro.store/1"
+    assert "manifests" in tables  # gained in place, no schema bump
+
+
+def test_prerefactor_store_accepts_manifests_in_place(prerefactor_store):
+    doc = {"schema": "repro.manifest/1", "plugins": []}
+    with ResultStore(prerefactor_store) as store:
+        assert store.load_manifest("job-1") is None
+        store.save_manifest("job-1", doc)
+        assert store.load_manifest("job-1") == doc
+
+
+def test_committed_fixture_untouched_by_suite():
+    """The committed DB must never gain the manifests table from a test run."""
+    conn = sqlite3.connect(
+        "file:" + os.path.join(DATA_DIR, "prerefactor_store.db") + "?mode=ro",
+        uri=True,
+    )
+    try:
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+    finally:
+        conn.close()
+    assert tables == {"meta", "estimates", "jobs"}
+
+
+def test_fresh_estimates_match_prerefactor_rows(prerefactor_store):
+    """Recomputing one config through today's pipeline hits the old row.
+
+    The store's first-writer-wins semantics only hold if a freshly
+    computed estimate is bit-identical to the stored one; spot-check the
+    first configuration end to end.
+    """
+    spec = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+    config = spec.configs()[0]
+    assert config == CacheConfig(16, 4, 1, 1)
+    fresh = spec.build_evaluator().evaluate(config)
+    with ResultStore(prerefactor_store) as store:
+        stored = store.get(spec.eval_id(), config)
+    assert stored is not None
+    assert estimate_to_json(fresh) == estimate_to_json(stored)

@@ -1,0 +1,321 @@
+"""Plugin registry: discovery, collisions, provenance and run manifests.
+
+Third-party discovery is exercised without installing anything: a
+:class:`~repro.registry.PluginRegistry` accepts an ``entry_points``
+callable, so tests feed it fake entry points that look exactly like the
+``repro.plugins`` group of an installed distribution.
+"""
+
+import json
+import types
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.engine import available_backends, get_backend
+from repro.engine.backends import FastSimBackend
+from repro.kernels import Kernel, available_kernels, get_kernel, make_compress
+from repro.registry import (
+    KINDS,
+    MANIFEST_SCHEMA,
+    PluginCollisionWarning,
+    PluginError,
+    PluginRegistry,
+    UnknownPluginError,
+    build_manifest,
+    check_manifest,
+    get_registry,
+    reset_registry,
+)
+
+
+class FakeEntryPoint:
+    """Just enough of ``importlib.metadata.EntryPoint`` for discovery."""
+
+    def __init__(self, name, register_fn, value="demo_plugin:register",
+                 dist_name="demo-plugin", dist_version="9.9"):
+        self.name = name
+        self.value = value
+        self._register = register_fn
+        self.dist = types.SimpleNamespace(name=dist_name, version=dist_version)
+
+    def load(self):
+        if isinstance(self._register, Exception):
+            raise self._register
+        return self._register
+
+
+class DemoBackend(FastSimBackend):
+    """A third-party miss-measurement backend (inherits the fast path)."""
+
+    name = "demo"
+
+
+@pytest.fixture
+def install_plugins():
+    """Swap in a registry whose entry points come from fake distributions.
+
+    Returns an installer: call it with :class:`FakeEntryPoint` objects and
+    the process-wide registry is replaced by one that discovers exactly
+    those (plus the built-ins, which always register first).  The original
+    registry is restored afterwards.
+    """
+    def _install(*eps):
+        registry = PluginRegistry(entry_points=lambda: list(eps))
+        reset_registry(registry)
+        return registry
+
+    yield _install
+    reset_registry(None)
+
+
+def _demo_register(hook):
+    hook.backend("demo", DemoBackend)
+    hook.kernel("demo-kernel", make_compress)
+
+
+# ---------------------------------------------------------------------------
+# built-ins
+
+
+def test_builtins_cover_every_kind():
+    registry = get_registry()
+    assert registry.names("backend") == (
+        "analytic", "fastsim", "reference", "sampled",
+    )
+    assert "compress" in registry.names("kernel")
+    assert "mpeg:idct" in registry.names("kernel")
+    assert registry.names("energy") == ("hwo", "kamble-ghose")
+    assert registry.names("sram") == (
+        "16Mbit", "CY7C-2Mbit", "low-power-2Mbit",
+    )
+    assert registry.names("store") == ("sqlite",)
+
+
+def test_builtin_provenance_rows():
+    for info in get_registry().infos():
+        assert info.kind in KINDS
+        assert info.origin == "builtin"
+        assert info.version
+        row = info.to_json()
+        assert sorted(row) == ["kind", "name", "origin", "version"]
+
+
+def test_builtin_kernel_roundtrip():
+    kernel = get_registry().create("kernel", "compress")
+    assert isinstance(kernel, Kernel)
+    assert kernel.name == get_kernel("compress").name
+
+
+# ---------------------------------------------------------------------------
+# third-party discovery (no pip install involved)
+
+
+def test_plugin_backend_and_kernel_discovered(install_plugins):
+    install_plugins(FakeEntryPoint("demo", _demo_register))
+    assert "demo" in available_backends()
+    assert "demo-kernel" in available_kernels()
+    assert isinstance(get_backend("demo"), DemoBackend)
+    assert isinstance(get_kernel("demo-kernel"), Kernel)
+    info = get_registry().get("backend", "demo")
+    assert info.origin == "demo-plugin"
+    assert info.version == "9.9"
+
+
+def test_plugin_usable_from_cli_plugins_table(install_plugins, capsys):
+    install_plugins(FakeEntryPoint("demo", _demo_register))
+    assert main(["plugins", "--kind", "backend"]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out
+    assert "demo-plugin" in out
+    assert "9.9" in out
+    assert "builtin" in out
+
+
+def test_plugin_listed_in_cli_json(install_plugins, capsys):
+    install_plugins(FakeEntryPoint("demo", _demo_register))
+    assert main(["plugins", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    demo = [r for r in rows if r["name"] == "demo"]
+    assert demo == [
+        {"kind": "backend", "name": "demo",
+         "origin": "demo-plugin", "version": "9.9"},
+    ]
+
+
+def test_plugin_kernel_accepted_by_job_spec(install_plugins):
+    install_plugins(FakeEntryPoint("demo", _demo_register))
+    from repro.serve import JobSpec
+
+    spec = JobSpec(kernel="demo-kernel", backend="demo")
+    assert spec.spec_hash
+    with pytest.raises(ValueError, match="unknown kernel"):
+        JobSpec(kernel="nope")
+
+
+def test_broken_plugin_is_skipped_not_fatal(install_plugins, caplog):
+    install_plugins(
+        FakeEntryPoint("broken", RuntimeError("boom")),
+        FakeEntryPoint("demo", _demo_register),
+    )
+    with caplog.at_level("WARNING", logger="repro.registry.core"):
+        assert "demo" in available_backends()
+    assert any("broken" in r.getMessage() for r in caplog.records)
+
+
+def test_plugin_that_raises_during_register_is_skipped(install_plugins, caplog):
+    def _bad(hook):
+        hook.backend("half", DemoBackend)
+        raise RuntimeError("died mid-registration")
+
+    install_plugins(FakeEntryPoint("bad", _bad))
+    with caplog.at_level("WARNING", logger="repro.registry.core"):
+        # Registrations made before the failure survive.
+        assert "half" in available_backends()
+    assert any("died mid-registration" in r.getMessage() for r in caplog.records)
+
+
+# ---------------------------------------------------------------------------
+# collision semantics: deterministic, first wins, built-ins shadowproof
+
+
+def test_builtin_wins_collision_with_plugin(install_plugins):
+    def _shadow(hook):
+        hook.kernel("compress", lambda: None)
+
+    install_plugins(FakeEntryPoint("shadow", _shadow))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        kernel = get_kernel("compress")
+    assert isinstance(kernel, Kernel)  # the builtin factory, not lambda: None
+    collisions = [w for w in caught
+                  if issubclass(w.category, PluginCollisionWarning)]
+    assert len(collisions) == 1
+    message = str(collisions[0].message)
+    assert "builtin" in message and "demo-plugin" in message
+    assert get_registry().get("kernel", "compress").origin == "builtin"
+
+
+def test_plugin_collision_deterministic_by_entry_point_order(install_plugins):
+    def _first(hook):
+        hook.backend("contested", lambda: "first")
+
+    def _second(hook):
+        hook.backend("contested", lambda: "second")
+
+    # Discovery sorts entry points by name: "aaa" registers before "bbb"
+    # regardless of the order the fakes are supplied in.
+    install_plugins(
+        FakeEntryPoint("bbb", _second, dist_name="second-dist"),
+        FakeEntryPoint("aaa", _first, dist_name="first-dist"),
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        info = get_registry().get("backend", "contested")
+    assert info.origin == "first-dist"
+    assert any(
+        issubclass(w.category, PluginCollisionWarning) for w in caught
+    )
+
+
+# ---------------------------------------------------------------------------
+# lookup errors
+
+
+def test_unknown_name_suggests_close_match():
+    with pytest.raises(UnknownPluginError) as excinfo:
+        get_registry().get("kernel", "compres")
+    err = excinfo.value
+    assert err.suggestion == "compress"
+    assert "did you mean 'compress'" in str(err)
+    assert "compress" in err.available
+
+
+def test_unknown_backend_still_a_value_error():
+    with pytest.raises(ValueError, match="unknown backend 'nope'"):
+        get_backend("nope")
+
+
+def test_unknown_kernel_still_a_key_error():
+    with pytest.raises(KeyError, match="unknown kernel"):
+        get_kernel("nope")
+
+
+def test_cli_unknown_kernel_exits_2_with_suggestion(capsys):
+    assert main(["explore", "compres"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown kernel 'compres'" in err
+    assert "did you mean 'compress'" in err
+
+
+def test_register_rejects_bad_input():
+    registry = PluginRegistry(entry_points=lambda: [])
+    with pytest.raises(PluginError, match="unknown plugin kind"):
+        registry.register("gadget", "x", lambda: None)
+    with pytest.raises(PluginError, match="must be callable"):
+        registry.register("backend", "x", "not-a-factory")
+    with pytest.raises(PluginError, match="non-empty"):
+        registry.register("backend", "", lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# run manifests
+
+
+def test_build_manifest_resolves_provenance():
+    doc = build_manifest(
+        [("kernel", "compress"), ("backend", "fastsim")],
+        spec_hash="s" * 64,
+        eval_id="e" * 64,
+        sweep_fingerprint="f" * 64,
+        seeds={"retry_backoff": 7},
+    )
+    assert doc["schema"] == MANIFEST_SCHEMA
+    assert doc["spec_hash"] == "s" * 64
+    assert doc["eval_id"] == "e" * 64
+    assert doc["sweep_fingerprint"] == "f" * 64
+    assert doc["seeds"] == {"retry_backoff": 7}
+    assert doc["python"]
+    assert doc["packages"]["repro"]
+    rows = {(r["kind"], r["name"]): r for r in doc["plugins"]}
+    assert rows[("kernel", "compress")]["origin"] == "builtin"
+    assert rows[("backend", "fastsim")]["origin"] == "builtin"
+    assert check_manifest(doc) is doc
+    # Must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_manifest_records_unresolved_entries_honestly():
+    doc = build_manifest([("backend", "uninstalled-later")])
+    (row,) = doc["plugins"]
+    assert row["origin"] == "unresolved"
+    assert row["version"] == "unknown"
+
+
+def test_manifest_extra_fields_merge_but_never_collide():
+    doc = build_manifest([], extra={"note": "hi"})
+    assert doc["note"] == "hi"
+    with pytest.raises(ValueError, match="collide"):
+        build_manifest([], extra={"schema": "repro.manifest/2"})
+
+
+def test_check_manifest_rejects_other_documents():
+    with pytest.raises(ValueError, match="JSON object"):
+        check_manifest(["not", "a", "manifest"])
+    with pytest.raises(ValueError, match="not a repro.manifest/1"):
+        check_manifest({"schema": "repro.obs/1"})
+    with pytest.raises(ValueError, match="newer"):
+        check_manifest({"schema": "repro.manifest/99", "plugins": []})
+    with pytest.raises(ValueError, match="plugins"):
+        check_manifest({"schema": MANIFEST_SCHEMA})
+
+
+def test_manifest_from_plugin_run_survives_uninstall(install_plugins):
+    """A result produced by a plugin stays attributable after removal."""
+    install_plugins(FakeEntryPoint("demo", _demo_register))
+    doc = build_manifest([("backend", "demo")])
+    reset_registry(None)  # "uninstall": a fresh registry has no demo backend
+    row = doc["plugins"][0]
+    assert row == {"kind": "backend", "name": "demo",
+                   "origin": "demo-plugin", "version": "9.9"}

@@ -344,3 +344,46 @@ class TestCrashRecovery:
             assert len(doc["estimates"]) == len(SMALL.configs())
         finally:
             second.stop()
+
+
+class TestManifests:
+    """Every finished job records a repro.manifest/1 provenance document."""
+
+    def test_finished_job_serves_manifest(self, live):
+        from repro.registry import check_manifest
+
+        doc = live.client.submit(SMALL)
+        job = live.client.wait(doc["job_id"], timeout_s=120)
+        assert job["state"] == "done"
+        manifest = job["manifest"]
+        check_manifest(manifest)
+        assert manifest["spec_hash"] == SMALL.spec_hash
+        assert manifest["eval_id"] == SMALL.eval_id()
+        assert manifest["seeds"] == {"retry_backoff": 0}
+        used = {(row["kind"], row["name"]) for row in manifest["plugins"]}
+        assert used == {
+            ("kernel", "compress"),
+            ("backend", "fastsim"),
+            ("energy", "hwo"),
+            ("sram", "CY7C-2Mbit"),
+            ("store", "sqlite"),
+        }
+        assert all(row["origin"] == "builtin" for row in manifest["plugins"])
+
+    def test_queued_job_has_no_manifest_yet(self, tmp_path):
+        manager = JobManager(open_store(str(tmp_path / "r.db")))
+        job, _ = manager.submit(SMALL)
+        assert manager.store.load_manifest(job.job_id) is None
+
+    def test_manifest_survives_restart(self, tmp_path):
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        job, _ = first.manager.submit(SMALL)
+        first.manager.wait(job.job_id, timeout_s=120)
+        first.stop()
+
+        with open_store(str(tmp_path / "results.db")) as store:
+            manifest = store.load_manifest(job.job_id)
+        assert manifest is not None
+        assert manifest["spec_hash"] == SMALL.spec_hash
