@@ -32,7 +32,8 @@ Subcommands mirror the paper's workflow:
     actually hinges on.
 ``stats``
     Run a profiled sweep and print the per-stage timing / cache-hit table
-    (the human face of the observability layer).
+    (the human face of the observability layer); ``--from FILE.json``
+    renders a previously written report instead.
 ``serve``
     Run the exploration service: an HTTP/JSON job queue with request
     coalescing and the persistent sqlite result store (``repro.serve``).
@@ -42,6 +43,10 @@ Subcommands mirror the paper's workflow:
 ``jobs``
     List a service's jobs, or show/await one job (``--manifest`` prints
     the job's ``repro.manifest/1`` provenance document).
+``top``
+    Live dashboard for a running service: queue depth, jobs in flight,
+    configs/s, store hit rate and latency percentiles, redrawn on an
+    interval.
 ``plugins``
     List every registered component -- backends, kernels, energy models,
     SRAM parts, store tiers -- with the origin and version that provided
@@ -549,6 +554,10 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if getattr(args, "from_file", None) is not None:
+        return _stats_from_file(args.from_file)
+    if args.kernel is None:
+        raise CLIError("stats needs a kernel (or --from FILE.json)")
     kernel = _resolve_kernel(args.kernel)
     explorer = MemExplorer(
         kernel,
@@ -583,6 +592,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"(backend={args.backend}, jobs={args.jobs})\n"
     )
     report = obs.build_report(cache=get_eval_cache().snapshot())
+    print(obs.render_stage_table(report))
+    return 0
+
+
+def _stats_from_file(path: str) -> int:
+    """``stats --from``: render a previously written ``repro.obs/1`` report.
+
+    Any way the file can disappoint -- missing, unreadable, not JSON, not
+    a report document -- becomes one :class:`CLIError` line (exit 2), not
+    a traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise CLIError(f"cannot read metrics report {path!r}: "
+                       f"{exc.strerror or exc}") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(
+            f"corrupt metrics report {path!r}: not JSON ({exc})"
+        ) from None
+    if not isinstance(report, dict) or "schema" not in report:
+        raise CLIError(
+            f"corrupt metrics report {path!r}: not a repro.obs document"
+        )
+    if report["schema"] != obs.SCHEMA:
+        raise CLIError(
+            f"unsupported report schema {report['schema']!r} in {path!r} "
+            f"(expected {obs.SCHEMA!r})"
+        )
     print(obs.render_stage_table(report))
     return 0
 
@@ -659,6 +698,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spool,
         queue_depth=args.queue_depth,
         sweep_jobs=args.jobs,
+        trace=not args.no_trace,
     ).start()
     httpd = make_server(args.host, args.port, service)
     install_signal_handlers(httpd, service)
@@ -712,6 +752,17 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         return _await_job(client, args.job_id, args.timeout)
     print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+    from repro.serve.top import run_top
+
+    return run_top(
+        ServeClient(args.server),
+        interval_s=args.interval,
+        iterations=args.iterations,
+    )
 
 
 def _cmd_plugins(args: argparse.Namespace) -> int:
@@ -861,7 +912,12 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="profiled sweep: per-stage timing and cache-hit table",
     )
-    stats.add_argument("kernel")
+    stats.add_argument("kernel", nargs="?", default=None)
+    stats.add_argument(
+        "--from", dest="from_file", metavar="FILE.json", default=None,
+        help="render a previously written repro.obs/1 report instead of "
+             "running a sweep",
+    )
     stats.add_argument("--max-size", type=int, default=512)
     stats.add_argument("--min-size", type=int, default=16)
     stats.add_argument("--ways", type=int, nargs="+", default=[1])
@@ -889,6 +945,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-control bound on queued jobs")
     serve.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes per sweep")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="do not mint trace ids for bare submissions "
+                            "(clients can still send their own)")
     _add_obs_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -931,6 +990,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the job's repro.manifest/1 document")
     _add_obs_args(jobs)
     jobs.set_defaults(func=_cmd_jobs)
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a running exploration service"
+    )
+    top.add_argument("--server", default="http://127.0.0.1:8000")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="seconds between refreshes (default: 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N refreshes (default: until Ctrl-C)")
+    _add_obs_args(top)
+    top.set_defaults(func=_cmd_top)
 
     from repro.registry import KINDS
 

@@ -209,17 +209,29 @@ class Evaluator:
 
     def evaluate(self, config: CacheConfig) -> PerformanceEstimate:
         """One configuration -> one :class:`PerformanceEstimate`."""
-        get_metrics().counter("engine.configs_evaluated").inc()
-        with span("evaluate", config=config.label(full=True)):
-            self.workload.validate(config)
-            if self.backend.requires_kernel:
-                return self._analytic_explorer().evaluate(config)
-            bundle = self._bundle_for(config)
-            measurement = self._measure(bundle, config)
-            add_bs = self._add_bs(bundle, config)
-            return assemble_estimate(
-                bundle, config, measurement, self.energy_model, add_bs
-            )
+        metrics = get_metrics()
+        metrics.counter("engine.configs_evaluated").inc()
+        started = time.perf_counter()
+        try:
+            with span("evaluate", config=config.label(full=True)):
+                self.workload.validate(config)
+                if self.backend.requires_kernel:
+                    return self._analytic_explorer().evaluate(config)
+                bundle = self._bundle_for(config)
+                measurement = self._measure(bundle, config)
+                add_bs = self._add_bs(bundle, config)
+                return assemble_estimate(
+                    bundle, config, measurement, self.energy_model, add_bs
+                )
+        finally:
+            # Per-eval latency, overall and per backend.  Looked up by
+            # name each call: histograms hold a Lock, so a picklable
+            # evaluator must not cache instrument references.
+            elapsed = time.perf_counter() - started
+            metrics.histogram("engine.eval").observe(elapsed)
+            metrics.histogram(
+                "engine.eval." + self.backend.name
+            ).observe(elapsed)
 
     def sweep(
         self,

@@ -65,13 +65,18 @@ from repro.engine.resilience import (
     TransientChunkError,
     sweep_fingerprint,
 )
+from repro.obs import trace as _trace
 from repro.obs.metrics import get_metrics
 from repro.obs.spans import (
     SpanCollector,
     activate,
+    current_path,
     get_collector,
     profiling_enabled,
+    reset_stack,
     restore,
+    restore_stack,
+    span,
 )
 
 __all__ = ["ParallelSweep"]
@@ -79,12 +84,15 @@ __all__ = ["ParallelSweep"]
 logger = logging.getLogger(__name__)
 
 #: What one worker ships back: tagged estimates, the chunk's span
-#: snapshot (empty unless profiling), and the metric / cache deltas.
+#: snapshot (empty unless profiling), the metric / cache deltas, and the
+#: chunk's trace events (empty unless the parent exported a trace
+#: context -- see :mod:`repro.obs.trace`).
 _ChunkPayload = Tuple[
     List[Tuple[int, PerformanceEstimate]],
     List[Dict[str, Any]],
     Dict[str, Any],
     Dict[str, Dict[str, int]],
+    List[Dict[str, Any]],
 ]
 
 #: One chunk of work: ``(index, config)`` pairs in sweep order.
@@ -118,6 +126,7 @@ def _evaluate_chunk(
     profile: bool = False,
     injector: Optional[Any] = None,
     attempt: int = 0,
+    trace_ctx: Optional[Dict[str, Any]] = None,
 ) -> _ChunkPayload:
     """Worker entry point: evaluate one chunk, tagging results by index.
 
@@ -126,6 +135,11 @@ def _evaluate_chunk(
     previous chunks') counts.  ``injector`` is the deterministic fault
     harness (:class:`~repro.engine.faults.FaultInjector`); it runs at this
     dispatch boundary only, so the parent's degradation paths stay clean.
+
+    ``trace_ctx`` (from :func:`repro.obs.trace.export_context`) activates
+    a fresh worker-side recorder whose events -- the chunk wrapper span
+    plus every stage span under it -- ship back in the payload for the
+    parent to merge into the job timeline.
     """
     token = indexed[0][0] if indexed else -1
     if injector is not None:
@@ -136,16 +150,43 @@ def _evaluate_chunk(
     cache_base = cache.counters()
     metrics_base = get_metrics().snapshot()
     collector = SpanCollector()
+    trace_token = _trace.activate_remote(trace_ctx)
     span_token = activate(collector, enabled=profile)
+    # A forked worker inherits the dispatcher's open span names; the
+    # trace context already carries them, so chunk spans start clean.
+    stack_token = reset_stack()
+    chunk_started = time.perf_counter()
     try:
-        pairs = [(index, evaluator.evaluate(config)) for index, config in indexed]
+        if trace_token is not None:
+            with span(
+                "chunk[%d]" % token,
+                configs=len(indexed),
+                pid=os.getpid(),
+                attempt=attempt,
+            ):
+                pairs = [
+                    (index, evaluator.evaluate(config))
+                    for index, config in indexed
+                ]
+        else:
+            pairs = [
+                (index, evaluator.evaluate(config))
+                for index, config in indexed
+            ]
     finally:
+        get_metrics().histogram("engine.chunk_seconds").observe(
+            time.perf_counter() - chunk_started
+        )
+        restore_stack(stack_token)
         restore(span_token)
+        if trace_token is not None:
+            _trace.deactivate(trace_token)
     payload: _ChunkPayload = (
         pairs,
         collector.snapshot() if profile else [],
         get_metrics().diff(metrics_base),
         _diff_cache_counters(cache.counters(), cache_base),
+        trace_token[1].snapshot() if trace_token is not None else [],
     )
     if injector is not None:
         payload = injector.mangle_payload(token, attempt, payload)
@@ -157,7 +198,7 @@ def _validate_payload(
 ) -> _ChunkPayload:
     """Structural check of a worker payload; corrupt ones are transient."""
     try:
-        pairs, spans, metrics_delta, cache_delta = payload
+        pairs, spans, metrics_delta, cache_delta, trace_events = payload
     except (TypeError, ValueError):
         raise CorruptPayloadError(
             "worker payload has the wrong shape"
@@ -173,7 +214,11 @@ def _validate_payload(
         raise CorruptPayloadError(
             "worker returned estimates for the wrong configurations"
         )
-    if not isinstance(spans, list) or not isinstance(metrics_delta, dict):
+    if (
+        not isinstance(spans, list)
+        or not isinstance(metrics_delta, dict)
+        or not isinstance(trace_events, list)
+    ):
         raise CorruptPayloadError("worker observability payload is malformed")
     if not isinstance(cache_delta, dict) or any(
         not isinstance(row, dict)
@@ -384,11 +429,15 @@ class ParallelSweep:
         cache = getattr(evaluator, "cache", None)
         if cache is None:
             cache = get_eval_cache()
-        _, span_snapshot, metrics_delta, cache_delta = payload
+        _, span_snapshot, metrics_delta, cache_delta, trace_events = payload
         if span_snapshot:
             get_collector().merge(span_snapshot)
         get_metrics().merge(metrics_delta)
         cache.merge_remote(cache_delta)
+        if trace_events:
+            recorder = _trace.current_trace()
+            if recorder is not None:
+                recorder.merge(trace_events)
 
     # ------------------------------------------------------------------
     # serial paths (jobs=1, tiny sweeps, degraded chunks, no-fork sandboxes)
@@ -397,10 +446,26 @@ class ParallelSweep:
         self, evaluator: Any, indexed: _Chunk
     ) -> List[Tuple[int, PerformanceEstimate]]:
         """In-parent evaluation; deterministic failures name the chunk."""
+        started = time.perf_counter()
         try:
+            if _trace.trace_active():
+                with span(
+                    "chunk[%d]" % indexed[0][0],
+                    configs=len(indexed),
+                    pid=os.getpid(),
+                    serial=True,
+                ):
+                    return [
+                        (index, evaluator.evaluate(config))
+                        for index, config in indexed
+                    ]
             return [(index, evaluator.evaluate(config)) for index, config in indexed]
         except Exception as exc:
             raise SweepChunkError.from_chunk(indexed, exc) from exc
+        finally:
+            get_metrics().histogram("engine.chunk_seconds").observe(
+                time.perf_counter() - started
+            )
 
     def _run_chunks_serial(
         self,
@@ -548,6 +613,9 @@ class ParallelSweep:
         metrics = get_metrics()
         profile = profiling_enabled()
         injector = opts.fault_injector
+        # Exported once per round: the trace context plus this thread's
+        # open span path, so worker chunk events nest under our "sweep".
+        trace_ctx = _trace.export_context(current_path())
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(queue))
@@ -569,6 +637,7 @@ class ParallelSweep:
                         profile,
                         injector,
                         attempts[token],
+                        trace_ctx,
                     )
                 ] = indexed
             not_done = set(futures)

@@ -7,8 +7,15 @@ every layer of the stack:
   with a process-local aggregating collector whose snapshots merge across
   :class:`~repro.engine.parallel.ParallelSweep` workers;
 * :mod:`repro.obs.metrics` -- an always-on registry of named counters,
-  gauges and histograms (configs evaluated, addresses simulated, cache
-  hits/misses/evictions, sweep latencies);
+  gauges and log-bucketed percentile histograms (configs evaluated,
+  addresses simulated, cache hits/misses/evictions, request/queue/chunk
+  latencies) whose bucket counts merge exactly across workers;
+* :mod:`repro.obs.trace` -- per-job distributed tracing: a ``trace_id``
+  context carried from client submit through the queue into sweep
+  workers, producing one merged ``repro.trace/1`` timeline per job;
+* :mod:`repro.obs.prometheus` -- text exposition 0.0.4 rendering (and a
+  validating parser) for the registry, behind
+  ``/metrics?format=prometheus``;
 * :mod:`repro.obs.logging` -- ``logging`` configuration for the ``repro``
   hierarchy with an optional JSON line formatter.
 
@@ -27,6 +34,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_metrics,
 )
+from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.report import (
     SCHEMA,
     build_report,
@@ -36,11 +44,21 @@ from repro.obs.report import (
 from repro.obs.spans import (
     SpanCollector,
     collecting,
+    current_path,
     disable_profiling,
     enable_profiling,
     get_collector,
     profiling_enabled,
     span,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceRecorder,
+    build_document,
+    current_trace,
+    new_trace_id,
+    trace_active,
+    tracing,
 )
 
 __all__ = [
@@ -51,17 +69,27 @@ __all__ = [
     "MetricsRegistry",
     "SCHEMA",
     "SpanCollector",
+    "TRACE_SCHEMA",
+    "TraceRecorder",
+    "build_document",
     "build_report",
     "collecting",
     "configure_logging",
+    "current_path",
+    "current_trace",
     "disable_profiling",
     "enable_profiling",
     "get_collector",
     "get_metrics",
+    "new_trace_id",
+    "parse_prometheus",
     "profiling_enabled",
+    "render_prometheus",
     "render_stage_table",
     "reset",
     "span",
+    "trace_active",
+    "tracing",
     "write_report",
 ]
 

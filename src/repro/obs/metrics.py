@@ -24,15 +24,29 @@ ever going stale.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
 ]
+
+#: Fixed log-spaced histogram bucket upper bounds, in seconds: a 1/2.5/5
+#: ladder per decade from 100ns to 500s, plus an implicit overflow bucket.
+#: Every histogram shares these bounds, which is what makes cross-worker
+#: merges *exact*: bucket counts from any process add element-wise, and
+#: percentiles computed from the merged counts equal those of a single
+#: process that had seen every observation.
+BUCKET_BOUNDS: tuple = tuple(
+    round(mantissa * 10.0**exponent, 10)
+    for exponent in range(-7, 3)
+    for mantissa in (1.0, 2.5, 5.0)
+)
 
 
 class Counter:
@@ -81,9 +95,18 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Log-bucketed streaming summary with mergeable percentiles.
 
-    __slots__ = ("_lock", "count", "total", "min", "max")
+    Observations land in the fixed :data:`BUCKET_BOUNDS` ladder (bucket
+    ``i`` counts values ``<= BUCKET_BOUNDS[i]``; one extra overflow bucket
+    catches the rest), so ``count``/``total``/``buckets`` are all exactly
+    additive across processes and :meth:`percentile` stays truthful after
+    a :meth:`MetricsRegistry.merge` of worker deltas.  Percentiles are
+    resolved to a bucket upper bound clamped to the observed ``max`` --
+    a deliberate over-estimate never finer than one bucket (~2.5x).
+    """
+
+    __slots__ = ("_lock", "count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -91,18 +114,44 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         with self._lock:
             self.count += 1
             self.total += value
+            self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The smallest bucket bound covering fraction ``q`` of the data.
+
+        ``q`` is in ``[0, 1]``.  Returns 0.0 for an empty histogram; an
+        answer that falls in the overflow bucket reports the observed
+        ``max``.
+        """
+        with self._lock:
+            return self._percentile(q)
+
+    def _percentile(self, q: float) -> float:
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if index >= len(BUCKET_BOUNDS):
+                    break  # overflow bucket: only the max bounds it
+                bound = BUCKET_BOUNDS[index]
+                return bound if self.max is None else min(bound, self.max)
+        return self.max if self.max is not None else 0.0
 
     def summary(self) -> Dict[str, Any]:
         with self._lock:
@@ -112,6 +161,10 @@ class Histogram:
                 "mean": self.mean,
                 "min": self.min,
                 "max": self.max,
+                "p50": self._percentile(0.50),
+                "p95": self._percentile(0.95),
+                "p99": self._percentile(0.99),
+                "buckets": list(self.buckets),
             }
 
     def reset(self) -> None:
@@ -120,6 +173,7 @@ class Histogram:
             self.total = 0.0
             self.min = None
             self.max = None
+            self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
 
 class MetricsRegistry:
@@ -183,9 +237,9 @@ class MetricsRegistry:
     def diff(self, base: Dict[str, Any]) -> Dict[str, Any]:
         """What happened since ``base`` (an earlier :meth:`snapshot`).
 
-        Counter and histogram count/total deltas are exact (both are
-        monotonic); histogram min/max fall back to the current extrema,
-        and gauges report their latest value.
+        Counter and histogram count/total/bucket deltas are exact (all
+        are monotonic); histogram min/max fall back to the current
+        extrema, and gauges report their latest value.
         """
         current = self.snapshot()
         counters = {}
@@ -194,17 +248,23 @@ class MetricsRegistry:
             if delta:
                 counters[name] = delta
         histograms = {}
+        empty = [0] * (len(BUCKET_BOUNDS) + 1)
         for name, summary in current["histograms"].items():
             before = base.get("histograms", {}).get(
                 name, {"count": 0, "total": 0.0}
             )
             count = summary["count"] - before["count"]
             if count:
+                base_buckets = before.get("buckets", empty)
                 histograms[name] = {
                     "count": count,
                     "total": summary["total"] - before["total"],
                     "min": summary["min"],
                     "max": summary["max"],
+                    "buckets": [
+                        now - was
+                        for now, was in zip(summary["buckets"], base_buckets)
+                    ],
                 }
         return {
             "counters": counters,
@@ -223,6 +283,10 @@ class MetricsRegistry:
             with histogram._lock:
                 histogram.count += summary["count"]
                 histogram.total += summary["total"]
+                for index, bucket_count in enumerate(
+                    summary.get("buckets", ())
+                ):
+                    histogram.buckets[index] += bucket_count
                 for bound, pick in (("min", min), ("max", max)):
                     if summary.get(bound) is not None:
                         own = getattr(histogram, bound)

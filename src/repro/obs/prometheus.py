@@ -1,0 +1,215 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` into the plain-text format
+every standard scraper understands, which is what the exploration
+service serves at ``/metrics?format=prometheus``.  Dotted registry names
+become underscore names under a ``repro_`` namespace
+(``serve.http.request`` -> ``repro_serve_http_request``); counters gain
+the conventional ``_total`` suffix; histograms emit the full cumulative
+``_bucket{le=...}`` / ``_sum`` / ``_count`` series straight from the
+fixed log-bucket counts of :class:`~repro.obs.metrics.Histogram`.
+
+:func:`parse_prometheus` is the matching validator: a strict
+stdlib-only parser of the subset we emit, used by the test suite and the
+CI serve-smoke job to prove a live scrape parses (sample syntax, declared
+types, cumulative buckets, ``_count`` == ``+Inf`` bucket).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+from .metrics import BUCKET_BOUNDS
+
+__all__ = [
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+_NAME_PREFIX = "repro_"
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^\s*([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"\s*$')
+
+
+def _metric_name(name: str) -> str:
+    return _NAME_PREFIX + _INVALID_CHARS.sub("_", name)
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == math.inf:
+        return "+Inf"
+    if number == -math.inf:
+        return "-Inf"
+    if number != number:  # NaN
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    return "{0:.10g}".format(bound)
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition 0.0.4.
+
+    ``snapshot`` is the ``{"counters", "gauges", "histograms"}`` dict of
+    :meth:`MetricsRegistry.snapshot`.  Output is deterministic (sorted by
+    metric name) and ends with a newline, as the format requires.
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name) + "_total"
+        lines.append("# HELP {0} repro counter {1}".format(metric, name))
+        lines.append("# TYPE {0} counter".format(metric))
+        lines.append("{0} {1}".format(metric, _format_value(value)))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        lines.append("# HELP {0} repro gauge {1}".format(metric, name))
+        lines.append("# TYPE {0} gauge".format(metric))
+        lines.append("{0} {1}".format(metric, _format_value(value)))
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(name)
+        lines.append(
+            "# HELP {0} repro histogram {1} (seconds)".format(metric, name)
+        )
+        lines.append("# TYPE {0} histogram".format(metric))
+        buckets = summary.get("buckets")
+        count = int(summary.get("count", 0))
+        if buckets is None:
+            # Pre-bucket summaries (old snapshots): everything overflows.
+            buckets = [0] * len(BUCKET_BOUNDS) + [count]
+        cumulative = 0
+        for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+            cumulative += bucket_count
+            lines.append(
+                '{0}_bucket{{le="{1}"}} {2}'.format(
+                    metric, _format_bound(bound), cumulative
+                )
+            )
+        lines.append('{0}_bucket{{le="+Inf"}} {1}'.format(metric, count))
+        lines.append(
+            "{0}_sum {1}".format(metric, _format_value(summary["total"]))
+        )
+        lines.append("{0}_count {1}".format(metric, count))
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text.strip():
+        return labels
+    for part in text.split(","):
+        match = _LABEL_PAIR.match(part)
+        if match is None:
+            raise ValueError("malformed label pair: {0!r}".format(part))
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError("malformed sample value: {0!r}".format(text))
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse (and validate) Prometheus text exposition.
+
+    Returns ``{metric_family: {"type": ..., "samples": [(name, labels,
+    value), ...]}}``.  Raises :class:`ValueError` on any malformed line,
+    a sample without a preceding ``# TYPE``, a non-cumulative histogram
+    bucket series, or a histogram whose ``_count`` disagrees with its
+    ``+Inf`` bucket.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError("malformed comment line: {0!r}".format(raw))
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ValueError("malformed TYPE line: {0!r}".format(raw))
+                types[parts[2]] = parts[3]
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": []}
+                )
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError("malformed sample line: {0!r}".format(raw))
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            raise ValueError(
+                "sample {0!r} has no preceding # TYPE".format(name)
+            )
+        families[family]["samples"].append((name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, Dict[str, Any]]) -> None:
+    for family, doc in families.items():
+        if doc["type"] != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        count_value = None
+        for name, labels, value in doc["samples"]:
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        "histogram {0} bucket without le label".format(family)
+                    )
+                buckets.append((_parse_value(labels["le"]), value))
+            elif name == family + "_count":
+                count_value = value
+        if not buckets:
+            raise ValueError("histogram {0} has no buckets".format(family))
+        bounds = [bound for bound, _ in buckets]
+        if bounds != sorted(bounds) or bounds[-1] != math.inf:
+            raise ValueError(
+                "histogram {0} buckets not cumulative to +Inf".format(family)
+            )
+        counts = [value for _, value in buckets]
+        if counts != sorted(counts):
+            raise ValueError(
+                "histogram {0} bucket counts decrease".format(family)
+            )
+        if count_value is None or count_value != counts[-1]:
+            raise ValueError(
+                "histogram {0} _count != +Inf bucket".format(family)
+            )

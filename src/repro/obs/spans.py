@@ -31,13 +31,18 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from . import trace as _trace
+
 __all__ = [
     "SpanCollector",
     "collecting",
+    "current_path",
     "disable_profiling",
     "enable_profiling",
     "get_collector",
     "profiling_enabled",
+    "reset_stack",
+    "restore_stack",
     "span",
 ]
 
@@ -161,6 +166,35 @@ def _stack() -> List[str]:
     return stack
 
 
+def current_path() -> Tuple[str, ...]:
+    """The tuple of span names currently open on this thread.
+
+    :class:`~repro.engine.parallel.ParallelSweep` exports this alongside
+    the trace context so worker-side chunk events nest under the
+    dispatching thread's open spans (typically ``("job", "sweep")``).
+    """
+    return tuple(_stack())
+
+
+def reset_stack() -> List[str]:
+    """Swap in an empty span stack for this thread; returns the old one.
+
+    A forked pool worker inherits the dispatching thread's open span
+    names, which would prefix every chunk path a second time (the trace
+    context already carries them as the worker recorder's base path).
+    Workers clear the inherited stack on chunk entry and
+    :func:`restore_stack` it on exit.
+    """
+    old = _stack()
+    _state.stack = []
+    return old
+
+
+def restore_stack(stack: List[str]) -> None:
+    """Undo a previous :func:`reset_stack`."""
+    _state.stack = stack
+
+
 class _Span:
     """An active span: pushes its name on the thread's path stack."""
 
@@ -176,11 +210,17 @@ class _Span:
         return self
 
     def __exit__(self, *exc_info: Any) -> bool:
-        elapsed = time.perf_counter() - self._start
+        end = time.perf_counter()
+        elapsed = end - self._start
         stack = _stack()
         path = tuple(stack)
         stack.pop()
-        _collector.record(path, elapsed)
+        if _enabled:
+            _collector.record(path, elapsed)
+        if _trace._active:
+            recorder = _trace.current_trace()
+            if recorder is not None:
+                recorder.record(path, self._start, end, self.attrs)
         if self.attrs and logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "span %s took %.6fs", "/".join(path), elapsed, extra=self.attrs
@@ -189,8 +229,13 @@ class _Span:
 
 
 def span(name: str, **attrs: Any):
-    """A context manager timing ``name`` (no-op unless profiling is on)."""
-    if not _enabled:
+    """A context manager timing ``name``.
+
+    No-op unless profiling (aggregate stage sums) or an active trace
+    (per-job timeline, :mod:`repro.obs.trace`) wants the measurement;
+    the disabled path is one flag check per sink.
+    """
+    if not _enabled and not _trace._active:
         return _NULL_SPAN
     return _Span(name, attrs)
 

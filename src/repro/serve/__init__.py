@@ -21,7 +21,12 @@ evaluation, fleet-wide, instead of re-running one-shot CLI sweeps.
   ``repro serve`` (``/health``, ``/metrics``, ``/jobs`` with progress
   streaming, 429 backpressure, graceful drain on SIGTERM).
 * :mod:`repro.serve.client` -- :class:`ServeClient`, the Python client
-  behind ``repro submit`` / ``repro jobs``.
+  behind ``repro submit`` / ``repro jobs``.  Submissions mint a
+  ``trace_id`` by default, so every job's ``repro.trace/1`` timeline is
+  fetchable from ``GET /jobs/<id>/trace`` afterwards.
+* :mod:`repro.serve.top` -- :func:`run_top`, the polling terminal
+  dashboard behind ``repro top`` (queue depth, throughput, latency
+  percentiles; see ``docs/OBSERVABILITY.md``).
 
 Quickstart (server side)::
 
@@ -57,6 +62,7 @@ from repro.serve.store import (
     evaluator_fingerprint,
     open_store,
 )
+from repro.serve.top import run_top
 
 __all__ = [
     "ExplorationService",
@@ -80,4 +86,5 @@ __all__ = [
     "install_signal_handlers",
     "make_server",
     "open_store",
+    "run_top",
 ]

@@ -25,6 +25,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.engine.resilience import estimate_from_json
@@ -47,10 +48,15 @@ class ServeClient:
     """A small, dependency-free client for one service endpoint."""
 
     def __init__(
-        self, base_url: str = "http://127.0.0.1:8000", timeout_s: float = 30.0
+        self,
+        base_url: str = "http://127.0.0.1:8000",
+        timeout_s: float = 30.0,
+        trace: bool = True,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: Mint a fresh trace_id per submit (see :meth:`submit`).
+        self.trace_enabled = trace
 
     # ------------------------------------------------------------------
     # transport
@@ -90,6 +96,23 @@ class ServeClient:
         except urllib.error.URLError as exc:
             raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
 
+    def _request_text(self, path: str) -> str:
+        """``GET`` a text (non-JSON) endpoint and return the raw body."""
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                exc.code, exc.read().decode(errors="replace")
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
     # ------------------------------------------------------------------
     # endpoints
 
@@ -97,15 +120,26 @@ class ServeClient:
         """``GET /health``."""
         return self._request("GET", "/health")
 
-    def metrics(self) -> Dict[str, Any]:
-        """``GET /metrics`` (the ``repro.obs/1`` report + store section)."""
+    def metrics(self, format: str = "json") -> Union[Dict[str, Any], str]:
+        """``GET /metrics``: the ``repro.obs/1`` report + store section.
+
+        ``format="prometheus"`` returns the text exposition (0.0.4) body
+        as a string instead.
+        """
+        if format == "prometheus":
+            return self._request_text("/metrics?format=prometheus")
         return self._request("GET", "/metrics")
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>/trace``: the finalised ``repro.trace/1`` doc."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
 
     def submit(
         self,
         spec: Union[JobSpec, Dict[str, Any]],
         priority: int = 10,
         max_attempts: int = 6,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /jobs``, honouring ``429 Retry-After`` backpressure.
 
@@ -113,9 +147,19 @@ class ServeClient:
         ``Retry-After`` hint (capped at 10 s) between attempts; any other
         error surfaces immediately as :class:`ServeError`.  Returns the
         job record with a ``"coalesced"`` flag folded in.
+
+        When the client was built with ``trace=True`` (the default) a
+        fresh ``trace_id`` is minted per submit and sent with the spec, so
+        the finished job's timeline is available from :meth:`trace`;
+        pass an explicit ``trace_id`` to reuse one, or build the client
+        with ``trace=False`` to opt out.
         """
         doc = spec.to_json() if isinstance(spec, JobSpec) else dict(spec)
         body = {"spec": doc, "priority": priority}
+        if trace_id is None and self.trace_enabled:
+            trace_id = uuid.uuid4().hex
+        if trace_id is not None:
+            body["trace_id"] = trace_id
         for attempt in range(max_attempts):
             try:
                 reply = self._request("POST", "/jobs", body=body)

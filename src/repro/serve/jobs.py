@@ -21,7 +21,11 @@ journals with bit-identical results.
 
 Counters fed into the :mod:`repro.obs` registry: ``serve.jobs_submitted``,
 ``serve.jobs_coalesced``, ``serve.jobs_rejected``, ``serve.jobs_completed``,
-``serve.jobs_failed`` and ``serve.jobs_recovered``.
+``serve.jobs_failed`` and ``serve.jobs_recovered``; latency histograms
+``serve.queue.wait_seconds`` (submit to claim) and ``serve.job_seconds``
+(execution wall time).  A job submitted with a ``trace_id`` additionally
+produces a ``repro.trace/1`` timeline (see :mod:`repro.obs.trace`)
+persisted in the store's ``traces`` table.
 """
 
 from __future__ import annotations
@@ -51,7 +55,9 @@ from repro.engine.resilience import (
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import KernelWorkload
 from repro.kernels import get_kernel
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_metrics
+from repro.obs.spans import span
 from repro.registry import build_manifest, get_registry
 from repro.serve.store import ResultStore, StoreBackedEvaluator, evaluator_fingerprint
 
@@ -225,10 +231,17 @@ class Job:
     total_configs: int = 0
     coalesced: int = 0
     resumed: bool = False
+    #: Trace identity (repro.obs.trace); ``None`` runs the job untraced.
+    trace_id: Optional[str] = None
     #: Bumped on every visible change; progress streams key off it.
     version: int = 0
     #: In-memory result (after restart, results come from the store).
     result: Optional[ExplorationResult] = None
+    #: Every snapshot this job has published, in order.  ``/events``
+    #: consumers replay it from index 0, so any number of concurrent
+    #: streams see the identical, complete sequence (volatile: not
+    #: persisted, rebuilt with one snapshot on recovery).
+    history: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -257,6 +270,7 @@ class Job:
             "total_configs": self.total_configs,
             "coalesced": self.coalesced,
             "resumed": self.resumed,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -275,6 +289,7 @@ class Job:
             total_configs=int(doc.get("total_configs", 0)),
             coalesced=int(doc.get("coalesced", 0)),
             resumed=bool(doc.get("resumed", False)),
+            trace_id=doc.get("trace_id"),
         )
 
 
@@ -310,13 +325,17 @@ class JobManager:
     # submission / admission control / coalescing
 
     def submit(
-        self, spec: JobSpec, priority: int = DEFAULT_PRIORITY
+        self,
+        spec: JobSpec,
+        priority: int = DEFAULT_PRIORITY,
+        trace_id: Optional[str] = None,
     ) -> Tuple[Job, bool]:
         """Queue a job (or coalesce onto an active one).
 
         Returns ``(job, coalesced)``.  Raises :class:`QueueFullError`
         when the queue is at capacity and :class:`ServiceDrainingError`
-        during drain.
+        during drain.  ``trace_id`` opts the job into a ``repro.trace/1``
+        timeline; a coalesced submission joins the original job's trace.
         """
         metrics = get_metrics()
         with self._cond:
@@ -328,7 +347,7 @@ class JobManager:
             if active_id is not None:
                 job = self._jobs[active_id]
                 job.coalesced += 1
-                job.version += 1
+                self._touch(job)
                 metrics.counter("serve.jobs_coalesced").inc()
                 self._persist(job)
                 self._cond.notify_all()
@@ -336,13 +355,19 @@ class JobManager:
             if len(self._heap) >= self.max_depth:
                 metrics.counter("serve.jobs_rejected").inc()
                 raise QueueFullError(self.retry_after_s)
-            job = Job(spec=spec, priority=priority)
+            job = Job(spec=spec, priority=priority, trace_id=trace_id)
             self._register(job)
+            self._touch(job)
             metrics.counter("serve.jobs_submitted").inc()
             metrics.gauge("serve.queue_depth").set(len(self._heap))
             self._persist(job)
             self._cond.notify_all()
             return job, False
+
+    def _touch(self, job: Job) -> None:
+        """Publish a visible change: bump the version, append to history."""
+        job.version += 1
+        job.history.append(job.to_json())
 
     def _register(self, job: Job) -> None:
         """Track a queued job (caller holds the lock)."""
@@ -373,11 +398,12 @@ class JobManager:
                     continue
                 if job.terminal:
                     self._jobs[job.job_id] = job
+                    job.history.append(job.to_json())
                     continue
                 job.state = "queued"
                 job.resumed = True
-                job.version += 1
                 self._register(job)
+                self._touch(job)
                 self._persist(job)
                 recovered += 1
             if recovered:
@@ -401,8 +427,12 @@ class JobManager:
             job = self._jobs[job_id]
             job.state = "running"
             job.started_s = time.time()
-            job.version += 1
-            get_metrics().gauge("serve.queue_depth").set(len(self._heap))
+            self._touch(job)
+            metrics = get_metrics()
+            metrics.histogram("serve.queue.wait_seconds").observe(
+                max(0.0, job.started_s - job.submitted_s)
+            )
+            metrics.gauge("serve.queue_depth").set(len(self._heap))
             self._persist(job)
             self._cond.notify_all()
             return job
@@ -412,7 +442,7 @@ class JobManager:
         with self._cond:
             job.done_configs = done
             job.total_configs = total
-            job.version += 1
+            self._touch(job)
             self._cond.notify_all()
 
     def finish(self, job: Job, result: ExplorationResult) -> None:
@@ -423,7 +453,7 @@ class JobManager:
             job.done_configs = len(result)
             job.total_configs = len(result)
             job.finished_s = time.time()
-            job.version += 1
+            self._touch(job)
             self._release(job)
             get_metrics().counter("serve.jobs_completed").inc()
             self._persist(job)
@@ -435,7 +465,7 @@ class JobManager:
             job.state = "failed"
             job.error = error
             job.finished_s = time.time()
-            job.version += 1
+            self._touch(job)
             self._release(job)
             get_metrics().counter("serve.jobs_failed").inc()
             self._persist(job)
@@ -486,6 +516,32 @@ class JobManager:
                 self._cond.wait(
                     0.5 if remaining is None else min(0.5, remaining)
                 )
+
+    def events_since(
+        self, job_id: str, cursor: int, timeout_s: float = 10.0
+    ) -> Tuple[Optional[Job], List[Dict[str, Any]]]:
+        """The job's published snapshots past ``cursor`` (blocking).
+
+        Blocks until new history exists, the job is terminal, or the
+        timeout passes; returns ``(job, snapshots)``.  Because every
+        consumer replays the same append-only history, concurrent
+        ``/events`` streams of one job see identical, complete sequences
+        regardless of when they attach.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return None, []
+                if len(job.history) > cursor:
+                    return job, list(job.history[cursor:])
+                if job.terminal:
+                    return job, []
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job, []
+                self._cond.wait(min(0.5, remaining))
 
     def wait_change(
         self, job_id: str, seen_version: int, timeout_s: float = 10.0
@@ -572,13 +628,41 @@ class JobRunner(threading.Thread):
             self.execute(job)
 
     def execute(self, job: Job) -> None:
-        """Run one job to a terminal state (never raises)."""
+        """Run one job to a terminal state (never raises).
+
+        A job carrying a ``trace_id`` runs under an active
+        :class:`~repro.obs.trace.TraceRecorder`: a synthetic
+        ``queue.wait`` event covers submit to start, a root ``job`` span
+        wraps the sweep (whose workers ship their chunk events back
+        through the payload protocol), and the merged timeline is
+        persisted to the store's ``traces`` table -- on failure too.
+        The timeline lands *before* the job turns terminal, so a client
+        woken by the done state never races the trace write.
+        """
         started = time.perf_counter()
+        tracer = obs_trace.tracing(job.trace_id) if job.trace_id else None
+        recorder = tracer.__enter__() if tracer is not None else None
+        if recorder is not None and job.started_s is not None:
+            recorder.add_event(
+                ("job", "queue.wait"),
+                job.submitted_s,
+                max(0.0, job.started_s - job.submitted_s),
+                {"priority": job.priority},
+            )
+        result = None
+        error = None
         try:
-            result = self._sweep(job)
+            with span("job", job_id=job.job_id, kernel=job.spec.kernel):
+                result = self._sweep(job)
         except Exception as exc:
             logger.warning("job %s failed: %s", job.job_id, exc)
-            self.manager.fail(job, f"{type(exc).__name__}: {exc}")
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if tracer is not None:
+                tracer.__exit__(None, None, None)
+                self._record_trace(job, recorder)
+        if error is not None:
+            self.manager.fail(job, error)
             return
         self.manager.finish(job, result)
         get_metrics().histogram("serve.job_seconds").observe(
@@ -588,6 +672,16 @@ class JobRunner(threading.Thread):
             os.remove(self.checkpoint_path(job))
         except OSError:
             pass
+
+    def _record_trace(self, job: Job, recorder: Any) -> None:
+        """Persist the job's merged timeline (best-effort, like manifests)."""
+        try:
+            document = obs_trace.build_document(recorder, job_id=job.job_id)
+            self.manager.store.save_trace(job.job_id, document)
+        except Exception as exc:  # pragma: no cover - timeline best-effort
+            logger.warning(
+                "could not record trace for job %s: %s", job.job_id, exc
+            )
 
     def _sweep(self, job: Job) -> ExplorationResult:
         spec = job.spec
@@ -604,11 +698,20 @@ class JobRunner(threading.Thread):
                 job, done, total
             ),
         )
-        estimates = sweep.run(evaluator, configs)
+        with span(
+            "sweep",
+            configs=len(configs),
+            jobs=self.sweep_jobs,
+            backend=spec.backend,
+        ):
+            estimates = sweep.run(evaluator, configs)
         # Rows resumed from the checkpoint journal never pass through the
         # evaluator; backfill them so the store holds the complete sweep
         # (INSERT OR IGNORE makes the overlap free).
-        self.manager.store.put_many(evaluator.eval_id, zip(configs, estimates))
+        with span("store.write", rows=len(configs)):
+            self.manager.store.put_many(
+                evaluator.eval_id, zip(configs, estimates)
+            )
         self._record_manifest(job, evaluator, configs, resilience)
         return ExplorationResult(estimates)
 

@@ -8,13 +8,20 @@ runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
     Liveness: ``{"status": "ok" | "draining", "schema": "repro.serve/1"}``.
 ``GET /metrics``
     The ``repro.obs/1`` report (metrics registry, EvalCache snapshot)
-    plus a ``store`` section with the persistent-store counters.
+    plus a ``store`` section with the persistent-store counters and
+    per-table row counts / file size (gauges refreshed on every
+    snapshot).  ``?format=prometheus`` serves the same registry as
+    Prometheus text exposition 0.0.4 instead
+    (:mod:`repro.obs.prometheus`).
 ``POST /jobs``
     Submit ``{"spec": {...}, "priority": N}``.  Replies ``202`` with the
     job record (``"coalesced": true`` when the submission attached to an
     already-active identical job), ``429`` with a ``Retry-After`` header
     when admission control rejects it, ``503`` while draining, ``400``
-    for a malformed spec.
+    for a malformed spec.  An optional ``trace_id`` joins the job to a
+    client-minted trace; without one the server mints its own unless
+    started with tracing off (``--no-trace``), or the body says
+    ``"trace": false``.
 ``GET /jobs``
     All known jobs, most recent first.
 ``GET /jobs/<id>[?wait=SECONDS]``
@@ -23,9 +30,18 @@ runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
     provenance document under ``manifest``.
 ``GET /jobs/<id>/result``
     The exact result rows once the job is ``done`` (``409`` before).
+``GET /jobs/<id>/trace``
+    The job's ``repro.trace/1`` timeline once it is terminal (``409``
+    while running, ``404`` for untraced jobs).
 ``GET /jobs/<id>/events``
     Progress streaming: newline-delimited JSON snapshots of the job
     record, one per state/progress change, ending at the terminal state.
+    Streams replay the job's append-only snapshot history from the
+    beginning, so concurrent consumers all see the identical, complete
+    sequence.
+
+Every request is timed into the ``serve.http.request`` histogram (plus a
+per-endpoint histogram and a per-endpoint/status response counter).
 
 Graceful drain: the first ``SIGTERM`` (or ``SIGINT``) stops admission
 (new submissions get ``503``), lets the running job finish, then shuts
@@ -40,13 +56,16 @@ import json
 import logging
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import obs
 from repro.engine.cache import get_eval_cache
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_metrics
+from repro.obs.prometheus import render_prometheus
 from repro.serve.jobs import (
     Job,
     JobManager,
@@ -87,6 +106,7 @@ class ExplorationService:
         queue_depth: int = 16,
         sweep_jobs: int = 1,
         retry_after_s: float = 2.0,
+        trace: bool = True,
     ) -> None:
         self.store: ResultStore = open_store(store_path)
         self.manager = JobManager(
@@ -95,6 +115,9 @@ class ExplorationService:
         self.runner = JobRunner(
             self.manager, spool_dir=spool_dir, sweep_jobs=sweep_jobs
         )
+        #: Mint a trace_id for bare submissions (clients can still opt
+        #: out per job with ``"trace": false``).
+        self.trace = trace
         self._started = False
 
     def start(self) -> "ExplorationService":
@@ -131,16 +154,29 @@ class ExplorationService:
         }
 
     def metrics_report(self) -> Dict[str, Any]:
-        """The ``/metrics`` document: ``repro.obs/1`` + store counters."""
+        """The ``/metrics`` document: ``repro.obs/1`` + store counters.
+
+        Refreshes the ``store.*_rows`` / ``store.file_bytes`` gauges from
+        the live sqlite file on every snapshot, so both the JSON report
+        and the Prometheus rendering carry current store size data.
+        """
+        metrics = get_metrics()
+        stats = self.store.stats()
+        metrics.gauge("store.estimate_rows").set(stats["estimates"])
+        metrics.gauge("store.job_rows").set(stats["jobs"])
+        metrics.gauge("store.manifest_rows").set(stats["manifests"])
+        metrics.gauge("store.trace_rows").set(stats["traces"])
+        metrics.gauge("store.file_bytes").set(stats["file_bytes"])
         report = obs.build_report(cache=get_eval_cache().snapshot())
-        counters = get_metrics().counters_matching("store.")
+        counters = metrics.counters_matching("store.")
         report["store"] = {
             "schema": STORE_SCHEMA,
             "path": self.store.path,
-            "entries": len(self.store),
+            "entries": stats["estimates"],
+            "rows": stats,
             "counters": counters,
         }
-        report["serve"] = get_metrics().counters_matching("serve.")
+        report["serve"] = metrics.counters_matching("serve.")
         return report
 
     def submit(
@@ -153,7 +189,19 @@ class ExplorationService:
         priority = doc.get("priority", 10)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ValueError("priority must be an integer")
-        return self.manager.submit(spec, priority=priority)
+        trace_id = doc.get("trace_id")
+        if trace_id is not None:
+            if (
+                not isinstance(trace_id, str)
+                or not 1 <= len(trace_id) <= 64
+                or not all(c.isalnum() or c in "-_" for c in trace_id)
+            ):
+                raise ValueError(
+                    "trace_id must be 1-64 alphanumeric/-/_ characters"
+                )
+        elif self.trace and doc.get("trace") is not False:
+            trace_id = obs_trace.new_trace_id()
+        return self.manager.submit(spec, priority=priority, trace_id=trace_id)
 
     def job_result(self, job: Job) -> Optional[Dict[str, Any]]:
         """The exact result document for a done job (``None`` otherwise).
@@ -202,8 +250,23 @@ class _Handler(BaseHTTPRequestHandler):
             "%s %s", self.address_string(), format % args
         )
 
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        # Remember the status for the per-endpoint response counters.
+        self._status = code
+        super().send_response(code, message)
+
     # ------------------------------------------------------------------
     # plumbing
+
+    def _send_text(
+        self, code: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _send_json(
         self,
@@ -236,14 +299,54 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # routing
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+    @staticmethod
+    def _endpoint_label(parts: List[str]) -> str:
+        """Bounded endpoint classification for metric names."""
+        if not parts:
+            return "root"
+        if parts[0] in ("health", "metrics"):
+            return parts[0]
+        if parts[0] == "jobs":
+            if len(parts) == 1:
+                return "jobs"
+            if len(parts) == 2:
+                return "job"
+            if len(parts) == 3 and parts[2] in ("result", "events", "trace"):
+                return parts[2]
+        return "other"
+
+    def _timed(self, route) -> None:
+        """Run one routed request under the HTTP latency instruments."""
+        self._status = 0
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
+        endpoint = self._endpoint_label(parts)
+        started = time.perf_counter()
+        try:
+            route(parsed, parts)
+        finally:
+            elapsed = time.perf_counter() - started
+            metrics = get_metrics()
+            metrics.histogram("serve.http.request").observe(elapsed)
+            metrics.histogram(
+                "serve.http.request." + endpoint
+            ).observe(elapsed)
+            metrics.counter(
+                "serve.http.responses.%s.%d" % (endpoint, self._status)
+            ).inc()
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._timed(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._timed(self._route_post)
+
+    def _route_get(self, parsed: Any, parts: List[str]) -> None:
         params = parse_qs(parsed.query)
         if parts == ["health"]:
             self._send_json(200, self.service.health())
         elif parts == ["metrics"]:
-            self._send_json(200, self.service.metrics_report())
+            self._get_metrics(params)
         elif parts == ["jobs"]:
             jobs = [job.to_json() for job in self.service.manager.list_jobs()]
             self._send_json(200, {"jobs": jobs})
@@ -251,13 +354,28 @@ class _Handler(BaseHTTPRequestHandler):
             self._get_job(parts[1], params)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
             self._get_result(parts[1])
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            self._get_trace(parts[1])
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             self._stream_events(parts[1])
         else:
             self._error(404, f"no route for {parsed.path}")
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        parsed = urlparse(self.path)
+    def _get_metrics(self, params: Dict[str, Any]) -> None:
+        fmt = params.get("format", ["json"])[0]
+        report = self.service.metrics_report()
+        if fmt == "prometheus":
+            self._send_text(
+                200,
+                render_prometheus(report.get("metrics", {})),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif fmt == "json":
+            self._send_json(200, report)
+        else:
+            self._error(400, f"unknown metrics format {fmt!r}")
+
+    def _route_post(self, parsed: Any, parts: List[str]) -> None:
         if parsed.path.rstrip("/") != "/jobs":
             self._error(404, f"no route for {parsed.path}")
             return
@@ -322,7 +440,39 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, doc)
 
+    def _get_trace(self, job_id: str) -> None:
+        job = self.service.manager.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        doc = self.service.store.load_trace(job_id)
+        if doc is None:
+            if job.terminal:
+                reason = (
+                    "submitted without tracing"
+                    if job.trace_id is None
+                    else "no trace was recorded"
+                )
+                self._error(
+                    404,
+                    f"no trace for job {job_id} ({reason})",
+                    state=job.state,
+                )
+            else:
+                self._error(
+                    409,
+                    f"job {job_id} is {job.state}; trace not finalised yet",
+                    state=job.state,
+                )
+            return
+        self._send_json(200, doc)
+
     def _stream_events(self, job_id: str) -> None:
+        # Replays the job's append-only snapshot history from index 0 --
+        # every state/progress change since submission, in order -- so any
+        # number of concurrent consumers see the identical, complete
+        # sequence.  Terminate on the *written* snapshot, so the terminal
+        # state is always the last line on the wire.
         manager = self.service.manager
         job = manager.get(job_id)
         if job is None:
@@ -332,24 +482,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Cache-Control", "no-store")
         self.end_headers()
+        cursor = 0
         while True:
-            # Snapshot first, then the version: if the job moves in
-            # between, the version bump makes wait_change return at once
-            # and the next iteration streams the newer state.  Terminate
-            # on the *written* snapshot, never the live object, so the
-            # terminal state is always the last line on the wire.
-            snapshot = job.to_json()
-            version = job.version
-            try:
-                self.wfile.write((json.dumps(snapshot) + "\n").encode())
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
-                return
-            if snapshot["state"] in ("done", "failed"):
-                return
-            job = manager.wait_change(job_id, version, timeout_s=10.0)
+            job, snapshots = manager.events_since(
+                job_id, cursor, timeout_s=10.0
+            )
             if job is None:
                 return
+            if not snapshots and job.terminal:
+                # Defensive: history exhausted on a terminal job (the
+                # terminal snapshot always closes the stream above).
+                return
+            for snapshot in snapshots:
+                try:
+                    self.wfile.write((json.dumps(snapshot) + "\n").encode())
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    return
+                cursor += 1
+                if snapshot["state"] in ("done", "failed"):
+                    return
 
 
 def make_server(

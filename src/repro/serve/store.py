@@ -31,15 +31,21 @@ Store schema (``repro.store/1``)::
               PRIMARY KEY (eval_id, config_key))
     jobs(job_id TEXT PRIMARY KEY, doc TEXT)       -- repro.serve job records
     manifests(job_id TEXT PRIMARY KEY, doc TEXT)  -- repro.manifest/1 documents
+    traces(job_id TEXT PRIMARY KEY, doc TEXT)     -- repro.trace/1 timelines
 
-The ``manifests`` table records the provenance document of every finished
-job *alongside* the keys, never inside them: the schema tag stays
-``repro.store/1`` and every fingerprint is byte-identical to what earlier
-versions wrote, so pre-manifest stores open (and gain the table) in place.
+The ``manifests`` and ``traces`` tables record provenance and timeline
+documents of finished jobs *alongside* the keys, never inside them: the
+schema tag stays ``repro.store/1`` and every fingerprint is byte-identical
+to what earlier versions wrote, so older stores open (and gain the
+tables) in place.
 
 Counters fed into the :mod:`repro.obs` registry: ``store.hits``,
 ``store.misses`` (reads) and ``store.puts`` (writes) -- the numbers the
-coalescing acceptance tests assert on.
+coalescing acceptance tests assert on -- plus ``store.read_seconds`` /
+``store.write_seconds`` latency histograms over the estimate paths.
+:meth:`ResultStore.stats` reports per-table row counts and the sqlite
+file size, which the service republishes as gauges on every ``/metrics``
+snapshot.
 """
 
 from __future__ import annotations
@@ -89,6 +95,8 @@ _DDL = (
     "CREATE TABLE IF NOT EXISTS jobs ("
     " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
     "CREATE TABLE IF NOT EXISTS manifests ("
+    " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS traces ("
     " job_id TEXT PRIMARY KEY, doc TEXT NOT NULL)",
 )
 
@@ -161,6 +169,8 @@ class ResultStore:
         self._hit_counter = metrics.counter("store.hits")
         self._miss_counter = metrics.counter("store.misses")
         self._put_counter = metrics.counter("store.puts")
+        self._read_hist = metrics.histogram("store.read_seconds")
+        self._write_hist = metrics.histogram("store.write_seconds")
         try:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -210,12 +220,14 @@ class ResultStore:
         self, eval_id: str, config: CacheConfig
     ) -> Optional[PerformanceEstimate]:
         """The stored estimate for one configuration, or ``None``."""
+        started = time.perf_counter()
         with self._lock:
             row = self._conn.execute(
                 "SELECT estimate FROM estimates"
                 " WHERE eval_id = ? AND config_key = ?",
                 (eval_id, config_key(config)),
             ).fetchone()
+        self._read_hist.observe(time.perf_counter() - started)
         if row is None:
             self._miss_counter.inc()
             return None
@@ -226,6 +238,7 @@ class ResultStore:
         self, eval_id: str, configs: Sequence[CacheConfig]
     ) -> Dict[CacheConfig, PerformanceEstimate]:
         """Every stored estimate among ``configs`` (missing ones omitted)."""
+        started = time.perf_counter()
         found: Dict[CacheConfig, PerformanceEstimate] = {}
         with self._lock:
             for config in configs:
@@ -236,6 +249,7 @@ class ResultStore:
                 ).fetchone()
                 if row is not None:
                     found[config] = estimate_from_json(json.loads(row[0]))
+        self._read_hist.observe(time.perf_counter() - started)
         hits = len(found)
         if hits:
             self._hit_counter.inc(hits)
@@ -267,6 +281,7 @@ class ResultStore:
         ]
         if not rows:
             return
+        started = time.perf_counter()
         with self._lock, self._conn:
             self._conn.executemany(
                 "INSERT OR IGNORE INTO estimates"
@@ -274,6 +289,7 @@ class ResultStore:
                 " VALUES (?, ?, ?, ?)",
                 rows,
             )
+        self._write_hist.observe(time.perf_counter() - started)
         self._put_counter.inc(len(rows))
 
     def result_for(
@@ -343,6 +359,44 @@ class ResultStore:
                 "SELECT doc FROM manifests WHERE job_id = ?", (job_id,)
             ).fetchone()
         return None if row is None else json.loads(row[0])
+
+    # ------------------------------------------------------------------
+    # job timelines (repro.trace/1 documents, keyed by job)
+
+    def save_trace(self, job_id: str, doc: Dict[str, Any]) -> None:
+        """Persist one job's ``repro.trace/1`` timeline document."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO traces (job_id, doc) VALUES (?, ?)",
+                (job_id, json.dumps(doc, sort_keys=True)),
+            )
+
+    def load_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job's trace timeline, or ``None`` when none was recorded."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT doc FROM traces WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def stats(self) -> Dict[str, Any]:
+        """Row counts per table plus the sqlite file size in bytes.
+
+        The service refreshes its ``store.*`` gauges from this on every
+        ``/metrics`` snapshot.
+        """
+        counts: Dict[str, Any] = {}
+        with self._lock:
+            for table in ("estimates", "jobs", "manifests", "traces"):
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM {0}".format(table)
+                ).fetchone()
+                counts[table] = int(row[0])
+        try:
+            counts["file_bytes"] = os.path.getsize(self.path)
+        except OSError:
+            counts["file_bytes"] = 0
+        return counts
 
     def close(self) -> None:
         """Close the underlying connection (the file remains usable)."""

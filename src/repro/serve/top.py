@@ -1,0 +1,185 @@
+"""``repro top``: a live terminal dashboard for a running service.
+
+Polls ``GET /metrics`` and ``GET /jobs`` on an interval and redraws one
+screenful: queue state, jobs in flight, throughput (configs/s from
+counter deltas between consecutive samples), store hit rate, and the
+latency percentile table the log-bucketed histograms make cheap to
+serve.  Pure stdlib, pure text: the only terminal control used is an
+ANSI home+clear when stdout is a tty, so output also pipes cleanly
+(``--iterations 1`` gives a one-shot snapshot).
+
+The data path is split for testability: :func:`collect` pulls one
+sample through a :class:`~repro.serve.client.ServeClient`, and
+:func:`render` is a pure function from (sample, previous sample) to the
+screen text -- the tests drive it with canned samples, no server needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.serve.client import ServeClient, ServeError
+
+__all__ = ["collect", "render", "run_top"]
+
+#: Histogram instruments shown in the latency table, in display order.
+_LATENCY_ROWS = (
+    ("http request", "serve.http.request"),
+    ("queue wait", "serve.queue.wait_seconds"),
+    ("job", "serve.job_seconds"),
+    ("eval", "engine.eval"),
+    ("chunk", "engine.chunk_seconds"),
+    ("store read", "store.read_seconds"),
+    ("store write", "store.write_seconds"),
+)
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def collect(client: ServeClient) -> Dict[str, Any]:
+    """One dashboard sample: health + metrics report + job list."""
+    return {
+        "at": time.monotonic(),
+        "health": client.health(),
+        "report": client.metrics(),
+        "jobs": client.jobs(),
+    }
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:7.2f}ms"
+    return f"{value * 1e6:7.1f}us"
+
+
+def _counter(sample: Dict[str, Any], name: str) -> float:
+    return (
+        sample["report"]
+        .get("metrics", {})
+        .get("counters", {})
+        .get(name, 0)
+    )
+
+
+def _rate(
+    sample: Dict[str, Any], previous: Optional[Dict[str, Any]], name: str
+) -> Optional[float]:
+    """Per-second delta of one counter between consecutive samples."""
+    if previous is None:
+        return None
+    elapsed = sample["at"] - previous["at"]
+    if elapsed <= 0:
+        return None
+    return max(0.0, _counter(sample, name) - _counter(previous, name)) / elapsed
+
+
+def render(
+    sample: Dict[str, Any], previous: Optional[Dict[str, Any]] = None
+) -> str:
+    """The dashboard screen for one sample (pure; no I/O, no ANSI)."""
+    health = sample.get("health", {})
+    report = sample.get("report", {})
+    jobs: List[Dict[str, Any]] = sample.get("jobs", [])
+    metrics = report.get("metrics", {})
+    lines = []
+
+    states: Dict[str, int] = {}
+    for job in jobs:
+        states[job["state"]] = states.get(job["state"], 0) + 1
+    queued = states.get("queued", 0)
+    running = states.get("running", 0)
+    lines.append(
+        "repro top -- service %s (v%s)  queue=%d running=%d done=%d failed=%d"
+        % (
+            health.get("status", "?"),
+            health.get("version", "?"),
+            queued,
+            running,
+            states.get("done", 0),
+            states.get("failed", 0),
+        )
+    )
+
+    rate = _rate(sample, previous, "engine.configs_evaluated")
+    hits = _counter(sample, "store.hits")
+    misses = _counter(sample, "store.misses")
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.3f}" if lookups else "-"
+    lines.append(
+        "throughput: %s configs/s   store hit rate: %s (%d lookups)   "
+        "coalesced: %d"
+        % (
+            f"{rate:.1f}" if rate is not None else "-",
+            hit_rate,
+            lookups,
+            _counter(sample, "serve.jobs_coalesced"),
+        )
+    )
+    lines.append("")
+
+    histograms = metrics.get("histograms", {})
+    lines.append(
+        f"{'latency':>12s} {'count':>8s} {'p50':>10s} {'p95':>10s} "
+        f"{'p99':>10s} {'max':>10s}"
+    )
+    for label, name in _LATENCY_ROWS:
+        summary = histograms.get(name)
+        if not summary or not summary.get("count"):
+            continue
+        lines.append(
+            f"{label:>12s} {summary['count']:>8d} "
+            f"{_fmt_seconds(summary.get('p50', 0.0)):>10s} "
+            f"{_fmt_seconds(summary.get('p95', 0.0)):>10s} "
+            f"{_fmt_seconds(summary.get('p99', 0.0)):>10s} "
+            f"{_fmt_seconds(summary.get('max', 0.0)):>10s}"
+        )
+    lines.append("")
+
+    active = [job for job in jobs if job["state"] in ("queued", "running")]
+    lines.append(
+        f"{'job':>22s} {'state':>8s} {'progress':>10s} {'kernel':>10s}"
+    )
+    for job in active[:10] or jobs[:5]:
+        progress = f"{job['done_configs']}/{job['total_configs']}"
+        lines.append(
+            f"{job['job_id']:>22s} {job['state']:>8s} {progress:>10s} "
+            f"{job['spec']['kernel']:>10s}"
+        )
+    if not jobs:
+        lines.append("  (no jobs yet)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    client: ServeClient,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll and redraw until interrupted (or for ``iterations`` rounds)."""
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    clear = _CLEAR if stream.isatty() else ""
+    previous: Optional[Dict[str, Any]] = None
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            try:
+                sample = collect(client)
+            except ServeError as exc:
+                stream.write(f"error: {exc}\n")
+                stream.flush()
+                return 1
+            stream.write(clear + render(sample, previous))
+            stream.flush()
+            previous = sample
+            count += 1
+            if iterations is None or count < iterations:
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -231,6 +231,87 @@ class TestServeCommands:
                  "--server", "http://127.0.0.1:1"]
             )
 
+    def test_top_one_shot_against_live_service(self, tmp_path, capsys):
+        import threading
+
+        from repro.serve import ExplorationService, make_server
+
+        service = ExplorationService(
+            str(tmp_path / "r.db"), str(tmp_path / "spool")
+        ).start()
+        httpd = make_server("127.0.0.1", 0, service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        server = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            job, _ = service.submit(
+                {"spec": {"kernel": "compress", "max_size": 32,
+                          "tilings": [1]}}
+            )
+            service.manager.wait(job.job_id, timeout_s=120)
+            assert main(
+                ["top", "--server", server, "--iterations", "2",
+                 "--interval", "0.05"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "repro top" in out
+            assert "configs/s" in out
+            assert "done=1" in out
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.stop()
+
+    def test_top_unreachable_server_is_exit_1(self, capsys):
+        assert main(
+            ["top", "--server", "http://127.0.0.1:1", "--iterations", "1"]
+        ) == 1
+        assert "error:" in capsys.readouterr().out
+
+
+class TestStatsFromFile:
+    def test_renders_written_report(self, tmp_path, capsys):
+        target = tmp_path / "obs.json"
+        assert main(
+            ["stats", "compress", "--max-size", "32", "--tilings", "1",
+             "--metrics-out", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "--from", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage timing" in out
+        assert "engine.configs_evaluated" in out
+
+    def test_missing_file_is_one_line_exit_2(self, tmp_path, capsys):
+        assert main(["stats", "--from", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read metrics report")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_file_is_one_line_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", "--from", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: corrupt metrics report")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_wrong_document_is_one_line_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "other.json"
+        bad.write_text('{"rows": []}')
+        assert main(["stats", "--from", str(bad)]) == 2
+        assert "not a repro.obs document" in capsys.readouterr().err
+
+    def test_wrong_schema_is_one_line_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "vnext.json"
+        bad.write_text('{"schema": "repro.obs/99"}')
+        assert main(["stats", "--from", str(bad)]) == 2
+        assert "unsupported report schema" in capsys.readouterr().err
+
+    def test_stats_without_kernel_or_file_is_exit_2(self, capsys):
+        assert main(["stats"]) == 2
+        assert "needs a kernel" in capsys.readouterr().err
+
 
 class TestRegistryIntegration:
     def test_explore_writes_manifest(self, tmp_path, capsys):

@@ -47,11 +47,12 @@ def _evaluated():
 class LiveServer:
     """An in-process service + HTTP listener + client, on a free port."""
 
-    def __init__(self, tmp_path, queue_depth=16, start=True):
+    def __init__(self, tmp_path, queue_depth=16, start=True, sweep_jobs=1):
         self.service = ExplorationService(
             str(tmp_path / "results.db"),
             str(tmp_path / "spool"),
             queue_depth=queue_depth,
+            sweep_jobs=sweep_jobs,
         )
         if start:
             self.service.start()
@@ -344,6 +345,194 @@ class TestCrashRecovery:
             assert len(doc["estimates"]) == len(SMALL.configs())
         finally:
             second.stop()
+
+
+class TestTracing:
+    """Every traced job yields one merged repro.trace/1 timeline."""
+
+    def test_trace_covers_parallel_sweep(self, tmp_path):
+        env = LiveServer(tmp_path, sweep_jobs=4)
+        try:
+            fallbacks_before = (
+                get_metrics().counter("parallel.serial_fallbacks").value
+            )
+            submitted = env.client.submit(BIG)
+            assert submitted["trace_id"], "client mints a trace id"
+            job = env.client.wait(submitted["job_id"], timeout_s=120)
+            assert job["state"] == "done"
+            doc = env.client.trace(job["job_id"])
+
+            assert doc["schema"] == "repro.trace/1"
+            assert doc["trace_id"] == submitted["trace_id"]
+            assert doc["job_id"] == job["job_id"]
+
+            by_path = {tuple(e["path"]): e for e in doc["events"]}
+            assert ("job",) in by_path
+            assert ("job", "queue.wait") in by_path
+            assert ("job", "sweep") in by_path
+            chunks = [
+                e for e in doc["events"]
+                if e["name"].startswith("chunk[")
+            ]
+            assert chunks, "chunk spans present in the timeline"
+
+            # Every chunk nests under the sweep, and the chunks' evaluate
+            # spans cover the whole grid exactly once.
+            sweep = by_path[("job", "sweep")]
+            for chunk in chunks:
+                assert chunk["parent_id"] == sweep["span_id"]
+            evaluated = sum(
+                e["count"]
+                for e in doc["events"]
+                if e["name"] == "evaluate"
+            )
+            assert evaluated == len(BIG.configs())
+
+            # With a real process pool the chunks ran on several worker
+            # pids, all captured in the merged timeline.
+            degraded = (
+                get_metrics().counter("parallel.serial_fallbacks").value
+                - fallbacks_before
+            )
+            if degraded == 0:
+                assert len(doc["workers"]) >= 2
+
+            # Timing is internally consistent: queue wait plus every
+            # chunk's busy time fits the job's wall-clock window.
+            wall = job["finished_s"] - job["submitted_s"]
+            queue_wait = by_path[("job", "queue.wait")]["total_s"]
+            assert queue_wait <= wall
+            for chunk in chunks:
+                assert 0.0 < chunk["total_s"] <= wall
+                assert doc["started_s"] <= chunk["start_s"]
+                assert chunk["end_s"] <= doc["started_s"] + doc["duration_s"]
+            assert doc["dropped"] == 0
+        finally:
+            env.close()
+
+    def test_trace_before_done_is_409(self, tmp_path):
+        env = LiveServer(tmp_path, start=False)
+        try:
+            job = env.client.submit(SMALL)
+            with pytest.raises(ServeError) as excinfo:
+                env.client.trace(job["job_id"])
+            assert excinfo.value.status == 409
+        finally:
+            env.close()
+
+    def test_untraced_job_is_404(self, tmp_path):
+        env = LiveServer(tmp_path)
+        try:
+            # "trace": false in the submission body opts this job out of
+            # the server-side trace_id minting.
+            job, _ = env.service.submit(
+                {"spec": SMALL.to_json(), "trace": False}
+            )
+            done = env.client.wait(job.job_id, timeout_s=120)
+            assert done["state"] == "done"
+            assert done.get("trace_id") is None
+            with pytest.raises(ServeError) as excinfo:
+                env.client.trace(job.job_id)
+            assert excinfo.value.status == 404
+        finally:
+            env.close()
+
+    def test_bad_trace_id_is_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client.submit(SMALL, trace_id="not ok!")
+        assert excinfo.value.status == 400
+
+    def test_trace_persists_across_restart(self, tmp_path):
+        from repro.serve import ExplorationService, open_store
+
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        job, _ = first.submit({"spec": SMALL.to_json()})
+        first.manager.wait(job.job_id, timeout_s=120)
+        first.stop()
+        with open_store(str(tmp_path / "results.db")) as store:
+            doc = store.load_trace(job.job_id)
+        assert doc is not None and doc["trace_id"] == job.trace_id
+
+
+class TestPrometheusEndpoint:
+    def test_exposition_parses_with_live_percentiles(self, live):
+        from repro.obs.prometheus import parse_prometheus
+
+        live.client.submit_and_wait(SMALL, timeout_s=120)
+        text = live.client.metrics(format="prometheus")
+        families = parse_prometheus(text)
+        assert "repro_serve_http_request_count" not in families
+        assert families["repro_serve_http_request"]["type"] == "histogram"
+        assert families["repro_engine_eval"]["type"] == "histogram"
+
+        # The JSON report agrees and carries non-zero latency percentiles.
+        report = live.client.metrics()
+        histograms = report["metrics"]["histograms"]
+        assert histograms["serve.http.request"]["p95"] > 0
+        assert histograms["engine.eval"]["p95"] > 0
+
+        # Store gauges refresh on scrape: row counts and file size.
+        rows = report["store"]["rows"]
+        assert rows["estimates"] == len(SMALL.configs())
+        assert rows["traces"] >= 1
+        assert rows["file_bytes"] > 0
+        gauges = report["metrics"]["gauges"]
+        assert gauges["store.estimate_rows"] == rows["estimates"]
+        assert gauges["store.file_bytes"] == rows["file_bytes"]
+
+    def test_unknown_format_is_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client._request_text("/metrics?format=xml")
+        assert excinfo.value.status == 400
+
+
+class TestEventsReplay:
+    def test_concurrent_consumers_see_identical_sequences(self, tmp_path):
+        env = LiveServer(tmp_path, start=False)
+        try:
+            job = env.client.submit(SMALL)
+            again = env.client.submit(SMALL)
+            assert again["coalesced"], "second submission coalesced"
+            job_id = job["job_id"]
+
+            streams = [[], []]
+            errors = []
+
+            def consume(into):
+                try:
+                    into.extend(env.client.events(job_id))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            # Both consumers attach while the job is still queued...
+            threads = [
+                threading.Thread(target=consume, args=(stream,))
+                for stream in streams
+            ]
+            for t in threads:
+                t.start()
+            env.service.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors and not any(t.is_alive() for t in threads)
+
+            # ...and a third attaches after the job finished; history
+            # replay still hands it the full identical sequence.
+            late = list(env.client.events(job_id))
+
+            first, second = streams
+            assert first == second == late
+            assert first[0]["state"] == "queued"
+            assert first[-1]["state"] == "done"
+            total = first[-1]["total_configs"]
+            assert first[-1]["done_configs"] == total == len(SMALL.configs())
+            # Progress only ever moves forward within the sequence.
+            done_counts = [e["done_configs"] for e in first]
+            assert done_counts == sorted(done_counts)
+        finally:
+            env.close()
 
 
 class TestManifests:
