@@ -6,6 +6,9 @@ and the engine -- without touching a single core module:
 
 * backend ``coarse``: set-sampled miss measurement with a wide stride
   (cheap, approximate; inherits the engine's sampling machinery);
+* backend ``faulty``: fails every measurement on purpose -- the chaos
+  monkey CI uses to prove a broken third-party backend trips the
+  service's per-spec circuit breaker without hurting other tenants;
 * kernel ``fir16``: a 16-tap FIR filter loop nest, the kind of DSP
   workload the paper's benchmark set does not cover;
 * SRAM part ``demo-1Mbit``: a fictional low-energy off-chip part.
@@ -20,12 +23,18 @@ The only integration point is the ``repro.plugins`` entry point in
 ``pyproject.toml``, which names :func:`register` below.
 """
 
-from repro.engine.backends import SampledBackend
+from repro.engine.backends import Backend, SampledBackend
 from repro.energy.params import SRAMPart
 from repro.kernels.base import Kernel
 from repro.loops.ir import ArrayDecl, ArrayRef, Loop, LoopNest, var
 
-__all__ = ["make_coarse_backend", "make_demo_sram", "make_fir16", "register"]
+__all__ = [
+    "make_coarse_backend",
+    "make_demo_sram",
+    "make_faulty_backend",
+    "make_fir16",
+    "register",
+]
 
 _FIR_SOURCE = """\
 int x[n + 16], y[n], h[16];
@@ -72,6 +81,30 @@ def make_coarse_backend(**kwargs) -> CoarseBackend:
     return CoarseBackend(**kwargs)
 
 
+class FaultyBackend(Backend):
+    """Every measurement raises: a stand-in for a broken plugin.
+
+    Jobs routed through it exhaust the engine's chunk retries and fail;
+    after a few consecutive failures the service's circuit breaker for
+    that spec opens and later submissions fail fast instead of burning
+    worker time -- which is exactly what the ``tenant-smoke`` CI job
+    asserts, alongside a healthy tenant finishing undisturbed.
+    """
+
+    name = "faulty"
+    provides_vector = False
+
+    def measure(self, trace, config):
+        raise RuntimeError(
+            "faulty backend: injected measurement failure (plugin demo)"
+        )
+
+
+def make_faulty_backend() -> FaultyBackend:
+    """Factory the registry calls for ``--backend faulty``."""
+    return FaultyBackend()
+
+
 def make_demo_sram() -> SRAMPart:
     """A fictional 1 Mbit low-energy off-chip part."""
     return SRAMPart(
@@ -85,5 +118,6 @@ def make_demo_sram() -> SRAMPart:
 def register(hook) -> None:
     """The ``repro.plugins`` entry point: add every component to repro."""
     hook.backend("coarse", make_coarse_backend)
+    hook.backend("faulty", make_faulty_backend)
     hook.kernel("fir16", make_fir16)
     hook.sram("demo-1Mbit", make_demo_sram)

@@ -37,12 +37,24 @@ Subcommands mirror the paper's workflow:
 ``serve``
     Run the exploration service: an HTTP/JSON job queue with request
     coalescing and the persistent sqlite result store (``repro.serve``).
+    Multi-tenant knobs: ``--client-rate`` / ``--client-burst`` /
+    ``--client-inflight`` set the default per-client admission policy,
+    ``--client-weight NAME=W`` (repeatable) skews the fair-share
+    dequeue, ``--breaker-threshold`` / ``--breaker-cooldown`` tune the
+    per-evaluator circuit breakers.
 ``submit``
     Submit a sweep to a running service and (by default) wait for the
-    result table.
+    result table; ``--client`` names the submitting tenant and
+    ``--deadline`` bounds the job's wall clock.
 ``jobs``
     List a service's jobs, or show/await one job (``--manifest`` prints
-    the job's ``repro.manifest/1`` provenance document).
+    the job's ``repro.manifest/1`` provenance document, ``--cancel``
+    cancels it).
+``store``
+    Offline result-store maintenance: ``store verify`` audits every
+    row's sha256 checksum; ``--repair`` quarantines corrupt rows,
+    backfills legacy checksums, and rebuilds estimates from checkpoint
+    journals.
 ``top``
     Live dashboard for a running service: queue depth, jobs in flight,
     configs/s, store hit rate and latency percentiles, redrawn on an
@@ -681,12 +693,53 @@ def _await_job(client, job_id: str, timeout_s: Optional[float]) -> int:
     if job["state"] == "failed":
         print(f"job {job_id} failed: {job.get('error')}", file=sys.stderr)
         return 1
+    if job["state"] == "cancelled":
+        print(f"job {job_id} cancelled: {job.get('error')}", file=sys.stderr)
+        return 1
     if job["state"] != "done":
         print(f"timed out waiting for job {job_id} "
               f"({job['done_configs']}/{job['total_configs']} configs)",
               file=sys.stderr)
         return 1
     return _print_served_result(job, client.result(job_id))
+
+
+def _tenancy_policy(args: argparse.Namespace):
+    """Build the service's admission policy from the serve flags."""
+    from repro.serve import ClientPolicy, TenancyPolicy
+
+    try:
+        default = ClientPolicy(
+            rate=args.client_rate,
+            burst=args.client_burst,
+            max_inflight=args.client_inflight,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc))
+    overrides = {}
+    for item in args.client_weight or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise CLIError(
+                f"--client-weight expects NAME=WEIGHT, got {item!r}"
+            )
+        try:
+            weight = float(value)
+        except ValueError:
+            raise CLIError(f"--client-weight {name}: {value!r} is not a number")
+        try:
+            overrides[name] = ClientPolicy(
+                rate=default.rate,
+                burst=default.burst,
+                max_inflight=default.max_inflight,
+                weight=weight,
+            )
+        except ValueError as exc:
+            raise CLIError(f"--client-weight {name}: {exc}")
+    try:
+        return TenancyPolicy(default=default, overrides=overrides)
+    except ValueError as exc:
+        raise CLIError(str(exc))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -699,6 +752,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         sweep_jobs=args.jobs,
         trace=not args.no_trace,
+        tenancy=_tenancy_policy(args),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     ).start()
     httpd = make_server(args.host, args.port, service)
     install_signal_handlers(httpd, service)
@@ -715,8 +771,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
 
-    client = ServeClient(args.server)
-    job = client.submit(_job_spec(args), priority=args.priority)
+    try:
+        client = ServeClient(args.server, client_id=args.client)
+    except ValueError as exc:
+        raise CLIError(str(exc))
+    job = client.submit(
+        _job_spec(args),
+        priority=args.priority,
+        deadline_s=args.deadline,
+    )
     flag = " (coalesced)" if job.get("coalesced") else ""
     print(f"job {job['job_id']}{flag}", file=sys.stderr)
     if args.no_wait:
@@ -726,9 +789,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    from repro.serve import ServeClient
+    from repro.serve import ServeClient, ServeError
 
     client = ServeClient(args.server)
+    if args.cancel:
+        if args.job_id is None:
+            raise CLIError("jobs --cancel requires a job id")
+        try:
+            job = client.cancel(args.job_id)
+        except ServeError as exc:
+            raise CLIError(str(exc))
+        print(f"job {args.job_id} {job['state']}", file=sys.stderr)
+        return 0
     if args.manifest:
         if args.job_id is None:
             raise CLIError("jobs --manifest requires a job id")
@@ -751,6 +823,35 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if args.wait:
         return _await_job(client, args.job_id, args.timeout)
     print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``repro store verify``: audit (and optionally repair) a store."""
+    from repro.serve import open_store
+
+    if args.action != "verify":  # pragma: no cover (argparse enforces)
+        raise CLIError(f"unknown store action {args.action!r}")
+    store = open_store(args.store)
+    try:
+        report = store.verify(repair=args.repair, spool_dir=args.spool)
+    finally:
+        store.close()
+    print(f"scanned {report['scanned']} rows: "
+          f"{report['corrupt']} corrupt, "
+          f"{report['missing_checksum']} missing checksums")
+    for row in report["corrupt_rows"]:
+        print(f"  {row['table']}/{row['key']}: {row['reason']}",
+              file=sys.stderr)
+    if args.repair:
+        print(f"repair: {report['quarantined']} quarantined, "
+              f"{report['checksums_added']} checksums added, "
+              f"{report['rows_rebuilt']} estimates rebuilt from journals")
+    if not report["clean"]:
+        print("store verify FAILED (rerun with --repair to quarantine)",
+              file=sys.stderr)
+        return 1
+    print("store verify OK")
     return 0
 
 
@@ -948,6 +1049,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-trace", action="store_true",
                        help="do not mint trace ids for bare submissions "
                             "(clients can still send their own)")
+    serve.add_argument("--client-rate", type=float, default=None,
+                       metavar="JOBS_PER_S",
+                       help="per-client steady submission rate "
+                            "(default: unlimited)")
+    serve.add_argument("--client-burst", type=int, default=10,
+                       help="per-client burst capacity (token bucket depth)")
+    serve.add_argument("--client-inflight", type=int, default=None,
+                       metavar="N",
+                       help="per-client cap on queued+running jobs "
+                            "(default: unlimited)")
+    serve.add_argument("--client-weight", action="append", default=[],
+                       metavar="NAME=WEIGHT",
+                       help="fair-share weight for one client (repeatable; "
+                            "default weight is 1.0)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       metavar="N",
+                       help="consecutive chunk failures before an "
+                            "evaluator's circuit breaker opens")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds an open breaker waits before its "
+                            "half-open probe")
     _add_obs_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -962,6 +1085,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the job id and return immediately")
     submit.add_argument("--timeout", type=float, default=None,
                         help="give up waiting after this many seconds")
+    submit.add_argument("--client", default=None, metavar="NAME",
+                        help="tenant identity sent as X-Repro-Client "
+                             "(default: anonymous)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound; an expired job cancels "
+                             "but keeps its checkpoint for resume")
     submit.add_argument("--max-size", type=int, default=512)
     submit.add_argument("--min-size", type=int, default=16)
     submit.add_argument("--ways", type=int, nargs="+", default=[1])
@@ -988,8 +1118,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="give up waiting after this many seconds")
     jobs.add_argument("--manifest", action="store_true",
                       help="print the job's repro.manifest/1 document")
+    jobs.add_argument("--cancel", action="store_true",
+                      help="cancel the job (dequeues queued jobs, stops "
+                           "running sweeps at the next chunk)")
     _add_obs_args(jobs)
     jobs.set_defaults(func=_cmd_jobs)
+
+    store = sub.add_parser(
+        "store", help="offline result-store maintenance (verify/repair)"
+    )
+    store.add_argument("action", choices=["verify"],
+                       help="verify: audit per-row sha256 checksums")
+    store.add_argument("--store", default="repro-results.db",
+                       help="persistent sqlite result store to scan")
+    store.add_argument("--spool", default=None, metavar="DIR",
+                       help="checkpoint journal directory for --repair "
+                            "estimate rebuilds (default: none)")
+    store.add_argument("--repair", action="store_true",
+                       help="quarantine corrupt rows, backfill legacy "
+                            "checksums, rebuild from journals")
+    _add_obs_args(store)
+    store.set_defaults(func=_cmd_store)
 
     top = sub.add_parser(
         "top", help="live dashboard for a running exploration service"

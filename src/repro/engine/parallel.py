@@ -58,8 +58,10 @@ from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
 from repro.engine.cache import get_eval_cache
 from repro.engine.resilience import (
+    CircuitOpenError,
     CorruptPayloadError,
     ResilienceOptions,
+    SweepCancelledError,
     SweepCheckpoint,
     SweepChunkError,
     TransientChunkError,
@@ -327,6 +329,7 @@ class ParallelSweep:
         self._progress_total = len(configs)
         self._report_progress(tagged)
         try:
+            self._check_cancel(opts, tagged)
             pending = self._pending_chunks(evaluator, configs, tagged)
             logger.debug(
                 "dispatching %d configs as %d chunks (%d resumed) to %d workers",
@@ -411,6 +414,8 @@ class ParallelSweep:
         if journal is not None:
             journal.record_chunk(sorted(pairs, key=lambda pair: pair[0]))
             get_metrics().counter("resilience.checkpoint_chunks").inc()
+        if self.resilience.breaker is not None:
+            self.resilience.breaker.record_success()
         self._report_progress(tagged)
 
     def _report_progress(
@@ -423,6 +428,44 @@ class ParallelSweep:
             self.on_progress(len(tagged), self._progress_total)
         except Exception:  # pragma: no cover - defensive
             logger.warning("on_progress hook raised; ignoring", exc_info=True)
+
+    def _check_cancel(
+        self, opts: ResilienceOptions, tagged: Dict[int, PerformanceEstimate]
+    ) -> None:
+        """Raise :class:`SweepCancelledError` if the cancel event is set.
+
+        The journal stays on disk -- committed chunks are durable -- so a
+        resubmission of the same sweep resumes instead of restarting.
+        """
+        event = opts.cancel_event
+        if event is None or not event.is_set():
+            return
+        get_metrics().counter("resilience.sweeps_cancelled").inc()
+        raise SweepCancelledError(
+            "sweep cancelled after %d of %d configurations"
+            % (len(tagged), self._progress_total),
+            done=len(tagged),
+            total=self._progress_total,
+        )
+
+    def _record_chunk_failure(self, opts: ResilienceOptions) -> None:
+        """Feed one chunk failure to the breaker; raise once it opens."""
+        breaker = opts.breaker
+        if breaker is not None and breaker.record_failure():
+            raise CircuitOpenError(
+                "circuit breaker %s opened mid-sweep; abandoning the sweep"
+                % (breaker.name or "<unnamed>"),
+                retry_after_s=breaker.retry_after_s(),
+            )
+
+    def _interruptible_sleep(
+        self, opts: ResilienceOptions, delay_s: float
+    ) -> None:
+        """Back off before a retry, waking early on cancellation."""
+        if opts.cancel_event is not None:
+            opts.cancel_event.wait(delay_s)
+        else:
+            time.sleep(delay_s)
 
     def _merge_payload(self, evaluator: Any, payload: _ChunkPayload) -> None:
         """Fold one worker's observability payload into this process."""
@@ -461,6 +504,8 @@ class ParallelSweep:
                     ]
             return [(index, evaluator.evaluate(config)) for index, config in indexed]
         except Exception as exc:
+            if self.resilience.breaker is not None:
+                self.resilience.breaker.record_failure()
             raise SweepChunkError.from_chunk(indexed, exc) from exc
         finally:
             get_metrics().histogram("engine.chunk_seconds").observe(
@@ -476,6 +521,7 @@ class ParallelSweep:
         tagged: Dict[int, PerformanceEstimate],
     ) -> None:
         for indexed in pending:
+            self._check_cancel(opts, tagged)
             pairs = self._serial_chunk_with_retries(evaluator, indexed, opts)
             self._commit(evaluator, pairs, None, journal, tagged)
 
@@ -488,12 +534,14 @@ class ParallelSweep:
         token = indexed[0][0]
         attempt = 0
         while True:
+            self._check_cancel(opts, {})
             try:
                 if injector is not None:
                     injector.on_chunk_start(token, attempt)
                 return self._evaluate_clean(evaluator, indexed)
             except TransientChunkError as exc:
                 metrics.counter("resilience.chunk_failures").inc()
+                self._record_chunk_failure(opts)
                 if attempt >= opts.retry.max_retries:
                     metrics.counter("resilience.degraded_chunks").inc()
                     logger.warning(
@@ -505,7 +553,7 @@ class ParallelSweep:
                     )
                     return self._evaluate_clean(evaluator, indexed)
                 metrics.counter("resilience.chunk_retries").inc()
-                time.sleep(opts.retry.delay_s(attempt, token))
+                self._interruptible_sleep(opts, opts.retry.delay_s(attempt, token))
                 attempt += 1
 
     def _environment_fallback(
@@ -564,6 +612,7 @@ class ParallelSweep:
         queue: List[_Chunk] = list(pending)
         round_no = 0
         while queue:
+            self._check_cancel(opts, tagged)
             overdue = [
                 chunk for chunk in queue
                 if attempts[chunk[0][0]] > retry.max_retries
@@ -580,14 +629,16 @@ class ParallelSweep:
                 get_metrics().counter("resilience.chunk_retries").inc(
                     len(queue)
                 )
-                time.sleep(
+                self._interruptible_sleep(
+                    opts,
                     max(
                         retry.delay_s(
                             max(0, attempts[chunk[0][0]] - 1), chunk[0][0]
                         )
                         for chunk in queue
-                    )
+                    ),
                 )
+                self._check_cancel(opts, tagged)
             queue = self._dispatch_round(
                 evaluator, queue, opts, attempts, journal, tagged
             )
@@ -625,6 +676,7 @@ class ParallelSweep:
             return []
         transient: List[_Chunk] = []
         abandoned = False
+        cancel = opts.cancel_event
         try:
             futures = {}
             for indexed in queue:
@@ -641,13 +693,37 @@ class ParallelSweep:
                     )
                 ] = indexed
             not_done = set(futures)
+            # The watchdog window is measured from the last completion, so
+            # slicing the wait below (for cancellation responsiveness)
+            # never changes when "no progress for a whole window" fires.
+            last_progress = time.monotonic()
             while not_done:
+                if cancel is not None and cancel.is_set():
+                    for future in not_done:
+                        future.cancel()
+                    self._check_cancel(opts, tagged)
+                if cancel is not None:
+                    wait_timeout: Optional[float] = 0.2
+                    if opts.chunk_timeout_s is not None:
+                        stalled_for = time.monotonic() - last_progress
+                        wait_timeout = min(
+                            0.2, max(0.0, opts.chunk_timeout_s - stalled_for)
+                        )
+                else:
+                    wait_timeout = opts.chunk_timeout_s
                 done, not_done = concurrent.futures.wait(
                     not_done,
-                    timeout=opts.chunk_timeout_s,
+                    timeout=wait_timeout,
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 if not done:
+                    if opts.chunk_timeout_s is None or (
+                        time.monotonic() - last_progress
+                        < opts.chunk_timeout_s
+                    ):
+                        # A cancellation-poll slice expired, not the
+                        # watchdog window; keep waiting.
+                        continue
                     # Watchdog fired: nothing completed for a whole
                     # timeout window, so the in-flight chunks are wedged.
                     for future in not_done:
@@ -664,8 +740,11 @@ class ParallelSweep:
                         len(not_done),
                         opts.chunk_timeout_s,
                     )
+                    for _ in range(len(not_done)):
+                        self._record_chunk_failure(opts)
                     abandoned = True
                     break
+                last_progress = time.monotonic()
                 for future in done:
                     indexed = futures[future]
                     token = indexed[0][0]
@@ -682,6 +761,7 @@ class ParallelSweep:
                             attempts[token],
                             exc,
                         )
+                        self._record_chunk_failure(opts)
                     except _ENVIRONMENT_ERRORS as exc:
                         remaining = [indexed]
                         remaining.extend(futures[f] for f in not_done)
@@ -695,12 +775,18 @@ class ParallelSweep:
                     except Exception as exc:
                         for f in not_done:
                             f.cancel()
+                        if opts.breaker is not None:
+                            opts.breaker.record_failure()
                         raise SweepChunkError.from_chunk(indexed, exc) from exc
                     else:
                         self._commit(
                             evaluator, payload[0], payload, journal, tagged
                         )
                         metrics.counter("parallel.chunks_completed").inc()
+        except (CircuitOpenError, SweepCancelledError):
+            # Fail fast: never join workers we are abandoning on purpose.
+            abandoned = True
+            raise
         finally:
             # A broken pool shuts down instantly; an abandoned one must not
             # be joined (its hung workers are exactly what we are escaping).

@@ -47,20 +47,26 @@ import json
 import logging
 import os
 import random
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
 from repro.energy.model import EnergyBreakdown
+from repro.obs.metrics import get_metrics
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointError",
     "CheckpointMismatchError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CorruptPayloadError",
     "ResilienceOptions",
     "RetryPolicy",
+    "SweepCancelledError",
     "SweepCheckpoint",
     "SweepChunkError",
     "TransientChunkError",
@@ -138,6 +144,145 @@ class SweepChunkError(RuntimeError):
         return error
 
 
+class SweepCancelledError(RuntimeError):
+    """The sweep was cancelled cooperatively before completing.
+
+    Raised by the executor when its ``cancel_event`` is set (client
+    cancellation or a job deadline).  The checkpoint journal is left
+    intact, so a resubmission of the same sweep resumes from the last
+    committed chunk instead of starting over.
+    """
+
+    def __init__(self, message: str, done: int = 0, total: int = 0) -> None:
+        super().__init__(message)
+        self.done = done
+        self.total = total
+
+
+class CircuitOpenError(RuntimeError):
+    """A circuit breaker is open: the backend is failing, fail fast.
+
+    Carries ``retry_after_s`` -- the cooldown remaining before the
+    breaker will admit a half-open probe -- so callers (the serve layer)
+    can surface an accurate retry hint instead of a blind guess.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one evaluator backend.
+
+    State machine: ``closed`` (normal) -> ``open`` after
+    ``failure_threshold`` *consecutive* recorded failures -> ``half_open``
+    once ``cooldown_s`` has elapsed, admitting exactly one probe --
+    success closes the breaker, failure re-opens it and restarts the
+    cooldown.  Thread-safe; the clock is injectable so tests drive the
+    cooldown deterministically.
+
+    Transitions are observable as ``breaker.opened`` / ``breaker.closed``
+    / ``breaker.half_open_probes`` counters; callers that refuse work on
+    an open breaker should count ``breaker.fail_fast`` themselves.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed?  Consumes the half-open probe slot.
+
+        Closed: always.  Open: only once the cooldown has elapsed, which
+        transitions to half-open and admits a single probe; further calls
+        are refused until that probe reports success or failure.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            now = self._clock()
+            if self._state == "open":
+                if now - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = "half_open"
+                self._probe_in_flight = True
+                get_metrics().counter("breaker.half_open_probes").inc()
+                logger.info(
+                    "breaker %s: cooldown elapsed, admitting half-open probe",
+                    self.name,
+                )
+                return True
+            # half_open: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            get_metrics().counter("breaker.half_open_probes").inc()
+            return True
+
+    def record_success(self) -> None:
+        """A request against the backend succeeded; reset/close."""
+        with self._lock:
+            if self._state != "closed":
+                get_metrics().counter("breaker.closed").inc()
+                logger.info("breaker %s: probe succeeded, closing", self.name)
+            self._state = "closed"
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """A request failed; returns True when the breaker is now open."""
+        with self._lock:
+            self._failures += 1
+            was_closed = self._state == "closed"
+            if self._state == "half_open" or (
+                was_closed and self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                get_metrics().counter("breaker.opened").inc()
+                logger.warning(
+                    "breaker %s: opened after %d consecutive failures "
+                    "(cooldown %.1fs)",
+                    self.name,
+                    self._failures,
+                    self.cooldown_s,
+                )
+            return self._state == "open"
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will next admit a probe (0 if now)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+
+
 class CheckpointError(ValueError):
     """A checkpoint journal could not be used."""
 
@@ -191,6 +336,13 @@ class ResilienceOptions:
     re-dispatching them.  ``fault_injector`` is the deterministic chaos
     harness (:class:`~repro.engine.faults.FaultInjector`) wrapped around
     worker dispatch -- tests and the nightly CI chaos job only.
+
+    ``cancel_event`` is the cooperative kill switch: the executor polls
+    it between dispatch rounds (and between serial chunks) and raises
+    :class:`SweepCancelledError` when set, leaving the journal intact.
+    ``breaker`` is an optional :class:`CircuitBreaker` fed one
+    success/failure per chunk; when it opens mid-sweep the executor
+    abandons the remaining work with :class:`CircuitOpenError`.
     """
 
     checkpoint: Optional[str] = None
@@ -198,6 +350,8 @@ class ResilienceOptions:
     chunk_timeout_s: Optional[float] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fault_injector: Optional[Any] = None
+    cancel_event: Optional[threading.Event] = None
+    breaker: Optional[CircuitBreaker] = None
 
     def __post_init__(self) -> None:
         if self.resume and not self.checkpoint:

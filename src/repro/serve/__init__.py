@@ -17,9 +17,15 @@ evaluation, fleet-wide, instead of re-running one-shot CLI sweeps.
   (checkpointed execution via
   :class:`~repro.engine.parallel.ParallelSweep`, so a killed server
   resumes bit-identically).
+* :mod:`repro.serve.tenancy` -- multi-tenant admission control:
+  :class:`TenancyPolicy` / :class:`ClientPolicy` (per-client token-bucket
+  rate limits, in-flight quotas, fair-share weights) consulted by the
+  :class:`JobManager` before a job enters the queue.
 * :mod:`repro.serve.server` -- the stdlib HTTP/JSON front end behind
-  ``repro serve`` (``/health``, ``/metrics``, ``/jobs`` with progress
-  streaming, 429 backpressure, graceful drain on SIGTERM).
+  ``repro serve`` (``/health`` + ``/healthz``/``/readyz``, ``/metrics``,
+  ``/jobs`` with progress streaming and ``DELETE`` cancellation, 429
+  backpressure with per-client ``Retry-After``, graceful drain on
+  SIGTERM).
 * :mod:`repro.serve.client` -- :class:`ServeClient`, the Python client
   behind ``repro submit`` / ``repro jobs``.  Submissions mint a
   ``trace_id`` by default, so every job's ``repro.trace/1`` timeline is
@@ -62,15 +68,26 @@ from repro.serve.store import (
     evaluator_fingerprint,
     open_store,
 )
+from repro.serve.tenancy import (
+    ClientPolicy,
+    QuotaExceededError,
+    RateLimitedError,
+    TenancyError,
+    TenancyPolicy,
+    TokenBucket,
+)
 from repro.serve.top import run_top
 
 __all__ = [
+    "ClientPolicy",
     "ExplorationService",
     "Job",
     "JobManager",
     "JobRunner",
     "JobSpec",
     "QueueFullError",
+    "QuotaExceededError",
+    "RateLimitedError",
     "ResultStore",
     "SERVE_SCHEMA",
     "STORE_SCHEMA",
@@ -81,6 +98,9 @@ __all__ = [
     "StoreBackedEvaluator",
     "StoreError",
     "StoreSchemaError",
+    "TenancyError",
+    "TenancyPolicy",
+    "TokenBucket",
     "config_key",
     "evaluator_fingerprint",
     "install_signal_handlers",

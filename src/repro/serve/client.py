@@ -1,12 +1,19 @@
 """Python client for the exploration service (stdlib ``urllib`` only).
 
 :class:`ServeClient` speaks the ``repro.serve/1`` HTTP/JSON protocol:
-submit sweeps (with automatic, bounded retry on ``429 Retry-After``
-backpressure), poll or long-poll job status, stream progress events, and
-fetch results -- which deserialise through the same exact
-:func:`~repro.engine.resilience.estimate_from_json` round-trip the
+submit sweeps (with automatic, bounded retry on ``429``/``503``
+backpressure), poll or long-poll job status, cancel jobs, stream
+progress events, and fetch results -- which deserialise through the same
+exact :func:`~repro.engine.resilience.estimate_from_json` round-trip the
 checkpoint journal uses, so a result fetched over the wire compares equal
 to one computed locally.
+
+Multi-tenant deployments name each client
+(``ServeClient(..., client_id="searcher-a")``); the id rides in the
+``X-Repro-Client`` header on every request, and per-client ``429``
+rejections are retried sleeping the server's *exact* ``retry_after_s``
+hint.  When the server offers no hint the client backs off with full
+jitter -- seeded via ``retry_seed`` so tests are deterministic.
 
 Quickstart::
 
@@ -22,6 +29,7 @@ Quickstart::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -31,6 +39,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from repro.engine.resilience import estimate_from_json
 from repro.engine.result import ExplorationResult
 from repro.serve.jobs import JobSpec
+from repro.serve.tenancy import validate_client_id
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -47,16 +56,28 @@ class ServeError(RuntimeError):
 class ServeClient:
     """A small, dependency-free client for one service endpoint."""
 
+    #: Full-jitter backoff shape when the server sends no Retry-After:
+    #: sleep ``uniform(0, min(cap, base * 2**attempt))``.
+    RETRY_BASE_S = 0.5
+    RETRY_CAP_S = 10.0
+
     def __init__(
         self,
         base_url: str = "http://127.0.0.1:8000",
         timeout_s: float = 30.0,
         trace: bool = True,
+        client_id: Optional[str] = None,
+        retry_seed: Optional[int] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         #: Mint a fresh trace_id per submit (see :meth:`submit`).
         self.trace_enabled = trace
+        #: Tenant identity sent as ``X-Repro-Client`` (None -> anonymous).
+        self.client_id = (
+            None if client_id is None else validate_client_id(client_id)
+        )
+        self._rng = random.Random(retry_seed)
 
     # ------------------------------------------------------------------
     # transport
@@ -70,6 +91,8 @@ class ServeClient:
     ) -> Dict[str, Any]:
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Repro-Client"] = self.client_id
         if body is not None:
             data = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
@@ -134,19 +157,41 @@ class ServeClient:
         """``GET /jobs/<id>/trace``: the finalised ``repro.trace/1`` doc."""
         return self._request("GET", f"/jobs/{job_id}/trace")
 
+    def retry_delay_s(
+        self, attempt: int, retry_after_s: Optional[float]
+    ) -> float:
+        """The backoff before retrying attempt ``attempt``.
+
+        The server's per-client ``retry_after_s`` hint is honoured
+        *exactly* (capped at the retry ceiling) -- it already knows when
+        the next token accrues, so jittering on top would only add
+        latency.  Without a hint, full jitter over an exponentially
+        growing window decorrelates the retrying herd.
+        """
+        if retry_after_s is not None:
+            return min(float(retry_after_s), self.RETRY_CAP_S)
+        window = min(self.RETRY_CAP_S, self.RETRY_BASE_S * (2.0 ** attempt))
+        return self._rng.uniform(0.0, window)
+
     def submit(
         self,
         spec: Union[JobSpec, Dict[str, Any]],
         priority: int = 10,
         max_attempts: int = 6,
         trace_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """``POST /jobs``, honouring ``429 Retry-After`` backpressure.
+        """``POST /jobs``, honouring ``429``/``503`` backpressure.
 
         Retries up to ``max_attempts`` times, sleeping the server's
-        ``Retry-After`` hint (capped at 10 s) between attempts; any other
-        error surfaces immediately as :class:`ServeError`.  Returns the
-        job record with a ``"coalesced"`` flag folded in.
+        exact ``retry_after_s`` hint when one is given and a seeded
+        full-jitter backoff otherwise (see :meth:`retry_delay_s`); any
+        other error surfaces immediately as :class:`ServeError`.  Returns
+        the job record with a ``"coalesced"`` flag folded in.
+
+        ``deadline_s`` bounds the job's wall clock server-side: an
+        expired job cancels cooperatively but keeps its checkpoint
+        journal, so resubmitting the same spec resumes where it stopped.
 
         When the client was built with ``trace=True`` (the default) a
         fresh ``trace_id`` is minted per submit and sent with the spec, so
@@ -155,23 +200,30 @@ class ServeClient:
         with ``trace=False`` to opt out.
         """
         doc = spec.to_json() if isinstance(spec, JobSpec) else dict(spec)
-        body = {"spec": doc, "priority": priority}
+        body: Dict[str, Any] = {"spec": doc, "priority": priority}
+        if deadline_s is not None:
+            body["deadline_s"] = float(deadline_s)
         if trace_id is None and self.trace_enabled:
             trace_id = uuid.uuid4().hex
         if trace_id is not None:
             body["trace_id"] = trace_id
+        last_error: Optional[ServeError] = None
         for attempt in range(max_attempts):
             try:
                 reply = self._request("POST", "/jobs", body=body)
             except ServeError as exc:
-                if exc.status != 429 or attempt == max_attempts - 1:
+                if exc.status not in (429, 503) or attempt == max_attempts - 1:
                     raise
-                time.sleep(min(float(exc.doc.get("retry_after_s", 1.0)), 10.0))
+                last_error = exc
+                hint = exc.doc.get("retry_after_s")
+                time.sleep(self.retry_delay_s(attempt, hint))
                 continue
             job = reply["job"]
             job["coalesced"] = reply.get("coalesced", False)
             return job
-        raise ServeError(429, "job queue stayed full")  # pragma: no cover
+        raise last_error or ServeError(  # pragma: no cover
+            429, "job queue stayed full"
+        )
 
     def job(
         self, job_id: str, wait_s: Optional[float] = None
@@ -188,6 +240,17 @@ class ServeClient:
         """``GET /jobs``: every known job, most recent first."""
         return self._request("GET", "/jobs")["jobs"]
 
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /jobs/<id>``: cancel a queued or running job.
+
+        Returns the job record; idempotent on already-cancelled jobs.
+        Raises :class:`ServeError` 409 for jobs already done/failed.
+        """
+        reply = self._request("DELETE", f"/jobs/{job_id}")
+        job = reply["job"]
+        job["cancelled"] = reply.get("cancelled", False)
+        return job
+
     def wait(
         self, job_id: str, timeout_s: Optional[float] = None, poll_s: float = 5.0
     ) -> Dict[str, Any]:
@@ -195,7 +258,7 @@ class ServeClient:
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
         while True:
             job = self.job(job_id, wait_s=poll_s)
-            if job["state"] in ("done", "failed"):
+            if job["state"] in ("done", "failed", "cancelled"):
                 return job
             if deadline is not None and time.monotonic() >= deadline:
                 return job

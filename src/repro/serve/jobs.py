@@ -11,21 +11,40 @@ down, per configuration, through the
 previous job evaluated is served from the store without touching the
 engine.
 
-:class:`JobManager` owns the bounded priority queue (admission control:
-a full queue rejects with a retry hint, which the HTTP layer turns into
-``429 Retry-After``) and the job registry; every state transition is
-persisted to the store's ``jobs`` table, so a ``kill -9`` of the server
-loses nothing -- :meth:`JobManager.recover` re-enqueues interrupted jobs
-on restart and :class:`JobRunner` resumes them from their checkpoint
-journals with bit-identical results.
+:class:`JobManager` owns the bounded multi-tenant queue (admission
+control: per-client token buckets and in-flight quotas from
+:mod:`repro.serve.tenancy`, then a global depth bound; rejections carry
+a retry hint the HTTP layer turns into ``429 Retry-After``) and the job
+registry; every state transition is persisted to the store's ``jobs``
+table, so a ``kill -9`` of the server loses nothing --
+:meth:`JobManager.recover` re-enqueues interrupted jobs on restart and
+:class:`JobRunner` resumes them from their checkpoint journals with
+bit-identical results.
+
+Dequeue is weighted fair share, not strict global priority: each client
+gets its own priority subqueue and a deficit-round-robin pointer walks
+the clients, crediting each visit with the client's configured weight,
+so one tenant's grid storm cannot starve the others.  Priorities still
+order jobs *within* a client.
+
+Jobs can end in a third terminal state, ``cancelled``: a client DELETE,
+a ``deadline_s`` expiry, or drain-time policy sets the job's cancel
+event and the sweep stops cooperatively at the next chunk boundary --
+the checkpoint journal survives, so resubmitting the same spec resumes
+rather than restarts.  Evaluator backends are additionally guarded by a
+per-``eval_id`` circuit breaker: consecutive chunk failures open it and
+later jobs against the same evaluator fail fast with a typed error
+until a cooldown probe succeeds.
 
 Counters fed into the :mod:`repro.obs` registry: ``serve.jobs_submitted``,
 ``serve.jobs_coalesced``, ``serve.jobs_rejected``, ``serve.jobs_completed``,
-``serve.jobs_failed`` and ``serve.jobs_recovered``; latency histograms
-``serve.queue.wait_seconds`` (submit to claim) and ``serve.job_seconds``
-(execution wall time).  A job submitted with a ``trace_id`` additionally
-produces a ``repro.trace/1`` timeline (see :mod:`repro.obs.trace`)
-persisted in the store's ``traces`` table.
+``serve.jobs_failed``, ``serve.jobs_cancelled``, ``serve.jobs_recovered``,
+``serve.quota.*`` (admission rejections), ``serve.fairshare.dequeued.<client>``
+and ``breaker.*``; latency histograms ``serve.queue.wait_seconds``
+(submit to claim) and ``serve.job_seconds`` (execution wall time).  A job
+submitted with a ``trace_id`` additionally produces a ``repro.trace/1``
+timeline (see :mod:`repro.obs.trace`) persisted in the store's
+``traces`` table.
 """
 
 from __future__ import annotations
@@ -41,14 +60,17 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import CacheConfig, design_space
 from repro.energy import get_energy_model, get_sram
 from repro.engine.evaluator import Evaluator, order_configs
 from repro.engine.parallel import ParallelSweep
 from repro.engine.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
     ResilienceOptions,
+    SweepCancelledError,
     estimate_to_json,
     sweep_fingerprint,
 )
@@ -60,6 +82,11 @@ from repro.obs.metrics import get_metrics
 from repro.obs.spans import span
 from repro.registry import build_manifest, get_registry
 from repro.serve.store import ResultStore, StoreBackedEvaluator, evaluator_fingerprint
+from repro.serve.tenancy import (
+    DEFAULT_CLIENT,
+    TenancyPolicy,
+    validate_client_id,
+)
 
 __all__ = [
     "Job",
@@ -73,8 +100,8 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
-#: Lifecycle states of a job (terminal: ``done``, ``failed``).
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Lifecycle states of a job (terminal: ``done``, ``failed``, ``cancelled``).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: Default priority; lower numbers run sooner.
 DEFAULT_PRIORITY = 10
@@ -233,10 +260,18 @@ class Job:
     resumed: bool = False
     #: Trace identity (repro.obs.trace); ``None`` runs the job untraced.
     trace_id: Optional[str] = None
+    #: Who submitted the job (fair-share / quota accounting key).
+    client_id: str = DEFAULT_CLIENT
+    #: Wall-clock budget from submission; expiry cancels the job.
+    deadline_s: Optional[float] = None
     #: Bumped on every visible change; progress streams key off it.
     version: int = 0
     #: In-memory result (after restart, results come from the store).
     result: Optional[ExplorationResult] = None
+    #: Set once cancellation was requested (volatile; the runner wires
+    #: ``cancel_event`` into the sweep when the job starts executing).
+    cancel_requested: bool = field(default=False, repr=False)
+    cancel_event: Optional[threading.Event] = field(default=None, repr=False)
     #: Every snapshot this job has published, in order.  ``/events``
     #: consumers replay it from index 0, so any number of concurrent
     #: streams see the identical, complete sequence (volatile: not
@@ -251,8 +286,14 @@ class Job:
 
     @property
     def terminal(self) -> bool:
-        """Whether the job reached ``done`` or ``failed``."""
-        return self.state in ("done", "failed")
+        """Whether the job reached ``done``, ``failed`` or ``cancelled``."""
+        return self.state in ("done", "failed", "cancelled")
+
+    def deadline_at(self) -> Optional[float]:
+        """Absolute wall-clock expiry of the job (``None`` = no deadline)."""
+        if self.deadline_s is None:
+            return None
+        return self.submitted_s + self.deadline_s
 
     def to_json(self) -> Dict[str, Any]:
         """The job record served by ``GET /jobs/<id>`` (and persisted)."""
@@ -271,6 +312,8 @@ class Job:
             "coalesced": self.coalesced,
             "resumed": self.resumed,
             "trace_id": self.trace_id,
+            "client_id": self.client_id,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -290,15 +333,25 @@ class Job:
             coalesced=int(doc.get("coalesced", 0)),
             resumed=bool(doc.get("resumed", False)),
             trace_id=doc.get("trace_id"),
+            client_id=validate_client_id(doc.get("client_id")),
+            deadline_s=doc.get("deadline_s"),
         )
 
 
 class JobManager:
-    """Bounded priority queue + registry + persistence for jobs.
+    """Bounded fair-share queue + registry + persistence for jobs.
 
     All mutation happens under one condition variable; every visible
     change bumps the job's ``version`` and wakes waiters, which is what
     the long-poll and progress-streaming endpoints block on.
+
+    Admission runs in policy order -- drain check, per-client rate
+    limit, coalescing, per-client in-flight quota, global depth bound --
+    and dequeue is deficit round-robin over per-client priority
+    subqueues (see :class:`~repro.serve.tenancy.TenancyPolicy` for the
+    knobs; the zero-config default is unlimited and single-tenant
+    behaviour is unchanged).  ``clock`` is injectable wall-clock time so
+    fairness and deadline tests run deterministically.
     """
 
     def __init__(
@@ -306,15 +359,27 @@ class JobManager:
         store: ResultStore,
         max_depth: int = 16,
         retry_after_s: float = 2.0,
+        tenancy: Optional[TenancyPolicy] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if max_depth < 1:
             raise ValueError("queue depth must be at least 1")
         self.store = store
         self.max_depth = max_depth
         self.retry_after_s = retry_after_s
+        self.tenancy = tenancy if tenancy is not None else TenancyPolicy()
+        self._clock = clock
         self._cond = threading.Condition()
         self._jobs: "Dict[str, Job]" = {}
-        self._heap: List[Tuple[int, int, str]] = []
+        #: client_id -> min-heap of (priority, seq, job_id).
+        self._queues: Dict[str, List[Tuple[int, int, str]]] = {}
+        #: Deficit-round-robin state: visit order, pointer, credits.
+        self._rr: List[str] = []
+        self._rr_pos = 0
+        self._deficit: Dict[str, float] = {}
+        self._queued = 0
+        #: client_id -> queued + running jobs (quota accounting).
+        self._inflight: Dict[str, int] = {}
         self._seq = itertools.count()
         #: spec_hash -> job_id for every queued or running job.
         self._active: Dict[str, str] = {}
@@ -329,37 +394,67 @@ class JobManager:
         spec: JobSpec,
         priority: int = DEFAULT_PRIORITY,
         trace_id: Optional[str] = None,
+        client_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> Tuple[Job, bool]:
         """Queue a job (or coalesce onto an active one).
 
         Returns ``(job, coalesced)``.  Raises :class:`QueueFullError`
-        when the queue is at capacity and :class:`ServiceDrainingError`
-        during drain.  ``trace_id`` opts the job into a ``repro.trace/1``
-        timeline; a coalesced submission joins the original job's trace.
+        when the queue is at capacity, a
+        :class:`~repro.serve.tenancy.TenancyError` subclass when the
+        client's rate limit or in-flight quota rejects the submission
+        (both map to ``429`` with per-client ``Retry-After``), and
+        :class:`ServiceDrainingError` during drain.  ``trace_id`` opts
+        the job into a ``repro.trace/1`` timeline; a coalesced
+        submission joins the original job's trace and the job keeps the
+        most permissive of the deadlines asked of it.
         """
         metrics = get_metrics()
+        client = validate_client_id(client_id)
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         with self._cond:
             if self._draining:
                 raise ServiceDrainingError(
                     "service is draining; not accepting new jobs"
                 )
+            # Every submission -- coalesced or not -- charges the
+            # client's token bucket: coalesced spam still costs writes.
+            self.tenancy.check_rate(client)
             active_id = self._active.get(spec.spec_hash)
             if active_id is not None:
                 job = self._jobs[active_id]
                 job.coalesced += 1
+                if job.deadline_s is not None:
+                    # Most permissive deadline wins: joining without one
+                    # lifts it, a longer one extends it.
+                    if deadline_s is None:
+                        job.deadline_s = None
+                    else:
+                        job.deadline_s = max(job.deadline_s, deadline_s)
                 self._touch(job)
                 metrics.counter("serve.jobs_coalesced").inc()
                 self._persist(job)
                 self._cond.notify_all()
                 return job, True
-            if len(self._heap) >= self.max_depth:
+            self.tenancy.check_inflight(
+                client, self._inflight.get(client, 0), self.retry_after_s
+            )
+            if self._queued >= self.max_depth:
                 metrics.counter("serve.jobs_rejected").inc()
                 raise QueueFullError(self.retry_after_s)
-            job = Job(spec=spec, priority=priority, trace_id=trace_id)
+            job = Job(
+                spec=spec,
+                priority=priority,
+                trace_id=trace_id,
+                client_id=client,
+                deadline_s=deadline_s,
+                submitted_s=self._clock(),
+            )
             self._register(job)
             self._touch(job)
             metrics.counter("serve.jobs_submitted").inc()
-            metrics.gauge("serve.queue_depth").set(len(self._heap))
+            metrics.gauge("serve.queue_depth").set(self._queued)
             self._persist(job)
             self._cond.notify_all()
             return job, False
@@ -373,7 +468,16 @@ class JobManager:
         """Track a queued job (caller holds the lock)."""
         self._jobs[job.job_id] = job
         self._active[job.spec.spec_hash] = job.job_id
-        heapq.heappush(self._heap, (job.priority, next(self._seq), job.job_id))
+        client = job.client_id
+        if client not in self._queues:
+            self._queues[client] = []
+            self._rr.append(client)
+            self._deficit.setdefault(client, 0.0)
+        heapq.heappush(
+            self._queues[client], (job.priority, next(self._seq), job.job_id)
+        )
+        self._queued += 1
+        self._inflight[client] = self._inflight.get(client, 0) + 1
 
     def recover(self) -> int:
         """Re-enqueue persisted jobs interrupted by a crash or restart.
@@ -417,25 +521,89 @@ class JobManager:
     # runner side
 
     def next_job(self, timeout_s: float = 0.5) -> Optional[Job]:
-        """Claim the highest-priority queued job (blocks up to ``timeout_s``)."""
+        """Claim the next job under fair share (blocks up to ``timeout_s``).
+
+        Deficit round-robin: a pointer walks the clients with queued
+        work; each visit credits the client's weight, and one unit of
+        deficit buys one job (priority-ordered *within* the client).  A
+        job whose deadline already passed while queued is finalised as
+        ``cancelled`` at claim time instead of being started.
+        """
+        metrics = get_metrics()
         with self._cond:
-            if not self._heap:
+            if not self._queued:
                 self._cond.wait(timeout_s)
-            if not self._heap:
-                return None
-            _, _, job_id = heapq.heappop(self._heap)
-            job = self._jobs[job_id]
-            job.state = "running"
-            job.started_s = time.time()
-            self._touch(job)
-            metrics = get_metrics()
-            metrics.histogram("serve.queue.wait_seconds").observe(
-                max(0.0, job.started_s - job.submitted_s)
-            )
-            metrics.gauge("serve.queue_depth").set(len(self._heap))
-            self._persist(job)
-            self._cond.notify_all()
-            return job
+            while True:
+                job = self._pick_locked()
+                if job is None:
+                    return None
+                deadline_at = job.deadline_at()
+                now = self._clock()
+                if deadline_at is not None and now >= deadline_at:
+                    self._finalize_cancel_locked(
+                        job,
+                        f"deadline of {job.deadline_s:g}s expired "
+                        "before the job started",
+                    )
+                    continue
+                job.state = "running"
+                job.started_s = now
+                self._touch(job)
+                wait_s = max(0.0, job.started_s - job.submitted_s)
+                metrics.histogram("serve.queue.wait_seconds").observe(wait_s)
+                metrics.histogram(
+                    f"serve.fairshare.wait_seconds.{job.client_id}"
+                ).observe(wait_s)
+                metrics.counter(
+                    f"serve.fairshare.dequeued.{job.client_id}"
+                ).inc()
+                metrics.gauge("serve.queue_depth").set(self._queued)
+                self._persist(job)
+                self._cond.notify_all()
+                return job
+
+    def _pick_locked(self) -> Optional[Job]:
+        """Pop one job by deficit round-robin (caller holds the lock)."""
+        while self._queued and self._rr:
+            if self._rr_pos >= len(self._rr):
+                self._rr_pos = 0
+            client = self._rr[self._rr_pos]
+            heap = self._queues.get(client)
+            if not heap:
+                # The client's subqueue drained; retire its DRR slot (a
+                # returning client starts with zero credit, so idle time
+                # never banks bandwidth).
+                self._drop_client_locked(client)
+                continue
+            credit = self._deficit.get(client, 0.0)
+            if credit < 1.0:
+                credit += self.tenancy.weight(client)
+                self._deficit[client] = credit
+                if credit < 1.0:
+                    # Fractional weights accrue across rounds.
+                    self._rr_pos += 1
+                    continue
+            self._deficit[client] = credit - 1.0
+            _, _, job_id = heapq.heappop(self._queues[client])
+            self._queued -= 1
+            if not self._queues[client]:
+                self._drop_client_locked(client)
+            elif self._deficit[client] < 1.0:
+                self._rr_pos += 1
+            return self._jobs[job_id]
+        return None
+
+    def _drop_client_locked(self, client: str) -> None:
+        """Forget an emptied subqueue and its DRR credit."""
+        self._queues.pop(client, None)
+        self._deficit.pop(client, None)
+        try:
+            index = self._rr.index(client)
+        except ValueError:
+            return
+        self._rr.pop(index)
+        if index < self._rr_pos:
+            self._rr_pos -= 1
 
     def progress(self, job: Job, done: int, total: int) -> None:
         """Record sweep progress (journaled chunks) for streaming clients."""
@@ -452,7 +620,7 @@ class JobManager:
             job.state = "done"
             job.done_configs = len(result)
             job.total_configs = len(result)
-            job.finished_s = time.time()
+            job.finished_s = self._clock()
             self._touch(job)
             self._release(job)
             get_metrics().counter("serve.jobs_completed").inc()
@@ -464,16 +632,105 @@ class JobManager:
         with self._cond:
             job.state = "failed"
             job.error = error
-            job.finished_s = time.time()
+            job.finished_s = self._clock()
             self._touch(job)
             self._release(job)
             get_metrics().counter("serve.jobs_failed").inc()
             self._persist(job)
             self._cond.notify_all()
 
+    # ------------------------------------------------------------------
+    # cancellation / deadlines
+
+    def cancel(
+        self, job_id: str, reason: str = "cancelled by client"
+    ) -> Tuple[Optional[Job], bool]:
+        """Request cancellation of a job; returns ``(job, changed)``.
+
+        A queued job is removed from its subqueue and finalised
+        immediately.  A running job has its cancel event set and stops
+        cooperatively at the sweep's next chunk boundary (the runner
+        then finalises it); ``changed`` is True in both cases.  Unknown
+        ids return ``(None, False)`` and terminal jobs ``(job, False)``
+        -- repeat cancellation is idempotent.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None, False
+            if job.terminal:
+                return job, False
+            if job.state == "queued":
+                self._remove_queued_locked(job)
+                self._finalize_cancel_locked(job, reason)
+                get_metrics().gauge("serve.queue_depth").set(self._queued)
+                return job, True
+            job.cancel_requested = True
+            if job.cancel_event is not None:
+                job.cancel_event.set()
+            self._touch(job)
+            self._persist(job)
+            self._cond.notify_all()
+            return job, True
+
+    def cancelled(self, job: Job, reason: str) -> None:
+        """Finalise a running job the sweep abandoned cooperatively."""
+        with self._cond:
+            if job.terminal:
+                return
+            self._finalize_cancel_locked(job, reason)
+
+    def attach_cancel_event(self, job: Job, event: threading.Event) -> None:
+        """Wire the runner's cancel event into a job (pre-sweep).
+
+        Closes the submit/claim race: a cancellation that arrived before
+        the event existed is replayed onto it immediately.
+        """
+        with self._cond:
+            job.cancel_event = event
+            if job.cancel_requested:
+                event.set()
+
+    def _remove_queued_locked(self, job: Job) -> None:
+        """Drop a queued job from its client subqueue (lock held)."""
+        heap = self._queues.get(job.client_id)
+        if not heap:
+            return
+        kept = [entry for entry in heap if entry[2] != job.job_id]
+        if len(kept) != len(heap):
+            self._queued -= 1
+        if kept:
+            heapq.heapify(kept)
+            self._queues[job.client_id] = kept
+        else:
+            self._drop_client_locked(job.client_id)
+
+    def _finalize_cancel_locked(self, job: Job, reason: str) -> None:
+        """Move a job to the ``cancelled`` terminal state (lock held).
+
+        The checkpoint journal is deliberately left on disk: a
+        resubmission of the same spec resumes from the committed chunks.
+        """
+        job.state = "cancelled"
+        job.error = reason
+        job.finished_s = self._clock()
+        if job.cancel_event is not None:
+            job.cancel_event.set()
+        self._touch(job)
+        self._release(job)
+        get_metrics().counter("serve.jobs_cancelled").inc()
+        self._persist(job)
+        self._cond.notify_all()
+        logger.info("job %s cancelled: %s", job.job_id, reason)
+
     def _release(self, job: Job) -> None:
         if self._active.get(job.spec.spec_hash) == job.job_id:
             del self._active[job.spec.spec_hash]
+        count = self._inflight.get(job.client_id, 0)
+        if count <= 1:
+            self._inflight.pop(job.client_id, None)
+        else:
+            self._inflight[job.client_id] = count - 1
 
     def _persist(self, job: Job) -> None:
         try:
@@ -508,8 +765,13 @@ class JobManager:
                 job = self._jobs.get(job_id)
                 if job is None or job.terminal:
                     return job
+                # Clamp at zero: a caller-supplied non-positive timeout
+                # (or a deadline crossed between checks) must return
+                # immediately, never hand Condition.wait a negative.
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
                 )
                 if remaining is not None and remaining <= 0:
                     return job
@@ -538,7 +800,7 @@ class JobManager:
                     return job, list(job.history[cursor:])
                 if job.terminal:
                     return job, []
-                remaining = deadline - time.monotonic()
+                remaining = max(0.0, deadline - time.monotonic())
                 if remaining <= 0:
                     return job, []
                 self._cond.wait(min(0.5, remaining))
@@ -553,7 +815,7 @@ class JobManager:
                 job = self._jobs.get(job_id)
                 if job is None or job.version != seen_version or job.terminal:
                     return job
-                remaining = deadline - time.monotonic()
+                remaining = max(0.0, deadline - time.monotonic())
                 if remaining <= 0:
                     return job
                 self._cond.wait(min(0.5, remaining))
@@ -587,19 +849,36 @@ class JobManager:
     def idle(self) -> bool:
         """Whether nothing is queued or running."""
         with self._cond:
-            return not self._heap and not self._active
+            return not self._queued and not self._active
+
+    def queue_stats(self) -> Dict[str, Any]:
+        """Queue depth and per-client in-flight counts (for /health)."""
+        with self._cond:
+            return {
+                "queued": self._queued,
+                "inflight": dict(self._inflight),
+            }
 
 
 class JobRunner(threading.Thread):
     """The worker loop: claim, sweep (with checkpoints), record.
 
-    One runner executes jobs strictly in priority order; parallelism
-    *within* a job comes from ``sweep_jobs``
+    One runner executes jobs in fair-share order; parallelism *within* a
+    job comes from ``sweep_jobs``
     (:class:`~repro.engine.parallel.ParallelSweep` fan-out).  Every job
-    journals to ``<spool>/<job_id>.jsonl`` and always runs with
-    ``resume=True``, so a job interrupted by ``kill -9`` picks up exactly
-    where its journal stops and the final result is bit-identical to an
-    uninterrupted run.
+    journals to ``<spool>/<spec_hash>.jsonl`` and always runs with
+    ``resume=True``, so a job interrupted by ``kill -9`` -- or cancelled
+    by a client or its deadline -- picks up exactly where its journal
+    stops on resubmission and the final result is bit-identical to an
+    uninterrupted run.  (The journal is keyed by spec hash, not job id:
+    coalescing guarantees at most one active job per spec, and a *new*
+    job for a cancelled spec must find the old journal to resume.)
+
+    Backends are guarded per ``eval_id`` by a
+    :class:`~repro.engine.resilience.CircuitBreaker`: once one opens,
+    jobs against that evaluator fail fast with a typed error (and a
+    ``breaker.fail_fast`` count) until a cooldown probe closes it, so a
+    broken plugin backend cannot drain every worker's retry budget.
     """
 
     def __init__(
@@ -607,16 +886,35 @@ class JobRunner(threading.Thread):
         manager: JobManager,
         spool_dir: str,
         sweep_jobs: int = 1,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         super().__init__(name="repro-serve-runner", daemon=True)
         self.manager = manager
         self.spool_dir = str(spool_dir)
         self.sweep_jobs = max(1, int(sweep_jobs))
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         os.makedirs(self.spool_dir, exist_ok=True)
 
     def checkpoint_path(self, job: Job) -> str:
-        """Where one job journals its completed chunks."""
-        return os.path.join(self.spool_dir, f"{job.job_id}.jsonl")
+        """Where one job journals its completed chunks (by spec hash)."""
+        return os.path.join(self.spool_dir, f"{job.spec.spec_hash}.jsonl")
+
+    def breaker_for(self, eval_id: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one evaluator."""
+        with self._breakers_lock:
+            breaker = self._breakers.get(eval_id)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name=eval_id[:12],
+                    failure_threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                )
+                self._breakers[eval_id] = breaker
+            return breaker
 
     def run(self) -> None:  # pragma: no cover - exercised via the service
         while True:
@@ -649,18 +947,47 @@ class JobRunner(threading.Thread):
                 max(0.0, job.started_s - job.submitted_s),
                 {"priority": job.priority},
             )
+        cancel_event = threading.Event()
+        self.manager.attach_cancel_event(job, cancel_event)
+        deadline_timer: Optional[threading.Timer] = None
+        deadline_at = job.deadline_at()
+        if deadline_at is not None:
+            remaining = deadline_at - time.time()
+            if remaining <= 0:
+                cancel_event.set()
+            else:
+                deadline_timer = threading.Timer(remaining, cancel_event.set)
+                deadline_timer.daemon = True
+                deadline_timer.start()
         result = None
         error = None
+        cancelled_reason = None
         try:
             with span("job", job_id=job.job_id, kernel=job.spec.kernel):
-                result = self._sweep(job)
+                result = self._sweep(job, cancel_event)
+        except SweepCancelledError as exc:
+            if job.cancel_requested:
+                cancelled_reason = "cancelled by client"
+            else:
+                cancelled_reason = (
+                    f"deadline of {job.deadline_s:g}s exceeded "
+                    f"({exc.done} of {exc.total} configurations done; "
+                    "resubmit to resume from the checkpoint)"
+                )
+            logger.info("job %s cancelled: %s", job.job_id, cancelled_reason)
         except Exception as exc:
             logger.warning("job %s failed: %s", job.job_id, exc)
             error = f"{type(exc).__name__}: {exc}"
         finally:
+            if deadline_timer is not None:
+                deadline_timer.cancel()
             if tracer is not None:
                 tracer.__exit__(None, None, None)
                 self._record_trace(job, recorder)
+        if cancelled_reason is not None:
+            # The journal stays: a resubmission of the same spec resumes.
+            self.manager.cancelled(job, cancelled_reason)
+            return
         if error is not None:
             self.manager.fail(job, error)
             return
@@ -683,13 +1010,27 @@ class JobRunner(threading.Thread):
                 "could not record trace for job %s: %s", job.job_id, exc
             )
 
-    def _sweep(self, job: Job) -> ExplorationResult:
+    def _sweep(
+        self, job: Job, cancel_event: Optional[threading.Event] = None
+    ) -> ExplorationResult:
         spec = job.spec
         evaluator = spec.build_evaluator(self.manager.store)
         configs = spec.configs()
+        breaker = self.breaker_for(evaluator.eval_id)
+        if not breaker.allow():
+            get_metrics().counter("breaker.fail_fast").inc()
+            raise CircuitOpenError(
+                f"circuit breaker for evaluator {evaluator.eval_id[:12]} "
+                f"({spec.kernel}/{spec.backend}) is open; "
+                f"retry in {breaker.retry_after_s():.0f}s",
+                retry_after_s=breaker.retry_after_s(),
+            )
         self.manager.progress(job, 0, len(configs))
         resilience = ResilienceOptions(
-            checkpoint=self.checkpoint_path(job), resume=True
+            checkpoint=self.checkpoint_path(job),
+            resume=True,
+            cancel_event=cancel_event,
+            breaker=breaker,
         )
         sweep = ParallelSweep(
             jobs=self.sweep_jobs,

@@ -4,8 +4,13 @@
 runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
 (all JSON):
 
-``GET /health``
-    Liveness: ``{"status": "ok" | "draining", "schema": "repro.serve/1"}``.
+``GET /health`` / ``GET /healthz``
+    Liveness: ``{"status": "ok" | "draining", "schema": "repro.serve/1"}``
+    -- always ``200`` while the process can answer at all.
+``GET /readyz`` (or ``GET /health?ready=1``)
+    Readiness: ``200`` only when the service is accepting work; ``503``
+    while draining or before recovery replay finishes, so load balancers
+    stop routing submissions without killing in-flight streams.
 ``GET /metrics``
     The ``repro.obs/1`` report (metrics registry, EvalCache snapshot)
     plus a ``store`` section with the persistent-store counters and
@@ -21,7 +26,17 @@ runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
     for a malformed spec.  An optional ``trace_id`` joins the job to a
     client-minted trace; without one the server mints its own unless
     started with tracing off (``--no-trace``), or the body says
-    ``"trace": false``.
+    ``"trace": false``.  Client identity rides in the ``X-Repro-Client``
+    header (or a ``client_id`` body field); per-client rate limits and
+    in-flight quotas answer ``429`` with the client's *exact*
+    ``retry_after_s`` in the body.  An optional ``deadline_s`` bounds the
+    job's wall clock: when it expires the sweep cancels cooperatively and
+    the checkpoint journal survives, so a resubmission resumes.
+``DELETE /jobs/<id>``
+    Cancel: dequeues a queued job immediately, signals a running sweep
+    to stop at the next chunk boundary.  ``200`` with the job record
+    (idempotent on already-cancelled jobs), ``409`` for jobs already
+    done/failed, ``404`` for unknown ids.
 ``GET /jobs``
     All known jobs, most recent first.
 ``GET /jobs/<id>[?wait=SECONDS]``
@@ -54,6 +69,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import signal
 import threading
 import time
@@ -63,6 +79,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro import obs
 from repro.engine.cache import get_eval_cache
+from repro.engine.result import ExplorationResult
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_metrics
 from repro.obs.prometheus import render_prometheus
@@ -76,6 +93,7 @@ from repro.serve.jobs import (
     result_to_json,
 )
 from repro.serve.store import STORE_SCHEMA, ResultStore, open_store
+from repro.serve.tenancy import TenancyError, TenancyPolicy
 
 __all__ = [
     "SERVE_SCHEMA",
@@ -107,18 +125,31 @@ class ExplorationService:
         sweep_jobs: int = 1,
         retry_after_s: float = 2.0,
         trace: bool = True,
+        tenancy: Optional[TenancyPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         self.store: ResultStore = open_store(store_path)
         self.manager = JobManager(
-            self.store, max_depth=queue_depth, retry_after_s=retry_after_s
+            self.store,
+            max_depth=queue_depth,
+            retry_after_s=retry_after_s,
+            tenancy=tenancy,
         )
         self.runner = JobRunner(
-            self.manager, spool_dir=spool_dir, sweep_jobs=sweep_jobs
+            self.manager,
+            spool_dir=spool_dir,
+            sweep_jobs=sweep_jobs,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
         )
         #: Mint a trace_id for bare submissions (clients can still opt
         #: out per job with ``"trace": false``).
         self.trace = trace
         self._started = False
+        #: Readiness: False until recovery replay completes, so a load
+        #: balancer never routes submissions at a half-recovered service.
+        self._ready = False
 
     def start(self) -> "ExplorationService":
         """Recover persisted jobs and start executing."""
@@ -126,7 +157,12 @@ class ExplorationService:
             self.manager.recover()
             self.runner.start()
             self._started = True
+            self._ready = True
         return self
+
+    def ready(self) -> bool:
+        """Accepting new work: recovery finished and not draining."""
+        return self._ready and not self.manager.draining
 
     def begin_drain(self) -> None:
         """Refuse new submissions; in-flight work keeps running."""
@@ -146,9 +182,16 @@ class ExplorationService:
         """The ``/health`` document."""
         from repro import __version__
 
+        if self.manager.draining:
+            status = "draining"
+        elif not self._ready:
+            status = "starting"
+        else:
+            status = "ok"
         return {
             "schema": SERVE_SCHEMA,
-            "status": "draining" if self.manager.draining else "ok",
+            "status": status,
+            "ready": self.ready(),
             "version": __version__,
             "queue_idle": self.manager.idle(),
         }
@@ -177,18 +220,34 @@ class ExplorationService:
             "counters": counters,
         }
         report["serve"] = metrics.counters_matching("serve.")
+        report["breaker"] = metrics.counters_matching("breaker.")
         return report
 
     def submit(
-        self, doc: Dict[str, Any]
+        self, doc: Dict[str, Any], client_id: Optional[str] = None
     ) -> Tuple[Job, bool]:
-        """Validate and enqueue one submission document."""
+        """Validate and enqueue one submission document.
+
+        ``client_id`` (the ``X-Repro-Client`` header) wins over a
+        ``client_id`` body field; both absent means the anonymous tenant.
+        """
         if not isinstance(doc, dict):
             raise ValueError("request body must be a JSON object")
         spec = JobSpec.from_json(doc.get("spec", doc.get("job", None)))
         priority = doc.get("priority", 10)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ValueError("priority must be an integer")
+        if client_id is None:
+            client_id = doc.get("client_id")
+        deadline_s = doc.get("deadline_s")
+        if deadline_s is not None:
+            if (
+                isinstance(deadline_s, bool)
+                or not isinstance(deadline_s, (int, float))
+                or deadline_s <= 0
+            ):
+                raise ValueError("deadline_s must be a positive number")
+            deadline_s = float(deadline_s)
         trace_id = doc.get("trace_id")
         if trace_id is not None:
             if (
@@ -201,7 +260,13 @@ class ExplorationService:
                 )
         elif self.trace and doc.get("trace") is not False:
             trace_id = obs_trace.new_trace_id()
-        return self.manager.submit(spec, priority=priority, trace_id=trace_id)
+        return self.manager.submit(
+            spec,
+            priority=priority,
+            trace_id=trace_id,
+            client_id=client_id,
+            deadline_s=deadline_s,
+        )
 
     def job_result(self, job: Job) -> Optional[Dict[str, Any]]:
         """The exact result document for a done job (``None`` otherwise).
@@ -214,11 +279,21 @@ class ExplorationService:
             return None
         result = job.result
         if result is None:
-            result = self.store.result_for(
-                job.spec.eval_id(), job.spec.configs()
-            )
+            eval_id = job.spec.eval_id()
+            configs = job.spec.configs()
+            result = self.store.result_for(eval_id, configs)
             if result is None:
-                return None
+                # Rows were quarantined (or otherwise lost) since the job
+                # finished: re-evaluate the holes through the store-backed
+                # evaluator instead of serving a 404 for a done job.  The
+                # healthy rows come straight from sqlite; only the gaps
+                # recompute, and the fresh estimates repopulate the store.
+                get_metrics().counter("serve.results_rebuilt").inc()
+                evaluator = job.spec.build_evaluator(self.store)
+
+                result = ExplorationResult(
+                    [evaluator.evaluate(config) for config in configs]
+                )
             job.result = result
         return {
             "job_id": job.job_id,
@@ -304,7 +379,7 @@ class _Handler(BaseHTTPRequestHandler):
         """Bounded endpoint classification for metric names."""
         if not parts:
             return "root"
-        if parts[0] in ("health", "metrics"):
+        if parts[0] in ("health", "healthz", "readyz", "metrics"):
             return parts[0]
         if parts[0] == "jobs":
             if len(parts) == 1:
@@ -341,10 +416,19 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         self._timed(self._route_post)
 
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        self._timed(self._route_delete)
+
     def _route_get(self, parsed: Any, parts: List[str]) -> None:
         params = parse_qs(parsed.query)
-        if parts == ["health"]:
-            self._send_json(200, self.service.health())
+        if parts == ["health"] or parts == ["healthz"]:
+            if params.get("ready", ["0"])[0] in ("1", "true"):
+                self._get_ready()
+            else:
+                # Liveness: the process answers, even mid-drain/startup.
+                self._send_json(200, self.service.health())
+        elif parts == ["readyz"]:
+            self._get_ready()
         elif parts == ["metrics"]:
             self._get_metrics(params)
         elif parts == ["jobs"]:
@@ -360,6 +444,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._stream_events(parts[1])
         else:
             self._error(404, f"no route for {parsed.path}")
+
+    def _get_ready(self) -> None:
+        """Readiness: 503 while draining or before recovery completes."""
+        doc = self.service.health()
+        self._send_json(200 if doc["ready"] else 503, doc)
 
     def _get_metrics(self, params: Dict[str, Any]) -> None:
         fmt = params.get("format", ["json"])[0]
@@ -384,23 +473,60 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._error(400, f"bad request body: {exc}")
             return
+        client_id = self.headers.get("X-Repro-Client")
         try:
-            job, coalesced = self.service.submit(doc)
+            job, coalesced = self.service.submit(doc, client_id=client_id)
         except ServiceDrainingError as exc:
             self._error(503, str(exc), headers={"Retry-After": "10"})
+            return
+        except TenancyError as exc:
+            # The body carries the *exact* per-client retry delay; the
+            # header is its integer ceiling (HTTP grammar).
+            self._error(
+                429,
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+                client_id=exc.client_id,
+                headers={
+                    "Retry-After": str(
+                        max(1, math.ceil(exc.retry_after_s))
+                    )
+                },
+            )
             return
         except QueueFullError as exc:
             self._error(
                 429,
                 str(exc),
                 retry_after_s=exc.retry_after_s,
-                headers={"Retry-After": f"{exc.retry_after_s:.0f}"},
+                headers={
+                    "Retry-After": str(
+                        max(1, math.ceil(exc.retry_after_s))
+                    )
+                },
             )
             return
         except ValueError as exc:
             self._error(400, str(exc))
             return
         self._send_json(202, {"job": job.to_json(), "coalesced": coalesced})
+
+    def _route_delete(self, parsed: Any, parts: List[str]) -> None:
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no route for {parsed.path}")
+            return
+        job, cancelled = self.service.manager.cancel(parts[1])
+        if job is None:
+            self._error(404, f"unknown job {parts[1]}")
+            return
+        if not cancelled and job.state != "cancelled":
+            self._error(
+                409,
+                f"job {parts[1]} is already {job.state}",
+                state=job.state,
+            )
+            return
+        self._send_json(200, {"job": job.to_json(), "cancelled": cancelled})
 
     # ------------------------------------------------------------------
     # job endpoints
@@ -500,7 +626,7 @@ class _Handler(BaseHTTPRequestHandler):
                 except (BrokenPipeError, ConnectionResetError):
                     return
                 cursor += 1
-                if snapshot["state"] in ("done", "failed"):
+                if snapshot["state"] in ("done", "failed", "cancelled"):
                     return
 
 

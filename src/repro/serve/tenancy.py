@@ -1,0 +1,243 @@
+"""Multi-tenant admission control: client identity, rate limits, quotas.
+
+The exploration service is only worth running when many clients share
+one result store, and shared queues invite abuse: a population-based
+searcher can flood thousands of small jobs and starve every other
+tenant.  This module is the admission layer the
+:class:`~repro.serve.jobs.JobManager` consults *before* a job enters the
+queue:
+
+* :func:`validate_client_id` -- client names ride on every submission
+  (the ``X-Repro-Client`` header or the ``client_id`` document field)
+  and become metric label suffixes, so they are restricted to the same
+  1-64 character ``[A-Za-z0-9_-]`` alphabet as trace ids.  Absent
+  identity maps to :data:`DEFAULT_CLIENT` rather than being rejected:
+  single-user deployments should not need ceremony.
+* :class:`TokenBucket` -- the classic refill-at-rate bucket with an
+  injectable clock, so tests drive admission decisions deterministically
+  without sleeping.  ``acquire`` either takes a token or reports exactly
+  how long until one is available (the ``Retry-After`` the client sees).
+* :class:`ClientPolicy` / :class:`TenancyPolicy` -- the knobs: steady
+  rate (jobs/second), burst (bucket depth), in-flight quota (queued +
+  running jobs per client) and fair-share weight (consumed by the
+  deficit-round-robin dequeue in :mod:`repro.serve.jobs`).  The default
+  policy is *unlimited*: tenancy is opt-in and a bare service behaves
+  exactly as it always has.
+
+Rejections raise typed errors carrying ``retry_after_s`` so the HTTP
+layer can answer 429 with an accurate per-client ``Retry-After`` instead
+of a blind guess, and they are counted under ``serve.quota.*`` in both
+``/metrics`` formats.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "DEFAULT_CLIENT",
+    "ClientPolicy",
+    "QuotaExceededError",
+    "RateLimitedError",
+    "TenancyError",
+    "TenancyPolicy",
+    "TokenBucket",
+    "validate_client_id",
+]
+
+#: Submissions with no identity are pooled under one tenant rather than
+#: rejected; a bare single-user deployment never has to name itself.
+DEFAULT_CLIENT = "anonymous"
+
+_CLIENT_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def validate_client_id(client_id: Optional[str]) -> str:
+    """Normalise and validate a client identity; ``None`` -> anonymous.
+
+    Raises :class:`ValueError` on anything outside 1-64 characters of
+    ``[A-Za-z0-9_-]`` -- client ids become metric names and file-free
+    sqlite keys, so the alphabet is deliberately narrow.
+    """
+    if client_id is None:
+        return DEFAULT_CLIENT
+    if not isinstance(client_id, str) or not _CLIENT_ID_RE.match(client_id):
+        raise ValueError(
+            "client_id must be 1-64 characters of [A-Za-z0-9_-], "
+            f"got {client_id!r}"
+        )
+    return client_id
+
+
+class TenancyError(RuntimeError):
+    """An admission-control rejection (maps to HTTP 429)."""
+
+    def __init__(
+        self, message: str, client_id: str, retry_after_s: float
+    ) -> None:
+        super().__init__(message)
+        self.client_id = client_id
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
+class RateLimitedError(TenancyError):
+    """The client's token bucket is empty; retry after the refill."""
+
+
+class QuotaExceededError(TenancyError):
+    """The client's in-flight quota is full; retry after jobs finish."""
+
+
+class TokenBucket:
+    """Token bucket: ``rate`` tokens/second refill, ``burst`` capacity.
+
+    The bucket starts full (a quiet client gets its whole burst at
+    once).  ``acquire`` consumes one token when available and returns
+    ``0.0``; otherwise it returns the exact seconds until the next token
+    accrues -- the caller's ``Retry-After``.  The clock is injectable so
+    admission tests are deterministic.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (omit for unlimited)")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def acquire(self) -> float:
+        """Take one token (return 0.0) or the seconds until one exists."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class ClientPolicy:
+    """Admission limits for one client (``None`` means unlimited).
+
+    ``rate``/``burst`` shape the token bucket; ``max_inflight`` caps
+    queued-plus-running jobs; ``weight`` scales the client's share of the
+    deficit-round-robin dequeue (2.0 drains twice as fast as 1.0 under
+    contention and changes nothing when the queue is quiet).
+    """
+
+    rate: Optional[float] = None
+    burst: int = 10
+    max_inflight: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1 (or None)")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+class TenancyPolicy:
+    """Per-client admission policy with a default for unknown clients.
+
+    ``default`` applies to every client without an explicit entry in
+    ``overrides``.  The zero-argument construction is fully unlimited --
+    existing single-tenant deployments and tests see no behaviour change
+    until limits are configured.
+    """
+
+    def __init__(
+        self,
+        default: Optional[ClientPolicy] = None,
+        overrides: Optional[Dict[str, ClientPolicy]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default = default if default is not None else ClientPolicy()
+        self.overrides = dict(overrides or {})
+        for name in self.overrides:
+            validate_client_id(name)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def policy_for(self, client_id: str) -> ClientPolicy:
+        return self.overrides.get(client_id, self.default)
+
+    def weight(self, client_id: str) -> float:
+        return self.policy_for(client_id).weight
+
+    def check_rate(self, client_id: str) -> None:
+        """Charge one submission to the client's bucket or raise 429."""
+        policy = self.policy_for(client_id)
+        if policy.rate is None:
+            return
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None or bucket.rate != policy.rate:
+                bucket = TokenBucket(
+                    policy.rate, float(policy.burst), clock=self._clock
+                )
+                self._buckets[client_id] = bucket
+        retry_after = bucket.acquire()
+        if retry_after > 0.0:
+            get_metrics().counter("serve.quota.rate_limited").inc()
+            get_metrics().counter(
+                f"serve.quota.rate_limited.{client_id}"
+            ).inc()
+            raise RateLimitedError(
+                f"client {client_id} exceeded its rate limit "
+                f"({policy.rate:g} jobs/s, burst {policy.burst}); "
+                f"retry in {retry_after:.3f}s",
+                client_id,
+                retry_after,
+            )
+
+    def check_inflight(
+        self, client_id: str, inflight: int, retry_hint_s: float
+    ) -> None:
+        """Raise when admitting one more job would breach the quota."""
+        policy = self.policy_for(client_id)
+        if policy.max_inflight is None or inflight < policy.max_inflight:
+            return
+        get_metrics().counter("serve.quota.inflight_rejected").inc()
+        get_metrics().counter(
+            f"serve.quota.inflight_rejected.{client_id}"
+        ).inc()
+        raise QuotaExceededError(
+            f"client {client_id} already has {inflight} jobs in flight "
+            f"(quota {policy.max_inflight}); retry after some finish",
+            client_id,
+            retry_hint_s,
+        )

@@ -92,7 +92,8 @@ def render(
     queued = states.get("queued", 0)
     running = states.get("running", 0)
     lines.append(
-        "repro top -- service %s (v%s)  queue=%d running=%d done=%d failed=%d"
+        "repro top -- service %s (v%s)  queue=%d running=%d done=%d"
+        " failed=%d cancelled=%d"
         % (
             health.get("status", "?"),
             health.get("version", "?"),
@@ -100,6 +101,7 @@ def render(
             running,
             states.get("done", 0),
             states.get("failed", 0),
+            states.get("cancelled", 0),
         )
     )
 

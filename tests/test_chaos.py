@@ -16,6 +16,7 @@ each seed so different nights exercise different tears.
 """
 
 import os
+import sqlite3
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -32,6 +33,14 @@ from repro.engine import (
 )
 from repro.engine.result import ExplorationResult
 from repro.kernels import get_kernel
+from repro.obs.metrics import get_metrics
+from repro.serve import (
+    ClientPolicy,
+    ExplorationService,
+    JobSpec,
+    RateLimitedError,
+    TenancyPolicy,
+)
 
 SEEDS = [
     int(part)
@@ -186,3 +195,139 @@ class TestSeededChaos:
             ),
         ).run(baseline["evaluator"], baseline["configs"])
         assert run == baseline["clean"]
+
+
+class TestMultiTenantChaos:
+    """kill -9 under multi-client load, service-layer edition.
+
+    Two tenants with unequal fair-share weights submit distinct sweeps
+    through a quota-enforcing :class:`JobManager`; the server dies with
+    one job mid-journal and one tenant's finished rows corrupted on
+    disk.  A fresh service over the same store must hand every tenant
+    back bit-identical results, quarantine the torn row instead of
+    serving it, and account for every dequeue in the fair-share
+    counters.
+    """
+
+    SPECS = {
+        "chaos-a": (
+            JobSpec(kernel="compress", max_size=32, min_size=16,
+                    tilings=(1,)),
+            JobSpec(kernel="compress", max_size=64, min_size=32,
+                    tilings=(1,)),
+        ),
+        "chaos-b": (
+            JobSpec(kernel="compress", max_size=32, min_size=16,
+                    tilings=(2,)),
+        ),
+    }
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_killed_multi_client_service_recovers(
+        self, tmp_path_factory, seed
+    ):
+        root = tmp_path_factory.mktemp("mtchaos")
+        db = str(root / "results.db")
+        spool = str(root / "spool")
+        direct = {
+            spec.spec_hash: spec.build_evaluator().sweep(
+                configs=spec.configs()
+            )
+            for specs in self.SPECS.values()
+            for spec in specs
+        }
+        policy = TenancyPolicy(
+            default=ClientPolicy(max_inflight=8),
+            overrides={
+                "chaos-a": ClientPolicy(max_inflight=8, weight=2.0),
+                "chaos-b": ClientPolicy(rate=50.0, burst=1, max_inflight=8),
+            },
+        )
+        metrics = get_metrics()
+        dequeued_before = {
+            client: metrics.counter(
+                f"serve.fairshare.dequeued.{client}"
+            ).value
+            for client in self.SPECS
+        }
+        quarantined_before = metrics.counter(
+            "store.corruption.quarantined"
+        ).value
+
+        # Session one: both tenants submit, chaos-b's burst of one is
+        # spent so its immediate follow-up is rate limited with an exact
+        # retry hint -- the quotas stay live under the chaos load.
+        first = ExplorationService(db, spool, tenancy=policy)
+        jobs = {}
+        for client, specs in self.SPECS.items():
+            for spec in specs:
+                job, coalesced = first.manager.submit(spec, client_id=client)
+                assert not coalesced
+                jobs[job.job_id] = spec
+        with pytest.raises(RateLimitedError) as excinfo:
+            first.manager.submit(
+                self.SPECS["chaos-b"][0], client_id="chaos-b"
+            )
+        assert excinfo.value.retry_after_s > 0
+
+        # chaos-b's sweep finishes and lands in the store before the
+        # crash; a seed-picked row of it is then torn on disk.
+        done_spec = self.SPECS["chaos-b"][0]
+        warm = done_spec.build_evaluator(first.store)
+        for config in done_spec.configs():
+            warm.evaluate(config)
+
+        # The first DRR visit credits chaos-a's weight of two, so the
+        # claim that dies mid-journal is deterministically chaos-a's.
+        claimed = first.manager.next_job()
+        assert claimed is not None and claimed.client_id == "chaos-a"
+        journal = first.runner.checkpoint_path(claimed)
+        claimed_spec = jobs[claimed.job_id]
+        claimed_spec.build_evaluator().sweep(
+            configs=claimed_spec.configs(),
+            resilience=ResilienceOptions(checkpoint=journal),
+        )
+        lines = open(journal, encoding="utf-8").read().splitlines()
+        _killed_journal(lines, journal, seed % max(1, len(lines) - 1))
+
+        conn = sqlite3.connect(db)
+        with conn:
+            rows = conn.execute(
+                "SELECT COUNT(*) FROM estimates"
+            ).fetchone()[0]
+            assert rows > 0
+            conn.execute(
+                "UPDATE estimates SET estimate = '{torn' WHERE rowid = ?",
+                (1 + seed % rows,),
+            )
+        conn.close()
+        # Session one vanishes here: no stop(), no close() -- kill -9.
+
+        # Session two: recovery re-enqueues the claimed job, the torn
+        # journal resumes, the torn row is quarantined and re-evaluated,
+        # and every tenant's results match the direct sweeps exactly.
+        second = ExplorationService(db, spool, tenancy=policy).start()
+        try:
+            for job_id, spec in jobs.items():
+                done = second.manager.wait(job_id, timeout_s=120)
+                assert done is not None and done.state == "done"
+                assert list(done.result.estimates) == list(
+                    direct[spec.spec_hash].estimates
+                )
+            assert second.store.stats()["quarantine"] == 1
+            assert (
+                metrics.counter("store.corruption.quarantined").value
+                == quarantined_before + 1
+            )
+            # Fair-share ledger: chaos-a was dequeued once before the
+            # kill and twice after recovery, chaos-b exactly once.
+            deltas = {
+                client: metrics.counter(
+                    f"serve.fairshare.dequeued.{client}"
+                ).value
+                - dequeued_before[client]
+                for client in self.SPECS
+            }
+            assert deltas == {"chaos-a": 3, "chaos-b": 1}
+        finally:
+            second.stop()

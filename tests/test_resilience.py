@@ -522,3 +522,106 @@ class TestCliResilienceFlags:
                 "explore", "compress", "--max-size", "32", "--min-size",
                 "32", "--tilings", "1", "--resume",
             ])
+
+
+class _CancellingEvaluator:
+    """Sets a cancel event after ``after`` evaluations; delegates the rest."""
+
+    def __init__(self, kernel, event, after):
+        self.inner = Evaluator(KernelWorkload(kernel))
+        self.event = event
+        self.after = after
+        self.count = 0
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def evaluate(self, config):
+        self.count += 1
+        if self.count == self.after:
+            self.event.set()
+        return self.inner.evaluate(config)
+
+
+class TestCooperativeCancellation:
+    def test_pre_set_event_cancels_before_any_work(self, tmp_path):
+        import threading
+
+        from repro.engine.resilience import SweepCancelledError
+
+        evaluator = Evaluator(KernelWorkload(get_kernel("compress")))
+        configs = _small_configs()
+        path = str(tmp_path / "sweep.jsonl")
+        event = threading.Event()
+        event.set()
+        before = _counter("resilience.sweeps_cancelled")
+        with pytest.raises(SweepCancelledError) as excinfo:
+            ParallelSweep(
+                jobs=1,
+                resilience=ResilienceOptions(
+                    checkpoint=path, cancel_event=event
+                ),
+            ).run(evaluator, configs)
+        assert excinfo.value.done == 0
+        assert _counter("resilience.sweeps_cancelled") == before + 1
+
+    def test_mid_sweep_cancel_keeps_journal_and_resumes(self, tmp_path):
+        import threading
+
+        from repro.engine.resilience import SweepCancelledError
+
+        configs = _small_configs()
+        clean = Evaluator(
+            KernelWorkload(get_kernel("compress"))
+        ).sweep(configs=configs)
+        path = str(tmp_path / "sweep.jsonl")
+        event = threading.Event()
+        evaluator = _CancellingEvaluator(get_kernel("compress"), event, after=3)
+        with pytest.raises(SweepCancelledError) as excinfo:
+            ParallelSweep(
+                jobs=1,
+                chunk_size=2,
+                resilience=ResilienceOptions(
+                    checkpoint=path, cancel_event=event
+                ),
+            ).run(evaluator, configs)
+        # The cooperative stop committed its finished chunks first.
+        assert 0 < excinfo.value.done < len(configs)
+        journaled = load_checkpoint_estimates(path)
+        assert 0 < len(journaled) < len(configs)
+        # Resuming the same journal without the event completes exactly.
+        resumed = ParallelSweep(
+            jobs=1,
+            chunk_size=2,
+            resilience=ResilienceOptions(checkpoint=path, resume=True),
+        ).run(Evaluator(KernelWorkload(get_kernel("compress"))), configs)
+        assert resumed == list(clean.estimates)
+
+
+class TestBreakerInSweep:
+    def test_deterministic_failures_trip_the_breaker(self):
+        from repro.engine.resilience import CircuitBreaker
+
+        configs = _small_configs()
+        evaluator = _PoisonedEvaluator(get_kernel("compress"), configs[0])
+        breaker = CircuitBreaker(name="t", failure_threshold=1, cooldown_s=60)
+        with pytest.raises(SweepChunkError):
+            ParallelSweep(
+                jobs=1,
+                resilience=ResilienceOptions(
+                    retry=FAST_RETRY, breaker=breaker
+                ),
+            ).run(evaluator, configs)
+        assert breaker.state == "open"
+
+    def test_healthy_sweep_closes_the_breaker(self):
+        from repro.engine.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(name="t", failure_threshold=2, cooldown_s=60)
+        breaker.record_failure()  # a stale strike from an earlier job
+        evaluator = Evaluator(KernelWorkload(get_kernel("compress")))
+        ParallelSweep(
+            jobs=1, resilience=ResilienceOptions(breaker=breaker)
+        ).run(evaluator, _small_configs()[:4])
+        assert breaker.state == "closed"
+        assert breaker._failures == 0

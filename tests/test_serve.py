@@ -18,6 +18,7 @@ The load-bearing claims:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -47,12 +48,14 @@ def _evaluated():
 class LiveServer:
     """An in-process service + HTTP listener + client, on a free port."""
 
-    def __init__(self, tmp_path, queue_depth=16, start=True, sweep_jobs=1):
+    def __init__(self, tmp_path, queue_depth=16, start=True, sweep_jobs=1,
+                 **service_kwargs):
         self.service = ExplorationService(
             str(tmp_path / "results.db"),
             str(tmp_path / "spool"),
             queue_depth=queue_depth,
             sweep_jobs=sweep_jobs,
+            **service_kwargs,
         )
         if start:
             self.service.start()
@@ -576,3 +579,226 @@ class TestManifests:
             manifest = store.load_manifest(job.job_id)
         assert manifest is not None
         assert manifest["spec_hash"] == SMALL.spec_hash
+
+
+class TestReadiness:
+    def test_readyz_503_until_recovery_completes(self, tmp_path):
+        server = LiveServer(tmp_path, start=False)
+        try:
+            # The listener is up but recovery has not run: alive, not ready.
+            assert server.client.health()["status"] == "starting"
+            with pytest.raises(ServeError) as excinfo:
+                server.client._request("GET", "/readyz")
+            assert excinfo.value.status == 503
+            server.service.start()
+            ready = server.client._request("GET", "/readyz")
+            assert ready["ready"] is True and ready["status"] == "ok"
+        finally:
+            server.close()
+
+    def test_draining_fails_readiness_but_not_liveness(self, live):
+        live.service.begin_drain()
+        # /health and /healthz keep answering 200 -- the process is alive.
+        assert live.client.health()["status"] == "draining"
+        assert live.client._request("GET", "/healthz")["status"] == "draining"
+        for path in ("/readyz", "/health?ready=1"):
+            with pytest.raises(ServeError) as excinfo:
+                live.client._request("GET", path)
+            assert excinfo.value.status == 503
+
+
+class TestMultiTenantHTTP:
+    def test_client_header_rides_on_the_job(self, tmp_path):
+        server = LiveServer(tmp_path)
+        try:
+            client = ServeClient(
+                server.client.base_url, timeout_s=60, client_id="tenant-a"
+            )
+            job = client.submit(SMALL)
+            assert client.job(job["job_id"])["client_id"] == "tenant-a"
+        finally:
+            server.close()
+
+    def test_body_client_id_when_no_header(self, tmp_path):
+        server = LiveServer(tmp_path)
+        try:
+            job = server.client._request(
+                "POST", "/jobs",
+                body={"spec": SMALL.to_json(), "client_id": "tenant-b"},
+            )["job"]
+            assert job["client_id"] == "tenant-b"
+        finally:
+            server.close()
+
+    def test_anonymous_default(self, live):
+        job = live.client.submit(SMALL)
+        assert live.client.job(job["job_id"])["client_id"] == "anonymous"
+
+    def test_bad_client_id_is_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client._request(
+                "POST", "/jobs",
+                body={"spec": SMALL.to_json(), "client_id": "not ok!"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_rate_limit_is_429_with_exact_retry_after(self, tmp_path):
+        from repro.serve import ClientPolicy, TenancyPolicy
+
+        server = LiveServer(
+            tmp_path,
+            tenancy=TenancyPolicy(default=ClientPolicy(rate=0.5, burst=1)),
+        )
+        try:
+            server.client.submit(SMALL, max_attempts=1)
+            with pytest.raises(ServeError) as excinfo:
+                server.client.submit(BIG, max_attempts=1)
+            assert excinfo.value.status == 429
+            hint = excinfo.value.doc["retry_after_s"]
+            assert 0.0 < hint <= 2.0
+            report = server.client.metrics()
+            assert report["serve"]["serve.quota.rate_limited"] >= 1
+        finally:
+            server.close()
+
+    def test_inflight_quota_is_429(self, tmp_path):
+        from repro.serve import ClientPolicy, TenancyPolicy
+
+        server = LiveServer(
+            tmp_path,
+            start=False,  # nothing dequeues; submissions stay in flight
+            tenancy=TenancyPolicy(default=ClientPolicy(max_inflight=1)),
+        )
+        try:
+            server.service.manager.submit(SMALL)
+            with pytest.raises(ServeError) as excinfo:
+                server.client.submit(BIG, max_attempts=1)
+            assert excinfo.value.status == 429
+        finally:
+            server.service.start()
+            server.close()
+
+    def test_deadline_validation_is_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client._request(
+                "POST", "/jobs",
+                body={"spec": SMALL.to_json(), "deadline_s": -1},
+            )
+        assert excinfo.value.status == 400
+
+    def test_metrics_report_has_breaker_and_fairshare_sections(self, live):
+        job = live.client.submit(SMALL)
+        live.client.wait(job["job_id"], timeout_s=120)
+        report = live.client.metrics()
+        assert "breaker" in report
+        assert any(
+            name.startswith("serve.fairshare.dequeued.")
+            for name in report["serve"]
+        )
+
+
+class TestCancellationHTTP:
+    def test_cancel_queued_job(self, tmp_path):
+        server = LiveServer(tmp_path, start=False)  # stays queued
+        try:
+            job, _ = server.service.manager.submit(SMALL)
+            cancelled = server.client.cancel(job.job_id)
+            assert cancelled["state"] == "cancelled"
+            assert cancelled["cancelled"] is True
+            # Idempotent: a second DELETE answers 200, changed=False.
+            again = server.client.cancel(job.job_id)
+            assert again["state"] == "cancelled"
+            assert again["cancelled"] is False
+            # wait() treats cancelled as terminal.
+            assert server.client.wait(job.job_id)["state"] == "cancelled"
+        finally:
+            server.service.start()
+            server.close()
+
+    def test_cancel_unknown_is_404(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client.cancel("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_cancel_done_is_409(self, live):
+        job = live.client.submit(SMALL)
+        live.client.wait(job["job_id"], timeout_s=120)
+        with pytest.raises(ServeError) as excinfo:
+            live.client.cancel(job["job_id"])
+        assert excinfo.value.status == 409
+
+    def test_delete_bad_route_is_404(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client._request("DELETE", "/jobs")
+        assert excinfo.value.status == 404
+
+    def test_events_stream_ends_on_cancelled(self, tmp_path):
+        server = LiveServer(tmp_path, start=False)
+        try:
+            job, _ = server.service.manager.submit(SMALL)
+            server.client.cancel(job.job_id)
+            states = [snap["state"] for snap in server.client.events(job.job_id)]
+            assert states[-1] == "cancelled"
+        finally:
+            server.service.start()
+            server.close()
+
+
+class TestDeadlineResume:
+    def test_expired_deadline_cancels_but_resubmit_resumes(self, tmp_path):
+        spec = BIG
+        direct = spec.build_evaluator().sweep(configs=spec.configs())
+        # Submit before the runner exists, so the deadline deterministically
+        # expires while the job is still queued; the claim then finalises
+        # it as cancelled instead of starting it.  (The mid-sweep
+        # cooperative-cancel path is pinned in tests/test_resilience.py.)
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        job, _ = service.manager.submit(spec, deadline_s=0.005)
+        time.sleep(0.02)
+        service.start()
+        try:
+            ended = service.manager.wait(job.job_id, timeout_s=120)
+            assert ended is not None and ended.state == "cancelled"
+            assert "deadline" in ended.error
+            # The spec-keyed journal (whatever it holds) survived; a
+            # resubmission coalesces onto nothing and runs to done with a
+            # result bit-identical to the uninterrupted sweep.
+            retry, coalesced = service.manager.submit(spec)
+            assert not coalesced and retry.job_id != job.job_id
+            done = service.manager.wait(retry.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+            assert list(done.result.estimates) == list(direct.estimates)
+        finally:
+            service.stop()
+
+
+class TestClientRetryJitter:
+    def test_seeded_jitter_is_deterministic(self):
+        a = ServeClient(retry_seed=42)
+        b = ServeClient(retry_seed=42)
+        delays_a = [a.retry_delay_s(i, None) for i in range(5)]
+        delays_b = [b.retry_delay_s(i, None) for i in range(5)]
+        assert delays_a == delays_b
+        assert ServeClient(retry_seed=7).retry_delay_s(0, None) != delays_a[0]
+
+    def test_full_jitter_window_grows_and_caps(self):
+        client = ServeClient(retry_seed=3)
+        for attempt in range(12):
+            delay = client.retry_delay_s(attempt, None)
+            window = min(
+                client.RETRY_CAP_S, client.RETRY_BASE_S * 2.0 ** attempt
+            )
+            assert 0.0 <= delay <= window
+
+    def test_server_hint_honoured_exactly(self):
+        client = ServeClient(retry_seed=1)
+        assert client.retry_delay_s(0, 1.234) == 1.234
+        assert client.retry_delay_s(3, 0.05) == 0.05
+        # ... but never beyond the ceiling.
+        assert client.retry_delay_s(0, 600.0) == client.RETRY_CAP_S
+
+    def test_invalid_client_id_rejected(self):
+        with pytest.raises(ValueError, match="client_id"):
+            ServeClient(client_id="not ok!")

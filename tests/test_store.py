@@ -264,3 +264,229 @@ class TestJobPersistence:
         assert store.load_jobs() == [{"job_id": "j1", "state": "done"}]
         store.delete_job("j1")
         assert store.load_jobs() == []
+
+
+def _poison_estimate(path, text="{this is not json"):
+    """Corrupt one estimate row in place, bypassing the store API."""
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute("UPDATE estimates SET estimate = ? WHERE rowid = 1",
+                     (text,))
+    conn.close()
+
+
+class TestChecksums:
+    def test_new_rows_carry_sha256_checksums(self, tmp_path):
+        import hashlib
+
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        config = _configs()[0]
+        store.put(eval_id, config, evaluator.evaluate(config))
+        conn = sqlite3.connect(store.path)
+        text, checksum = conn.execute(
+            "SELECT estimate, checksum FROM estimates"
+        ).fetchone()
+        conn.close()
+        assert checksum == hashlib.sha256(text.encode()).hexdigest()
+
+    def test_corrupt_row_quarantined_and_reported_as_miss(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        config = _configs()[0]
+        store.put(eval_id, config, evaluator.evaluate(config))
+        store.close()
+        _poison_estimate(str(tmp_path / "r.db"))
+
+        store = open_store(str(tmp_path / "r.db"))
+        detected = _counter("store.corruption.detected")
+        quarantined = _counter("store.corruption.quarantined")
+        assert store.get(eval_id, config) is None
+        assert _counter("store.corruption.detected") == detected + 1
+        assert _counter("store.corruption.quarantined") == quarantined + 1
+        stats = store.stats()
+        assert stats["quarantine"] == 1
+        assert stats["estimates"] == 0  # moved, not lurking
+
+    def test_checksum_mismatch_alone_quarantines(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        config = _configs()[0]
+        store.put(eval_id, config, evaluator.evaluate(config))
+        conn = sqlite3.connect(store.path)
+        with conn:
+            # Valid JSON, wrong bytes for the recorded checksum.
+            conn.execute("UPDATE estimates SET checksum = ?", ("0" * 64,))
+        conn.close()
+        assert store.get(eval_id, config) is None
+        assert store.stats()["quarantine"] == 1
+
+    def test_get_many_skips_corrupt_rows(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        configs = _configs()
+        store.put_many(
+            eval_id, [(c, evaluator.evaluate(c)) for c in configs]
+        )
+        _poison_estimate(store.path)
+        found = store.get_many(eval_id, configs)
+        assert len(found) == len(configs) - 1
+
+    def test_corruption_transparently_reevaluated_byte_identically(
+        self, tmp_path
+    ):
+        store = open_store(str(tmp_path / "r.db"))
+        backed = StoreBackedEvaluator(_evaluator(), store)
+        config = _configs()[0]
+        original = backed.evaluate(config)
+        _poison_estimate(store.path)
+        # The corrupt row reads as a miss; the evaluator recomputes and
+        # the fresh estimate (equal to the original) repopulates the row.
+        again = backed.evaluate(config)
+        assert again == original
+        assert store.get(backed.eval_id, config) == original
+
+    def test_manifest_and_trace_checksummed(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        store.save_manifest("job-1", {"schema": "repro.manifest/1"})
+        store.save_trace("job-1", {"schema": "repro.trace/1"})
+        assert store.load_manifest("job-1") == {"schema": "repro.manifest/1"}
+        assert store.load_trace("job-1") == {"schema": "repro.trace/1"}
+        conn = sqlite3.connect(store.path)
+        with conn:
+            conn.execute("UPDATE manifests SET doc = ?", ("{broken",))
+        conn.close()
+        assert store.load_manifest("job-1") is None
+        assert store.stats()["quarantine"] == 1
+        assert store.load_trace("job-1") is not None
+
+    def test_legacy_rows_without_checksum_still_read(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        config = _configs()[0]
+        estimate = evaluator.evaluate(config)
+        store.put(eval_id, config, estimate)
+        conn = sqlite3.connect(store.path)
+        with conn:  # pre-hardening rows have no checksum at all
+            conn.execute("UPDATE estimates SET checksum = NULL")
+        conn.close()
+        assert store.get(eval_id, config) == estimate
+
+
+class TestVerify:
+    def _stored(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        evaluator = _evaluator()
+        eval_id = evaluator_fingerprint(evaluator)
+        configs = _configs()
+        store.put_many(
+            eval_id, [(c, evaluator.evaluate(c)) for c in configs]
+        )
+        return store, evaluator, eval_id, configs
+
+    def test_clean_store_verifies_clean(self, tmp_path):
+        store, _, _, configs = self._stored(tmp_path)
+        store.save_manifest("j", {"a": 1})
+        store.save_trace("j", {"b": 2})
+        report = store.verify()
+        assert report["clean"] is True
+        assert report["corrupt"] == 0
+        assert report["scanned"] == len(configs) + 2
+
+    def test_audit_reports_without_touching(self, tmp_path):
+        store, _, _, _ = self._stored(tmp_path)
+        _poison_estimate(store.path)
+        report = store.verify(repair=False)
+        assert report["clean"] is False
+        assert report["corrupt"] == 1
+        assert report["corrupt_rows"][0]["table"] == "estimates"
+        # Pure audit: the corrupt row is still where it was.
+        assert store.stats()["quarantine"] == 0
+
+    def test_repair_quarantines_and_backfills(self, tmp_path):
+        store, evaluator, eval_id, configs = self._stored(tmp_path)
+        conn = sqlite3.connect(store.path)
+        with conn:  # one legacy row, one corrupt row
+            conn.execute(
+                "UPDATE estimates SET checksum = NULL WHERE rowid = 2"
+            )
+        conn.close()
+        _poison_estimate(store.path)
+        report = store.verify(repair=True)
+        assert report["clean"] is True
+        assert report["quarantined"] == 1
+        assert report["checksums_added"] == 1
+        assert store.stats()["quarantine"] == 1
+        # After repair the store audits clean end to end.
+        again = store.verify()
+        assert again["clean"] is True and again["corrupt"] == 0
+        assert again["missing_checksum"] == 0
+
+    def test_repair_rebuilds_estimates_from_journal(self, tmp_path):
+        from repro.engine.resilience import ResilienceOptions
+        from repro.serve import JobManager, JobSpec
+
+        spec = JobSpec(kernel="compress", max_size=32, min_size=16,
+                       tilings=(1,))
+        store = open_store(str(tmp_path / "r.db"))
+        # A persisted job record names the spec (as after a crash or
+        # cancellation)...
+        JobManager(store).submit(spec)
+        # ...and its spool journal holds the committed chunks.
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        journal = str(spool / f"{spec.spec_hash}.jsonl")
+        evaluator = spec.build_evaluator()
+        estimates = evaluator.sweep(
+            configs=spec.configs(),
+            resilience=ResilienceOptions(checkpoint=journal),
+        ).estimates
+        eval_id = spec.eval_id()
+        store.put_many(eval_id, list(zip(spec.configs(), estimates)))
+        _poison_estimate(store.path)
+        report = store.verify(repair=True, spool_dir=str(spool))
+        assert report["quarantined"] == 1
+        assert report["rows_rebuilt"] == 1
+        # The hole is refilled byte-identically from the journal.
+        found = store.get_many(eval_id, spec.configs())
+        assert [found[c] for c in spec.configs()] == list(estimates)
+
+
+class TestBusyRetry:
+    def test_write_retries_on_locked_database(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+        attempts = []
+
+        def flaky(conn):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        before = _counter("store.busy_retries")
+        assert store._write(flaky) == "ok"
+        assert len(attempts) == 3
+        assert _counter("store.busy_retries") == before + 2
+
+    def test_non_busy_errors_surface_immediately(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+
+        def broken(conn):
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            store._write(broken)
+
+    def test_retries_exhaust_and_surface(self, tmp_path):
+        store = open_store(str(tmp_path / "r.db"))
+
+        def always_locked(conn):
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store._write(always_locked)
