@@ -345,8 +345,10 @@ class JobManager:
     change bumps the job's ``version`` and wakes waiters, which is what
     the long-poll and progress-streaming endpoints block on.
 
-    Admission runs in policy order -- drain check, per-client rate
-    limit, coalescing, per-client in-flight quota, global depth bound --
+    Admission runs in policy order -- drain check, coalescing (which
+    still charges the rate limit), per-client in-flight quota, global
+    depth bound, then the per-client rate limit, so only admissible
+    submissions debit the client's token bucket --
     and dequeue is deficit round-robin over per-client priority
     subqueues (see :class:`~repro.serve.tenancy.TenancyPolicy` for the
     knobs; the zero-config default is unlimited and single-tenant
@@ -418,20 +420,25 @@ class JobManager:
                 raise ServiceDrainingError(
                     "service is draining; not accepting new jobs"
                 )
-            # Every submission -- coalesced or not -- charges the
-            # client's token bucket: coalesced spam still costs writes.
-            self.tenancy.check_rate(client)
             active_id = self._active.get(spec.spec_hash)
             if active_id is not None:
+                # A coalesced join still charges the client's token
+                # bucket: coalesced spam still costs writes.
+                self.tenancy.check_rate(client)
                 job = self._jobs[active_id]
                 job.coalesced += 1
                 if job.deadline_s is not None:
                     # Most permissive deadline wins: joining without one
-                    # lifts it, a longer one extends it.
+                    # lifts it, otherwise the *absolute* expiries merge
+                    # -- the joiner's budget starts now, not at the
+                    # original submission.
                     if deadline_s is None:
                         job.deadline_s = None
                     else:
-                        job.deadline_s = max(job.deadline_s, deadline_s)
+                        job.deadline_s = max(
+                            job.deadline_s,
+                            (self._clock() - job.submitted_s) + deadline_s,
+                        )
                 self._touch(job)
                 metrics.counter("serve.jobs_coalesced").inc()
                 self._persist(job)
@@ -443,6 +450,10 @@ class JobManager:
             if self._queued >= self.max_depth:
                 metrics.counter("serve.jobs_rejected").inc()
                 raise QueueFullError(self.retry_after_s)
+            # The bucket is debited only once the submission is otherwise
+            # admissible: a quota or queue-full rejection must not eat
+            # rate budget the client needs for its Retry-After retry.
+            self.tenancy.check_rate(client)
             job = Job(
                 spec=spec,
                 priority=priority,
@@ -680,6 +691,16 @@ class JobManager:
                 return
             self._finalize_cancel_locked(job, reason)
 
+    def effective_deadline(self, job: Job) -> Optional[float]:
+        """The job's current absolute expiry, read under the lock.
+
+        Coalesced joins may lift or extend a running job's deadline;
+        the runner's deadline watch re-reads through this every time it
+        fires so the merge takes effect mid-sweep.
+        """
+        with self._cond:
+            return job.deadline_at()
+
     def attach_cancel_event(self, job: Job, event: threading.Event) -> None:
         """Wire the runner's cancel event into a job (pre-sweep).
 
@@ -860,6 +881,55 @@ class JobManager:
             }
 
 
+class _DeadlineWatch:
+    """Deadline enforcement for one running job, coalesce-merge aware.
+
+    A one-shot timer would bake in whatever deadline existed at claim
+    time, but a coalesced submission can lift or extend a running job's
+    deadline (``JobManager.submit`` merges absolute expiries).  The
+    watch therefore re-reads the job's *effective* deadline every time
+    it fires: lifted means do nothing, extended means re-arm for the
+    remainder, expired means set the cancel event.  ``stop`` makes any
+    pending fire a no-op, so a finished job never holds a live timer.
+    """
+
+    def __init__(
+        self,
+        cancel_event: threading.Event,
+        read_deadline_at: Callable[[], Optional[float]],
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._cancel_event = cancel_event
+        self._read_deadline_at = read_deadline_at
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._timer: Optional[threading.Timer] = None
+        self._stopped = False
+
+    def arm(self) -> None:
+        """(Re-)schedule against the deadline as it stands right now."""
+        deadline_at = self._read_deadline_at()
+        if deadline_at is None:
+            return
+        remaining = deadline_at - self._clock()
+        if remaining <= 0:
+            self._cancel_event.set()
+            return
+        with self._lock:
+            if self._stopped:
+                return
+            self._timer = threading.Timer(remaining, self.arm)
+            self._timer.daemon = True
+            self._timer.start()
+
+    def stop(self) -> None:
+        """Disarm permanently (the job reached a terminal state)."""
+        with self._lock:
+            self._stopped = True
+            if self._timer is not None:
+                self._timer.cancel()
+
+
 class JobRunner(threading.Thread):
     """The worker loop: claim, sweep (with checkpoints), record.
 
@@ -923,7 +993,21 @@ class JobRunner(threading.Thread):
                 if self.manager.stopped:
                     return
                 continue
-            self.execute(job)
+            try:
+                self.execute(job)
+            except Exception as exc:
+                # Backstop: the runner loop must outlive any single job
+                # -- a dead runner accepts submissions forever without
+                # executing them.
+                logger.exception(
+                    "job %s escaped execute(); failing it", job.job_id
+                )
+                try:
+                    self.manager.fail(job, f"{type(exc).__name__}: {exc}")
+                except Exception:
+                    logger.exception(
+                        "could not finalise crashed job %s", job.job_id
+                    )
 
     def execute(self, job: Job) -> None:
         """Run one job to a terminal state (never raises).
@@ -949,16 +1033,12 @@ class JobRunner(threading.Thread):
             )
         cancel_event = threading.Event()
         self.manager.attach_cancel_event(job, cancel_event)
-        deadline_timer: Optional[threading.Timer] = None
-        deadline_at = job.deadline_at()
-        if deadline_at is not None:
-            remaining = deadline_at - time.time()
-            if remaining <= 0:
-                cancel_event.set()
-            else:
-                deadline_timer = threading.Timer(remaining, cancel_event.set)
-                deadline_timer.daemon = True
-                deadline_timer.start()
+        deadline_watch = _DeadlineWatch(
+            cancel_event,
+            lambda: self.manager.effective_deadline(job),
+            clock=self.manager._clock,
+        )
+        deadline_watch.arm()
         result = None
         error = None
         cancelled_reason = None
@@ -969,8 +1049,17 @@ class JobRunner(threading.Thread):
             if job.cancel_requested:
                 cancelled_reason = "cancelled by client"
             else:
+                # deadline_s can be None here: a coalesced join lifted
+                # the deadline after the watch had already fired.  The
+                # sweep has unwound either way; finalise with the
+                # journal intact so a resubmission resumes.
+                budget = (
+                    "deadline"
+                    if job.deadline_s is None
+                    else f"deadline of {job.deadline_s:g}s"
+                )
                 cancelled_reason = (
-                    f"deadline of {job.deadline_s:g}s exceeded "
+                    f"{budget} exceeded "
                     f"({exc.done} of {exc.total} configurations done; "
                     "resubmit to resume from the checkpoint)"
                 )
@@ -979,8 +1068,7 @@ class JobRunner(threading.Thread):
             logger.warning("job %s failed: %s", job.job_id, exc)
             error = f"{type(exc).__name__}: {exc}"
         finally:
-            if deadline_timer is not None:
-                deadline_timer.cancel()
+            deadline_watch.stop()
             if tracer is not None:
                 tracer.__exit__(None, None, None)
                 self._record_trace(job, recorder)

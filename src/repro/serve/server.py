@@ -169,10 +169,23 @@ class ExplorationService:
         self.manager.begin_drain()
 
     def stop(self, wait: bool = True, timeout_s: float = 60.0) -> None:
-        """Drain, let the runner finish, and close the store."""
+        """Drain, let the runner finish, and close the store.
+
+        When the runner is still alive after the join (or ``wait`` is
+        False mid-sweep), the store stays open: closing it under an
+        in-flight job would turn the job's own writes into spurious
+        closed-connection failures.  The store then closes with the
+        process.
+        """
         self.manager.stop()
         if self._started and wait:
             self.runner.join(timeout_s)
+        if self._started and self.runner.is_alive():
+            logger.warning(
+                "runner still busy after stop(); leaving the store open "
+                "for the in-flight job"
+            )
+            return
         self.store.close()
 
     # ------------------------------------------------------------------

@@ -774,6 +774,120 @@ class TestDeadlineResume:
             service.stop()
 
 
+class TestRunnerRobustness:
+    """The runner thread must outlive any single job's misbehaviour."""
+
+    def test_runner_survives_execute_crash(self, tmp_path, fail_on_error_logs):
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+
+        def boom(job):
+            raise RuntimeError("kaboom")
+
+        service.runner.execute = boom  # instance attr shadows the method
+        service.start()
+        try:
+            job, _ = service.manager.submit(SMALL)
+            ended = service.manager.wait(job.job_id, timeout_s=30)
+            assert ended is not None and ended.state == "failed"
+            assert "kaboom" in ended.error
+            # The loop caught the escape: the runner is still alive and
+            # executes the next job normally.
+            assert service.runner.is_alive()
+            del service.runner.execute
+            retry, _ = service.manager.submit(BIG)
+            done = service.manager.wait(retry.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+        finally:
+            service.stop()
+            # This test provokes the backstop's ERROR log on purpose.
+            fail_on_error_logs.records.clear()
+
+    def test_spurious_cancel_with_lifted_deadline_is_not_fatal(self, tmp_path):
+        # Race pinned by the review: the deadline fires, then a
+        # coalesced join lifts job.deadline_s to None before the
+        # runner's except-handler formats the reason.  The handler must
+        # not raise (a TypeError here used to kill the runner thread).
+        from repro.engine.resilience import SweepCancelledError
+
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+
+        def cancelled_sweep(job, cancel_event=None):
+            raise SweepCancelledError("cancelled", done=1, total=4)
+
+        service.runner._sweep = cancelled_sweep
+        service.start()
+        try:
+            job, _ = service.manager.submit(SMALL)  # no deadline at all
+            ended = service.manager.wait(job.job_id, timeout_s=30)
+            assert ended is not None and ended.state == "cancelled"
+            assert "deadline exceeded" in ended.error
+            assert service.runner.is_alive()
+        finally:
+            service.stop()
+
+    def test_stop_with_stuck_runner_leaves_store_open(self, tmp_path):
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stuck(job):
+            entered.set()
+            release.wait(30)
+            service.manager.fail(job, "stubbed")
+
+        service.runner.execute = stuck
+        service.start()
+        try:
+            job, _ = service.manager.submit(SMALL)
+            assert entered.wait(10)
+            # The join times out with the sweep still running; the store
+            # must stay open so the job's own writes don't explode.
+            service.stop(wait=True, timeout_s=0.05)
+            assert service.store.stats()["jobs"] >= 1
+        finally:
+            release.set()
+            service.manager.wait(job.job_id, timeout_s=30)
+            service.runner.join(10)
+            service.stop()  # runner gone: this close succeeds
+
+    def test_runner_deadline_lift_mid_sweep_completes(self, tmp_path):
+        # End-to-end: a running job's short deadline is lifted by a
+        # coalesced join; the re-reading watch stands down and the job
+        # runs to done instead of being cancelled by the stale timer.
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        started = threading.Event()
+        release = threading.Event()
+        original = service.runner._sweep
+
+        def gated(job, cancel_event=None):
+            started.set()
+            release.wait(30)
+            return original(job, cancel_event)
+
+        service.runner._sweep = gated
+        service.start()
+        try:
+            job, _ = service.manager.submit(SMALL, deadline_s=1.0)
+            assert started.wait(10)
+            joined, coalesced = service.manager.submit(SMALL)  # lifts it
+            assert coalesced and joined.job_id == job.job_id
+            time.sleep(1.5)  # let the stale deadline fire (and stand down)
+            release.set()
+            ended = service.manager.wait(job.job_id, timeout_s=120)
+            assert ended is not None and ended.state == "done"
+        finally:
+            release.set()
+            service.stop()
+
+
 class TestClientRetryJitter:
     def test_seeded_jitter_is_deterministic(self):
         a = ServeClient(retry_seed=42)

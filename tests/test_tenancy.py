@@ -17,6 +17,7 @@ The load-bearing claims:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -25,12 +26,14 @@ from repro.serve import (
     ClientPolicy,
     JobManager,
     JobSpec,
+    QueueFullError,
     QuotaExceededError,
     RateLimitedError,
     TenancyPolicy,
     TokenBucket,
     open_store,
 )
+from repro.serve.jobs import _DeadlineWatch
 from repro.serve.tenancy import DEFAULT_CLIENT, validate_client_id
 
 
@@ -175,6 +178,41 @@ class TestPolicies:
             ClientPolicy(max_inflight=0)
         with pytest.raises(ValueError, match="client_id"):
             TenancyPolicy(overrides={"bad id": ClientPolicy()})
+
+
+class TestAdmissionOrder:
+    """Rejections that never admit a job must not debit the bucket."""
+
+    def test_quota_rejection_spares_rate_budget(self, manager_factory):
+        clock = FakeClock()
+        tenancy = TenancyPolicy(
+            default=ClientPolicy(rate=1.0, burst=1, max_inflight=1),
+            clock=clock,
+        )
+        manager = manager_factory(tenancy=tenancy, clock=clock)
+        specs = _specs(2)
+        job, _ = manager.submit(specs[0], client_id="a")
+        clock.advance(1.0)  # exactly one token banked
+        with pytest.raises(QuotaExceededError):
+            manager.submit(specs[1], client_id="a")
+        # The rejection debited nothing: once the quota clears, the same
+        # retry is admitted on the banked token, not rate-limited.
+        manager.cancel(job.job_id)
+        manager.submit(specs[1], client_id="a")
+
+    def test_queue_full_rejection_spares_rate_budget(self, manager_factory):
+        clock = FakeClock()
+        tenancy = TenancyPolicy(
+            default=ClientPolicy(rate=1.0, burst=1), clock=clock
+        )
+        manager = manager_factory(tenancy=tenancy, clock=clock, max_depth=1)
+        specs = _specs(2)
+        job, _ = manager.submit(specs[0], client_id="a")
+        clock.advance(1.0)  # exactly one token banked
+        with pytest.raises(QueueFullError):
+            manager.submit(specs[1], client_id="a")
+        manager.cancel(job.job_id)
+        manager.submit(specs[1], client_id="a")
 
 
 class TestFairShare:
@@ -333,13 +371,82 @@ class TestDeadlines:
             manager.submit(_specs(1)[0], deadline_s=0.0)
 
     def test_coalesce_keeps_most_permissive_deadline(self, manager_factory):
-        manager = manager_factory()
+        clock = FakeClock(start=100.0)
+        manager = manager_factory(clock=clock)
         spec = _specs(1)[0]
         job, _ = manager.submit(spec, deadline_s=5.0)
         manager.submit(spec, deadline_s=30.0)
         assert job.deadline_s == 30.0
         manager.submit(spec)  # no deadline lifts it entirely
         assert job.deadline_s is None
+
+    def test_coalesce_merges_absolute_expiries(self, manager_factory):
+        clock = FakeClock(start=100.0)
+        manager = manager_factory(clock=clock)
+        spec = _specs(1)[0]
+        job, _ = manager.submit(spec, deadline_s=60.0)
+        clock.advance(50.0)
+        # A joiner asking for 60s gets 60s from *now*: the merged expiry
+        # is 210, not the original 160 -- its budget does not start at
+        # the original submission.
+        manager.submit(spec, deadline_s=60.0)
+        assert job.deadline_at() == pytest.approx(210.0)
+        # A shorter-budget joiner never shrinks the merged expiry.
+        manager.submit(spec, deadline_s=1.0)
+        assert job.deadline_at() == pytest.approx(210.0)
+
+    def test_deadline_watch_stands_down_when_join_lifts(self, manager_factory):
+        manager = manager_factory()
+        spec = _specs(1)[0]
+        job, _ = manager.submit(spec, deadline_s=0.2)
+        claimed = manager.next_job(timeout_s=0)
+        event = threading.Event()
+        manager.attach_cancel_event(claimed, event)
+        watch = _DeadlineWatch(
+            event, lambda: manager.effective_deadline(claimed)
+        )
+        watch.arm()
+        try:
+            manager.submit(spec)  # coalesced join lifts the deadline
+            time.sleep(0.5)
+            # The fire re-read the (now absent) deadline and stood down
+            # instead of cancelling the job.
+            assert not event.is_set()
+        finally:
+            watch.stop()
+
+    def test_deadline_watch_rearms_when_join_extends(self, manager_factory):
+        manager = manager_factory()
+        spec = _specs(1)[0]
+        job, _ = manager.submit(spec, deadline_s=0.2)
+        claimed = manager.next_job(timeout_s=0)
+        event = threading.Event()
+        manager.attach_cancel_event(claimed, event)
+        watch = _DeadlineWatch(
+            event, lambda: manager.effective_deadline(claimed)
+        )
+        watch.arm()
+        try:
+            manager.submit(spec, deadline_s=60.0)  # well past the test
+            time.sleep(0.5)
+            assert not event.is_set()
+        finally:
+            watch.stop()
+
+    def test_deadline_watch_fires_on_expiry(self, manager_factory):
+        manager = manager_factory()
+        job, _ = manager.submit(_specs(1)[0], deadline_s=0.1)
+        claimed = manager.next_job(timeout_s=0)
+        event = threading.Event()
+        manager.attach_cancel_event(claimed, event)
+        watch = _DeadlineWatch(
+            event, lambda: manager.effective_deadline(claimed)
+        )
+        watch.arm()
+        try:
+            assert event.wait(5.0)
+        finally:
+            watch.stop()
 
     def test_cancel_queued_job(self, manager_factory):
         manager = manager_factory()
