@@ -2,8 +2,8 @@
 
 The perf benches (``test_perf_engine.py``, ``test_perf_obs.py``,
 ``test_perf_resilience.py``, ``test_perf_serve.py``) write human-readable
-tables under
-``benchmarks/results/``.  CI stashes the committed baselines, re-runs the
+tables under ``benchmarks/results/`` (``test_perf_engine.py`` writes two:
+its own sweep table and the one-pass grid table).  CI stashes the committed baselines, re-runs the
 benches, and calls this script to diff the two directories::
 
     python benchmarks/check_regression.py BASELINE_DIR CURRENT_DIR
@@ -34,7 +34,13 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 #: Result files the gate covers (others under results/ are figure tables).
-PERF_FILES = ("perf_engine", "perf_obs", "perf_resilience", "perf_serve")
+PERF_FILES = (
+    "perf_engine",
+    "perf_obs",
+    "perf_onepass",
+    "perf_resilience",
+    "perf_serve",
+)
 
 
 def _to_float(token: str):
@@ -77,12 +83,24 @@ def parse_seconds(text: str) -> Dict[str, float]:
     return measurements
 
 
-def load_directory(directory: Path, names=PERF_FILES) -> Dict[str, float]:
-    """Seconds measurements across every covered file, keyed ``file:label``."""
+def load_directory(
+    directory: Path, names=PERF_FILES, strict: bool = True
+) -> Dict[str, float]:
+    """Seconds measurements across every covered file, keyed ``file:label``.
+
+    Every covered file must exist: a baseline that silently vanishes would
+    otherwise shrink the gate to whatever happens to be on disk.  Pass
+    ``strict=False`` to tolerate gaps (not used by the CI gate).
+    """
     measurements: Dict[str, float] = {}
     for name in names:
         path = directory / f"{name}.txt"
         if not path.exists():
+            if strict:
+                raise FileNotFoundError(
+                    f"{path}: covered baseline missing -- regenerate with "
+                    "'python -m pytest benchmarks/' and commit the results"
+                )
             continue
         for label, value in parse_seconds(path.read_text()).items():
             measurements[f"{name}:{label}"] = value
@@ -133,8 +151,12 @@ def main(argv=None) -> int:
                              "noise (default 0.02)")
     args = parser.parse_args(argv)
 
-    baseline = load_directory(args.baseline)
-    current = load_directory(args.current)
+    try:
+        baseline = load_directory(args.baseline)
+        current = load_directory(args.current)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if not baseline:
         print(f"no perf baselines found under {args.baseline}", file=sys.stderr)
         return 2

@@ -165,9 +165,10 @@ def _add_energy_args(parser: argparse.ArgumentParser) -> None:
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        default="fastsim",
+        default="auto",
         choices=available_backends(),
-        help="miss-measurement backend (default: the exact vectorized path)",
+        help="miss-measurement backend (default: auto, the exact "
+        "one-pass grid path for cold sweeps)",
     )
     parser.add_argument(
         "--jobs",
@@ -1101,7 +1102,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--cycle-bound", type=float, default=None)
     submit.add_argument("--energy-bound", type=float, default=None)
     submit.add_argument(
-        "--backend", default="fastsim", choices=available_backends()
+        "--backend", default="auto", choices=available_backends()
     )
     _add_energy_args(submit)
     _add_obs_args(submit)

@@ -35,6 +35,7 @@ from repro.engine.backends import (
     Backend,
     FastSimBackend,
     MissMeasurement,
+    OnePassBackend,
     ReferenceBackend,
     SampledBackend,
     available_backends,
@@ -88,6 +89,7 @@ __all__ = [
     "InstructionWorkload",
     "KernelWorkload",
     "MissMeasurement",
+    "OnePassBackend",
     "ParallelSweep",
     "ReferenceBackend",
     "ResilienceOptions",

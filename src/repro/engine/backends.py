@@ -17,6 +17,16 @@ accuracy for speed:
 ``analytic``
     The paper's own closed-form model (:mod:`repro.core.analytic`);
     simulation-free, only defined for loop-nest kernels.
+``onepass``
+    The Mattson-style stack filter (:mod:`repro.cache.stackdist`): one
+    vectorized trace pass per distinct set count prices *every*
+    associativity at once, so a whole (sets, ways) grid costs a handful
+    of passes instead of one simulation per point.  Exact (bit-identical
+    to ``fastsim``, property-tested) and the fast cold path for sweeps.
+``auto``
+    An alias for ``onepass``: what ``explore`` and ``serve`` use unless
+    a backend is named explicitly.  It resolves at construction time, so
+    fingerprints, checkpoints and store rows always record ``onepass``.
 
 Backends are selected by name through :func:`get_backend`, which resolves
 through the :mod:`repro.registry` plugin registry -- the built-ins above
@@ -28,16 +38,18 @@ touching the pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, Optional, Union
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cache.fastsim import fast_miss_vector
 from repro.cache.sampling import sampled_miss_rate
 from repro.cache.simulator import CacheGeometry, CacheSimulator
+from repro.cache.stackdist import grid_miss_counts
 from repro.cache.trace import MemoryTrace
 from repro.engine.cache import EvalCache, get_eval_cache
 from repro.obs.metrics import get_metrics
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import CacheConfig
@@ -47,6 +59,7 @@ __all__ = [
     "Backend",
     "FastSimBackend",
     "MissMeasurement",
+    "OnePassBackend",
     "ReferenceBackend",
     "SampledBackend",
     "available_backends",
@@ -107,12 +120,17 @@ class Backend:
 
     ``provides_vector`` backends implement :meth:`miss_vector` (a bool per
     access) from which :meth:`measure` is derived; estimating backends
-    implement :meth:`measure` directly.  ``params`` must make the
-    measurement's cache key unique (e.g. the sampling stride).
+    implement :meth:`measure` directly.  ``provides_grid`` backends also
+    implement :meth:`measure_grid`, pricing a whole batch of same-trace,
+    same-line-size geometries in one go -- the evaluator and the parallel
+    executor group cold configurations and hand each group over at once.
+    ``params`` must make the measurement's cache key unique (e.g. the
+    sampling stride).
     """
 
     name: str = "?"
     provides_vector: bool = False
+    provides_grid: bool = False
     requires_kernel: bool = False
 
     @property
@@ -129,6 +147,14 @@ class Backend:
         self, trace: MemoryTrace, config: "CacheConfig"
     ) -> MissMeasurement:
         return _measurement_from_vector(trace, self.miss_vector(trace, config))
+
+    def measure_grid(
+        self, trace: MemoryTrace, configs: Sequence["CacheConfig"]
+    ) -> "Dict[CacheConfig, MissMeasurement]":
+        """Measure many same-trace, same-line-size geometries at once."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no batch grid measurement"
+        )
 
 
 class FastSimBackend(Backend):
@@ -255,10 +281,80 @@ class AnalyticBackend(Backend):
         )
 
 
+class OnePassBackend(Backend):
+    """All configurations of a line size from one stack-filter pass.
+
+    Built on :func:`repro.cache.stackdist.grid_miss_counts`: for each
+    distinct set count in the batch, one vectorized pass computes the
+    exact per-depth hit histogram, from which the miss count of every
+    requested associativity is read in O(1).  ``measure`` is the
+    degenerate one-point batch, so single-config evaluation stays exact
+    too; the win comes from :meth:`measure_grid`, which the evaluator
+    feeds whole cold (trace, line size) groups.
+
+    Emits ``onepass.passes`` / ``onepass.configs_measured`` /
+    ``onepass.set_counts`` counters and one ``onepass_pass`` span per
+    batch (see docs/OBSERVABILITY.md).
+    """
+
+    name = "onepass"
+    provides_vector = False
+    provides_grid = True
+
+    def measure(
+        self, trace: MemoryTrace, config: "CacheConfig"
+    ) -> MissMeasurement:
+        return self.measure_grid(trace, [config])[config]
+
+    def measure_grid(
+        self, trace: MemoryTrace, configs: Sequence["CacheConfig"]
+    ) -> "Dict[CacheConfig, MissMeasurement]":
+        if not configs:
+            return {}
+        line_size = configs[0].line_size
+        for config in configs:
+            if config.line_size != line_size:
+                raise ValueError(
+                    "a one-pass batch must share one line size; got "
+                    f"{line_size} and {config.line_size}"
+                )
+        _count_simulation(self.name, trace)
+        points = {(c.num_sets, c.ways) for c in configs}
+        set_counts = {num_sets for num_sets, _ in points}
+        with span(
+            "onepass_pass",
+            line_size=line_size,
+            configs=len(configs),
+            set_counts=len(set_counts),
+        ):
+            line_ids = trace.line_ids(line_size)
+            counts = grid_miss_counts(line_ids, trace.is_write, points)
+        metrics = get_metrics()
+        metrics.counter("onepass.passes").inc()
+        metrics.counter("onepass.configs_measured").inc(len(configs))
+        metrics.counter("onepass.set_counts").inc(len(set_counts))
+        out: "Dict[CacheConfig, MissMeasurement]" = {}
+        for config in configs:
+            grid = counts[(config.num_sets, config.ways)]
+            out[config] = MissMeasurement(
+                accesses=grid.accesses,
+                reads=grid.reads,
+                miss_rate=(
+                    grid.misses / grid.accesses if grid.accesses else 0.0
+                ),
+                read_miss_rate=(
+                    grid.read_misses / grid.reads if grid.reads else 0.0
+                ),
+                misses=grid.misses,
+                exact=True,
+            )
+        return out
+
+
 def available_backends() -> "tuple[str, ...]":
     """Names accepted by :func:`get_backend` (and the CLI ``--backend``).
 
-    Sourced from the plugin registry: the four built-ins plus every
+    Sourced from the plugin registry: the built-ins above plus every
     backend an installed ``repro.plugins`` entry point registered.
     """
     from repro.registry import get_registry

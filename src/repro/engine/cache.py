@@ -118,6 +118,63 @@ class _LruStore:
             self._eviction_counter.inc(evicted)
         return value
 
+    def get_or_compute_many(
+        self,
+        keys: "list[Hashable]",
+        builder: Callable[["list[Hashable]"], Dict[Hashable, Any]],
+    ) -> Dict[Hashable, Any]:
+        """Batch get-or-compute: ``builder`` sees only the missing keys.
+
+        The batch analogue of :meth:`get_or_compute`, for callers whose
+        builder can amortise work across misses (the one-pass grid
+        backend).  Hit/miss/eviction accounting is per key, identical to
+        ``len(keys)`` single calls; the builder runs outside the lock and
+        races resolve first-writer-wins, with late duplicates counted as
+        hits just like the single-key path.
+        """
+        results: Dict[Hashable, Any] = {}
+        missing: "list[Hashable]" = []
+        with self._lock:
+            for key in keys:
+                if key in results or key in missing:
+                    continue
+                if key in self._data:
+                    self.hits += 1
+                    self._data.move_to_end(key)
+                    results[key] = self._data[key]
+                    self._hit_counter.inc()
+                else:
+                    missing.append(key)
+        if not missing:
+            return results
+        computed = builder(missing)
+        hit_late = 0
+        fresh = 0
+        evicted = 0
+        with self._lock:
+            for key in missing:
+                if key in self._data:
+                    self.hits += 1  # someone else computed it meanwhile
+                    self._data.move_to_end(key)
+                    results[key] = self._data[key]
+                    hit_late += 1
+                    continue
+                self.misses += 1
+                self._data[key] = computed[key]
+                results[key] = computed[key]
+                fresh += 1
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if hit_late:
+            self._hit_counter.inc(hit_late)
+        if fresh:
+            self._miss_counter.inc(fresh)
+        if evicted:
+            self._eviction_counter.inc(evicted)
+        return results
+
     def counters(self) -> Dict[str, int]:
         """Consistent copy of the raw counters (no remote contributions)."""
         with self._lock:
@@ -169,6 +226,19 @@ class EvalCache:
     def miss(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """The miss measurement for ``key``, computing it on first use."""
         return self._miss.get_or_compute(key, builder)
+
+    def miss_many(
+        self,
+        keys: "list[Hashable]",
+        builder: Callable[["list[Hashable]"], Dict[Hashable, Any]],
+    ) -> Dict[Hashable, Any]:
+        """Batch miss-measurement lookup; ``builder(missing)`` fills holes.
+
+        Lets a grid-capable backend measure all cold keys of a sweep
+        group in one pass while warm keys still count as cache hits --
+        the counter semantics match ``len(keys)`` :meth:`miss` calls.
+        """
+        return self._miss.get_or_compute_many(keys, builder)
 
     def counters(self) -> Dict[str, Dict[str, int]]:
         """Raw per-store counters of **this process only**.

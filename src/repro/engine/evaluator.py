@@ -148,6 +148,22 @@ class Evaluator:
         with span("trace_gen", config=config.label(full=True)):
             return self.cache.trace(key, lambda: self.workload.trace_for(config))
 
+    def _measure_key(self, trace_key, config: CacheConfig):
+        """Cache key of a (non-vector) measurement for ``config``.
+
+        Shared by the single and the batch path, so a warm single
+        evaluation hits whatever a grouped one-pass sweep filled in.
+        """
+        return (
+            "measure",
+            trace_key,
+            config.line_size,
+            config.num_sets,
+            config.ways,
+            self.backend.name,
+            self.backend.params,
+        )
+
     def _measure(
         self, bundle: TraceBundle, config: CacheConfig
     ) -> MissMeasurement:
@@ -170,17 +186,9 @@ class Evaluator:
                     key, lambda: self.backend.miss_vector(bundle.trace, config)
                 )
                 return _measurement_from_vector(bundle.trace, vector)
-            key = (
-                "measure",
-                trace_key,
-                config.line_size,
-                config.num_sets,
-                config.ways,
-                self.backend.name,
-                self.backend.params,
-            )
             return self.cache.miss(
-                key, lambda: self.backend.measure(bundle.trace, config)
+                self._measure_key(trace_key, config),
+                lambda: self.backend.measure(bundle.trace, config),
             )
 
     def _add_bs(self, bundle: TraceBundle, config: CacheConfig) -> float:
@@ -233,6 +241,88 @@ class Evaluator:
                 "engine.eval." + self.backend.name
             ).observe(elapsed)
 
+    def evaluate_batch(
+        self, configs: Iterable[CacheConfig]
+    ) -> List[PerformanceEstimate]:
+        """Many configurations at once, grouped for grid-capable backends.
+
+        Configurations are grouped by ``(trace key, line size)`` and each
+        group's *cold* measurements are obtained from one
+        :meth:`~repro.engine.backends.Backend.measure_grid` pass; warm
+        ones come from the :class:`EvalCache` exactly as in
+        :meth:`evaluate`, through the same keys, so single and grouped
+        evaluation fill and hit one another's entries.  Estimates are
+        returned in input order and are byte-identical to per-config
+        :meth:`evaluate` calls (asserted by the test suite).  Backends
+        without ``provides_grid`` (and the kernel-bound analytic backend)
+        simply fall back to per-config evaluation.
+        """
+        configs = list(configs)
+        if not self.backend.provides_grid or self.backend.requires_kernel:
+            return [self.evaluate(config) for config in configs]
+        metrics = get_metrics()
+        groups: "dict[tuple, List[tuple[int, CacheConfig]]]" = {}
+        group_order: List[tuple] = []
+        for position, config in enumerate(configs):
+            self.workload.validate(config)
+            group_key = (self.workload.trace_key(config), config.line_size)
+            if group_key not in groups:
+                groups[group_key] = []
+                group_order.append(group_key)
+            groups[group_key].append((position, config))
+        results: List[Optional[PerformanceEstimate]] = [None] * len(configs)
+        for group_key in group_order:
+            trace_key, line_size = group_key
+            members = groups[group_key]
+            started = time.perf_counter()
+            with span(
+                "evaluate_batch",
+                backend=self.backend.name,
+                configs=len(members),
+                line_size=line_size,
+            ):
+                bundle = self._bundle_for(members[0][1])
+                by_key: "dict[tuple, CacheConfig]" = {}
+                for _, config in members:
+                    by_key.setdefault(self._measure_key(trace_key, config), config)
+
+                def _measure_missing(missing, _bundle=bundle, _by_key=by_key):
+                    cold = [_by_key[key] for key in missing]
+                    measured = self.backend.measure_grid(_bundle.trace, cold)
+                    return {
+                        self._measure_key(trace_key, config): measurement
+                        for config, measurement in measured.items()
+                    }
+
+                with span(
+                    "miss_measure",
+                    backend=self.backend.name,
+                    configs=len(by_key),
+                ):
+                    measurements = self.cache.miss_many(
+                        list(by_key), _measure_missing
+                    )
+                add_bs = self._add_bs(bundle, members[0][1])
+                for position, config in members:
+                    results[position] = assemble_estimate(
+                        bundle,
+                        config,
+                        measurements[self._measure_key(trace_key, config)],
+                        self.energy_model,
+                        add_bs,
+                    )
+            elapsed = time.perf_counter() - started
+            metrics.counter("engine.configs_evaluated").inc(len(members))
+            # The per-eval histograms see the amortised group latency so
+            # their totals still sum to wall-clock evaluation time.
+            amortised = elapsed / len(members)
+            overall = metrics.histogram("engine.eval")
+            per_backend = metrics.histogram("engine.eval." + self.backend.name)
+            for _ in members:
+                overall.observe(amortised)
+                per_backend.observe(amortised)
+        return list(results)
+
     def sweep(
         self,
         configs: Optional[Iterable[CacheConfig]] = None,
@@ -274,6 +364,11 @@ class Evaluator:
                 estimates = ParallelSweep(
                     jobs=jobs or 1, resilience=resilience
                 ).run(self, ordered)
+                if progress is not None:
+                    for estimate in estimates:
+                        progress(estimate)
+            elif self.backend.provides_grid and not self.backend.requires_kernel:
+                estimates = self.evaluate_batch(ordered)
                 if progress is not None:
                     for estimate in estimates:
                         progress(estimate)

@@ -122,6 +122,34 @@ def _diff_cache_counters(
     }
 
 
+def _evaluate_pairs(
+    evaluator: Any, indexed: Sequence[Tuple[int, CacheConfig]]
+) -> List[Tuple[int, PerformanceEstimate]]:
+    """Evaluate an indexed chunk, batched when the backend allows it.
+
+    Grid-capable backends (``provides_grid``) get the whole chunk at once
+    through ``evaluate_batch`` -- one stack-filter pass per (trace, line
+    size) group instead of one simulation per configuration.  Everything
+    else (vector backends, the kernel-bound analytic backend, evaluators
+    without a batch method such as :class:`CompositeProgram`) keeps the
+    historical per-config loop.  Results are bit-identical either way.
+    """
+    backend = getattr(evaluator, "backend", None)
+    batch = getattr(evaluator, "evaluate_batch", None)
+    if (
+        batch is not None
+        and backend is not None
+        and getattr(backend, "provides_grid", False)
+        and not getattr(backend, "requires_kernel", False)
+    ):
+        estimates = batch([config for _, config in indexed])
+        return [
+            (index, estimate)
+            for (index, _), estimate in zip(indexed, estimates)
+        ]
+    return [(index, evaluator.evaluate(config)) for index, config in indexed]
+
+
 def _evaluate_chunk(
     evaluator: Any,
     indexed: Sequence[Tuple[int, CacheConfig]],
@@ -166,15 +194,9 @@ def _evaluate_chunk(
                 pid=os.getpid(),
                 attempt=attempt,
             ):
-                pairs = [
-                    (index, evaluator.evaluate(config))
-                    for index, config in indexed
-                ]
+                pairs = _evaluate_pairs(evaluator, indexed)
         else:
-            pairs = [
-                (index, evaluator.evaluate(config))
-                for index, config in indexed
-            ]
+            pairs = _evaluate_pairs(evaluator, indexed)
     finally:
         get_metrics().histogram("engine.chunk_seconds").observe(
             time.perf_counter() - chunk_started
@@ -324,7 +346,8 @@ class ParallelSweep:
         if not self._explicit_resilience and (
             self.jobs <= 1 or len(configs) <= 1
         ):
-            return [evaluator.evaluate(config) for config in configs]
+            pairs = _evaluate_pairs(evaluator, list(enumerate(configs)))
+            return [estimate for _, estimate in pairs]
         journal, tagged = self._open_journal(evaluator, configs, opts)
         self._progress_total = len(configs)
         self._report_progress(tagged)
@@ -498,11 +521,8 @@ class ParallelSweep:
                     pid=os.getpid(),
                     serial=True,
                 ):
-                    return [
-                        (index, evaluator.evaluate(config))
-                        for index, config in indexed
-                    ]
-            return [(index, evaluator.evaluate(config)) for index, config in indexed]
+                    return _evaluate_pairs(evaluator, indexed)
+            return _evaluate_pairs(evaluator, indexed)
         except Exception as exc:
             if self.resilience.breaker is not None:
                 self.resilience.breaker.record_failure()

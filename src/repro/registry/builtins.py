@@ -1,6 +1,6 @@
 """Built-in component registration -- through the same hook plugins use.
 
-Everything repro bundles (four miss-measurement backends, seventeen
+Everything repro bundles (the miss-measurement backends, seventeen
 kernels, two energy models, three SRAM parts, the sqlite store tier) is
 registered here, via exactly the :class:`~repro.registry.core.RegistryHook`
 protocol a third-party ``repro.plugins`` entry point receives.  There is
@@ -40,6 +40,11 @@ def _register_backends(hook: "RegistryHook") -> None:
     hook.backend(backends.ReferenceBackend.name, backends.ReferenceBackend)
     hook.backend(backends.SampledBackend.name, backends.SampledBackend)
     hook.backend(backends.AnalyticBackend.name, backends.AnalyticBackend)
+    hook.backend(backends.OnePassBackend.name, backends.OnePassBackend)
+    # "auto" is the sweep-default alias: it constructs the one-pass
+    # backend, so everything downstream (fingerprints, store eval ids,
+    # manifests) records the concrete name "onepass".
+    hook.backend("auto", backends.OnePassBackend)
 
 
 def _register_kernels(hook: "RegistryHook") -> None:

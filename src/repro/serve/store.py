@@ -877,6 +877,40 @@ class StoreBackedEvaluator:
         self.store.put(self.eval_id, config, estimate)
         return estimate
 
+    def evaluate_batch(
+        self, configs: Any
+    ) -> "list[PerformanceEstimate]":
+        """Many configurations: stored rows first, one batch for the rest.
+
+        Keeps the grouped cold path (one stack-filter pass per trace/line
+        size group) intact underneath the store tier: stored estimates
+        are returned as-is and only the misses reach the inner
+        evaluator's ``evaluate_batch`` -- falling back to per-config
+        evaluation when the inner evaluator has no batch method.  Fresh
+        estimates are recorded exactly as :meth:`evaluate` records them.
+        """
+        configs = list(configs)
+        results: "list[Optional[PerformanceEstimate]]" = [None] * len(configs)
+        cold: "list[CacheConfig]" = []
+        cold_at: "list[int]" = []
+        for position, config in enumerate(configs):
+            stored = self.store.get(self.eval_id, config)
+            if stored is not None:
+                results[position] = stored
+            else:
+                cold.append(config)
+                cold_at.append(position)
+        if cold:
+            inner_batch = getattr(self.inner, "evaluate_batch", None)
+            if inner_batch is not None:
+                fresh = inner_batch(cold)
+            else:
+                fresh = [self.inner.evaluate(config) for config in cold]
+            for position, config, estimate in zip(cold_at, cold, fresh):
+                self.store.put(self.eval_id, config, estimate)
+                results[position] = estimate
+        return list(results)
+
 
 def open_store(path: str) -> ResultStore:
     """Open (creating directories as needed) the store at ``path``."""

@@ -332,7 +332,8 @@ class TestRegistryIntegration:
         manifest = check_manifest(_json.loads(target.read_text()))
         used = {(row["kind"], row["name"]) for row in manifest["plugins"]}
         assert ("kernel", "compress") in used
-        assert ("backend", "fastsim") in used
+        # The default engine backend is the "auto" alias (one-pass grid).
+        assert ("backend", "auto") in used
         assert manifest["eval_id"]
         assert manifest["sweep_fingerprint"]
 

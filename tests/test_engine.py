@@ -39,6 +39,7 @@ from repro.engine import (
 from repro.engine.backends import (
     AnalyticBackend,
     FastSimBackend,
+    OnePassBackend,
     ReferenceBackend,
     SampledBackend,
 )
@@ -77,7 +78,7 @@ def traces(draw):
 class TestBackendRegistry:
     def test_names(self):
         assert available_backends() == (
-            "analytic", "fastsim", "reference", "sampled"
+            "analytic", "auto", "fastsim", "onepass", "reference", "sampled"
         )
 
     def test_get_by_name(self):
@@ -85,6 +86,12 @@ class TestBackendRegistry:
         assert isinstance(get_backend("reference"), ReferenceBackend)
         assert isinstance(get_backend("sampled"), SampledBackend)
         assert isinstance(get_backend("analytic"), AnalyticBackend)
+        assert isinstance(get_backend("onepass"), OnePassBackend)
+        # "auto" resolves to the concrete one-pass backend at creation,
+        # so fingerprints and store rows always see the name "onepass".
+        auto = get_backend("auto")
+        assert isinstance(auto, OnePassBackend)
+        assert auto.name == "onepass"
 
     def test_default_and_passthrough(self):
         assert isinstance(get_backend(None), FastSimBackend)

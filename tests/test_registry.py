@@ -82,7 +82,7 @@ def _demo_register(hook):
 def test_builtins_cover_every_kind():
     registry = get_registry()
     assert registry.names("backend") == (
-        "analytic", "fastsim", "reference", "sampled",
+        "analytic", "auto", "fastsim", "onepass", "reference", "sampled",
     )
     assert "compress" in registry.names("kernel")
     assert "mpeg:idct" in registry.names("kernel")

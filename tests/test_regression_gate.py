@@ -70,10 +70,19 @@ class TestParsing:
         (tmp_path / "perf_engine.txt").write_text(ENGINE_STYLE)
         (tmp_path / "perf_obs.txt").write_text(OBS_STYLE)
         (tmp_path / "fig01_energy_em.txt").write_text(ENGINE_STYLE)
-        loaded = gate.load_directory(tmp_path)
+        loaded = gate.load_directory(tmp_path, strict=False)
         assert "perf_engine:serial, cold cache" in loaded
         assert "perf_obs:warm sweep, spans enabled (s)" in loaded
         assert not any(key.startswith("fig01") for key in loaded)
+
+    def test_covered_files_include_onepass(self, gate):
+        assert "perf_onepass" in gate.PERF_FILES
+
+    def test_missing_covered_file_is_a_hard_error(self, gate, tmp_path):
+        # A vanished baseline must not silently shrink the gate.
+        (tmp_path / "perf_engine.txt").write_text(ENGINE_STYLE)
+        with pytest.raises(FileNotFoundError, match="regenerate"):
+            gate.load_directory(tmp_path)
 
 
 class TestVerdicts:
@@ -114,12 +123,18 @@ class TestVerdicts:
 
 
 class TestMain:
+    @staticmethod
+    def _populate(gate, directory, engine_table=ENGINE_STYLE):
+        directory.mkdir()
+        for name in gate.PERF_FILES:
+            table = engine_table if name == "perf_engine" else OBS_STYLE
+            (directory / f"{name}.txt").write_text(table)
+
     def test_end_to_end_pass_and_fail(self, gate, tmp_path, capsys):
         baseline = tmp_path / "baseline"
         current = tmp_path / "current"
-        for directory in (baseline, current):
-            directory.mkdir()
-            (directory / "perf_engine.txt").write_text(ENGINE_STYLE)
+        self._populate(gate, baseline)
+        self._populate(gate, current)
         assert gate.main([str(baseline), str(current)]) == 0
         capsys.readouterr()
 
@@ -128,9 +143,20 @@ class TestMain:
         assert gate.main([str(baseline), str(current)]) == 1
         assert "regression" in capsys.readouterr().err
 
-    def test_empty_baseline_is_an_error(self, gate, tmp_path):
+    def test_empty_baseline_is_an_error(self, gate, tmp_path, capsys):
         baseline = tmp_path / "baseline"
         current = tmp_path / "current"
         baseline.mkdir()
         current.mkdir()
         assert gate.main([str(baseline), str(current)]) == 2
+        assert "regenerate" in capsys.readouterr().err
+
+    def test_missing_single_baseline_is_an_error(self, gate, tmp_path,
+                                                 capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        self._populate(gate, baseline)
+        self._populate(gate, current)
+        (baseline / "perf_onepass.txt").unlink()
+        assert gate.main([str(baseline), str(current)]) == 2
+        assert "perf_onepass" in capsys.readouterr().err
