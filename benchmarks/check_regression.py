@@ -1,7 +1,8 @@
 """Benchmark regression gate: compare timing tables against baselines.
 
-The perf benches (``test_perf_engine.py``, ``test_perf_obs.py``,
-``test_perf_resilience.py``, ``test_perf_serve.py``) write human-readable
+The perf benches (``test_perf_engine.py``, ``test_perf_moo.py``,
+``test_perf_obs.py``, ``test_perf_resilience.py``,
+``test_perf_serve.py``) write human-readable
 tables under ``benchmarks/results/`` (``test_perf_engine.py`` writes two:
 its own sweep table and the one-pass grid table).  CI stashes the committed baselines, re-runs the
 benches, and calls this script to diff the two directories::
@@ -36,6 +37,7 @@ from typing import Dict, List, Tuple
 #: Result files the gate covers (others under results/ are figure tables).
 PERF_FILES = (
     "perf_engine",
+    "perf_moo",
     "perf_obs",
     "perf_onepass",
     "perf_resilience",

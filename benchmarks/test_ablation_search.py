@@ -8,7 +8,7 @@ of the evaluations (each evaluation being a full trace simulation).
 
 from repro.core.config import CacheConfig, design_space
 from repro.core.explorer import MemExplorer
-from repro.core.search import greedy_descent, pruned_min_energy
+from repro.moo.heuristics import greedy_descent, pruned_min_energy
 from repro.kernels import make_compress, make_dequant, make_sor
 
 SIZES = (16, 32, 64, 128, 256, 512)

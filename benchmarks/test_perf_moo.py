@@ -1,0 +1,107 @@
+"""Search-quality benchmark: NSGA-II front vs the exhaustive sweep.
+
+The acceptance bar of the multi-objective subsystem: on the dense
+compress design grid, the seeded NSGA-II search must recover at least
+95% of the exhaustive front's hypervolume while requesting at most 10%
+of the grid's evaluations.  Both hypervolumes are measured against the
+*exhaustive* reference point, so the ratio is honest -- the search
+cannot inflate its score by deriving a tighter reference from its own
+first generation.  The unseeded run rides along as the ablation of
+analytic seeding; the timing rows feed the CI perf gate.
+"""
+
+import time
+
+from repro.core.config import design_space
+from repro.core.pareto import hypervolume, pareto_points
+from repro.engine import Evaluator, KernelWorkload
+from repro.kernels import get_kernel
+from repro.moo import SearchSettings, objective_vector, run_search
+from repro.moo.objectives import reference_point
+
+SPACE = list(design_space(max_size=1024, min_size=16))
+SETTINGS = dict(generations=8, population=8, seed=0)
+
+
+def _evaluator():
+    return Evaluator(KernelWorkload(get_kernel("compress")))
+
+
+def test_perf_moo_quality(benchmark, report):
+    def compare():
+        t0 = time.perf_counter()
+        evaluator = _evaluator()
+        estimates = [evaluator.evaluate(config) for config in SPACE]
+        t_full = time.perf_counter() - t0
+        vectors = [objective_vector(e) for e in estimates]
+        reference = reference_point(vectors)
+        true_hv = hypervolume(pareto_points(vectors), reference)
+
+        t0 = time.perf_counter()
+        seeded = run_search(
+            _evaluator(), SPACE, SearchSettings(**SETTINGS)
+        )
+        t_seeded = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        unseeded = run_search(
+            _evaluator(),
+            SPACE,
+            SearchSettings(**SETTINGS, seed_population=False),
+        )
+        t_unseeded = time.perf_counter() - t0
+
+        return (
+            (true_hv, reference, t_full),
+            (seeded, t_seeded),
+            (unseeded, t_unseeded),
+        )
+
+    (true_hv, reference, t_full), (seeded, t_seeded), (unseeded, t_unseeded) = (
+        benchmark.pedantic(compare, rounds=1, iterations=1)
+    )
+
+    def ratio(run):
+        points = [objective_vector(e) for e in run.front]
+        return hypervolume(points, reference) / true_hv
+
+    seeded_ratio = ratio(seeded)
+    unseeded_ratio = ratio(unseeded)
+
+    # The tentpole claim: >=95% of the exhaustive hypervolume for <=10%
+    # of the evaluations.
+    assert seeded_ratio >= 0.95
+    assert seeded.evaluations <= 0.10 * len(SPACE)
+    # The evolutionary search carries its weight even without seeding.
+    assert unseeded_ratio >= 0.90
+
+    n = len(SPACE)
+    report(
+        "perf_moo",
+        f"Performance -- NSGA-II search vs exhaustive sweep (compress, "
+        f"{n}-config grid, hypervolume against the exhaustive reference)",
+        ("path", "seconds", "evals", "evals_pct", "hv_pct"),
+        [
+            (
+                "exhaustive sweep",
+                round(t_full, 5),
+                n,
+                "100.0",
+                "100.00",
+            ),
+            (
+                "nsga2, analytic seeding",
+                round(t_seeded, 5),
+                seeded.evaluations,
+                f"{100.0 * seeded.evaluations / n:.1f}",
+                f"{100.0 * seeded_ratio:.2f}",
+            ),
+            (
+                "nsga2, unseeded",
+                round(t_unseeded, 5),
+                unseeded.evaluations,
+                f"{100.0 * unseeded.evaluations / n:.1f}",
+                f"{100.0 * unseeded_ratio:.2f}",
+            ),
+        ],
+    )

@@ -21,6 +21,12 @@ Subcommands mirror the paper's workflow:
     its reuse profile and miss-ratio curve.
 ``search``
     Pruned (greedy) exploration instead of the exhaustive sweep.
+``pareto``
+    Multi-objective Pareto search (``repro.moo``): a population-based
+    searcher (NSGA-II by default) finds the energy/time/area front
+    touching a fraction of the grid, printing one front line per
+    generation; ``--server`` submits the same search to a running
+    service (``POST /pareto``) and streams its ``repro.front/1`` events.
 ``datasheet``
     Full per-configuration report: metrics, miss structure, area, timing
     and the energy component breakdown.
@@ -492,7 +498,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.core.search import greedy_descent
+    from repro.moo.heuristics import greedy_descent
 
     kernel = _resolve_kernel(args.kernel)
     explorer = MemExplorer(
@@ -509,6 +515,163 @@ def _cmd_search(args: argparse.Namespace) -> int:
     _write_manifest(args, [args.kernel], evaluator=explorer.evaluator)
     print(f"best ({args.objective}): {outcome.best}")
     print(f"evaluations spent: {outcome.evaluations}")
+    return 0
+
+
+def _search_settings(args: argparse.Namespace):
+    """Build :class:`~repro.moo.SearchSettings` from the pareto flags."""
+    from repro.moo import SearchSettings
+
+    try:
+        return SearchSettings(
+            searcher=args.searcher,
+            generations=args.generations,
+            population=args.population,
+            seed=args.seed,
+            objectives=tuple(args.objectives),
+            archive_capacity=args.archive_capacity,
+            seed_population=not args.no_seed_population,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _front_line(event: dict) -> str:
+    """One generation's progress line (identical local and served)."""
+    hv = event.get("hypervolume")
+    hv_text = "n/a" if hv is None else f"{hv:.6g}"
+    return (
+        f"gen {event['generation']:>3d}: "
+        f"evaluations={event['evaluations']:>5d} "
+        f"front={event['archive_size']:>3d} "
+        f"hypervolume={hv_text}"
+    )
+
+
+def _print_front(estimates, objectives) -> None:
+    """The final front table: one row per non-dominated configuration."""
+    from repro.moo import objective_vector
+
+    header = f"{'config':>14s}" + "".join(
+        f" {name:>14s}" for name in objectives
+    )
+    print(header)
+    for estimate in estimates:
+        vector = objective_vector(estimate, objectives)
+        row = f"{estimate.config.label():>14s}" + "".join(
+            f" {value:>14.6g}" for value in vector
+        )
+        print(row)
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    if args.server is not None:
+        return _pareto_remote(args)
+    from repro.engine.resilience import CheckpointError
+    from repro.moo import run_search
+
+    settings = _search_settings(args)
+    kernel = _resolve_kernel(args.kernel)
+    explorer = MemExplorer(
+        kernel,
+        energy_model=_energy_model(args),
+        optimize_layout=not args.no_layout_opt,
+        backend=args.backend,
+    )
+    space = list(
+        design_space(
+            max_size=args.max_size,
+            min_size=args.min_size,
+            ways=tuple(args.ways),
+            tilings=tuple(args.tilings) if args.tilings else None,
+        )
+    )
+    try:
+        run = run_search(
+            explorer.evaluator,
+            space,
+            settings,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            on_generation=lambda event, archive: print(_front_line(event)),
+        )
+    except CheckpointError as exc:
+        raise CLIError(str(exc)) from None
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    _write_manifest(
+        args,
+        [args.kernel],
+        evaluator=explorer.evaluator,
+        configs=[estimate.config for estimate in run.estimates],
+    )
+    print(
+        f"\nfront after {run.generations} generations, "
+        f"{run.evaluations} of {len(space)} configurations evaluated "
+        f"(hypervolume {run.hypervolume:.6g}):"
+    )
+    _print_front(run.front, settings.objectives)
+    return 0
+
+
+def _pareto_remote(args: argparse.Namespace) -> int:
+    """``pareto --server``: submit to ``POST /pareto`` and stream fronts."""
+    from repro.serve import JobSpec, ServeClient, ServeError
+
+    settings = _search_settings(args)
+    if args.checkpoint is not None or args.resume:
+        raise CLIError(
+            "--checkpoint/--resume are local-run flags; a served search "
+            "journals (and resumes) server-side automatically"
+        )
+    if getattr(args, "energy_model", "hwo") != "hwo":
+        raise CLIError(
+            "the exploration service does not support --energy-model; "
+            "served searches always use the paper's 'hwo' model"
+        )
+    try:
+        client = ServeClient(args.server, client_id=args.client)
+        spec = JobSpec(
+            kernel=args.kernel,
+            backend=args.backend,
+            max_size=args.max_size,
+            min_size=args.min_size,
+            ways=tuple(args.ways),
+            tilings=tuple(args.tilings) if args.tilings else None,
+            sram=args.sram,
+            optimize_layout=not args.no_layout_opt,
+            search=settings,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    try:
+        job = client.pareto(
+            spec, priority=args.priority, deadline_s=args.deadline
+        )
+    except ServeError as exc:
+        raise CLIError(str(exc)) from None
+    flag = " (coalesced)" if job.get("coalesced") else ""
+    print(f"job {job['job_id']}{flag}", file=sys.stderr)
+    if args.no_wait:
+        print(job["job_id"])
+        return 0
+    try:
+        for event in client.fronts(job["job_id"]):
+            print(_front_line(event))
+        finished = client.wait(job["job_id"], timeout_s=args.timeout)
+    except ServeError as exc:
+        raise CLIError(str(exc)) from None
+    if finished["state"] != "done":
+        print(
+            f"job {job['job_id']} {finished['state']}: "
+            f"{finished.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = client.result(job["job_id"])
+    print(f"\nfinal front ({len(result)} configurations):")
+    _print_front(result.estimates, settings.objectives)
     return 0
 
 
@@ -979,6 +1142,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_manifest_args(search)
     _add_obs_args(search)
     search.set_defaults(func=_cmd_search)
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="multi-objective Pareto search (local, or POST /pareto with "
+             "--server)",
+    )
+    pareto.add_argument("kernel")
+    pareto.add_argument(
+        "--searcher", default="nsga2",
+        help="search strategy plugin (see 'plugins --kind searcher'; "
+             "default: nsga2)",
+    )
+    pareto.add_argument("--generations", type=int, default=10)
+    pareto.add_argument("--population", type=int, default=16)
+    pareto.add_argument("--seed", type=int, default=0,
+                        help="search RNG seed (fixed seed => identical "
+                             "fronts, any --jobs)")
+    pareto.add_argument(
+        "--objectives", nargs="+", default=["cycles", "energy"],
+        choices=["cycles", "energy", "area"],
+        help="objective axes to minimise (default: cycles energy)",
+    )
+    pareto.add_argument("--archive-capacity", type=int, default=128,
+                        help="bound on retained front points")
+    pareto.add_argument(
+        "--no-seed-population", action="store_true",
+        help="skip analytic seeding of the initial population",
+    )
+    pareto.add_argument("--max-size", type=int, default=512)
+    pareto.add_argument("--min-size", type=int, default=16)
+    pareto.add_argument("--ways", type=int, nargs="+", default=[1])
+    pareto.add_argument("--tilings", type=int, nargs="+", default=None)
+    pareto.add_argument(
+        "--checkpoint", metavar="FILE.jsonl", default=None,
+        help="journal completed generations to this append-only file "
+             "(local runs)",
+    )
+    pareto.add_argument(
+        "--resume", action="store_true",
+        help="replay generations already journaled in --checkpoint",
+    )
+    pareto.add_argument(
+        "--server", default=None, metavar="URL",
+        help="submit to a running service (POST /pareto) and stream the "
+             "front per generation instead of searching locally",
+    )
+    pareto.add_argument("--priority", type=int, default=10,
+                        help="queue priority on the service (lower runs "
+                             "sooner)")
+    pareto.add_argument("--no-wait", action="store_true",
+                        help="with --server: print the job id and return")
+    pareto.add_argument("--timeout", type=float, default=None,
+                        help="with --server: give up waiting after this "
+                             "many seconds")
+    pareto.add_argument("--client", default=None, metavar="NAME",
+                        help="tenant identity sent as X-Repro-Client")
+    pareto.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --server: wall-clock bound; an expired "
+                             "search cancels but keeps its journal")
+    _add_energy_args(pareto)
+    _add_engine_args(pareto)
+    _add_manifest_args(pareto)
+    _add_obs_args(pareto)
+    pareto.set_defaults(func=_cmd_pareto, chunk_timeout=None, max_retries=None)
 
     sheet = sub.add_parser("datasheet", help="full report for one configuration")
     sheet.add_argument("kernel")

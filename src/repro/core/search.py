@@ -1,32 +1,19 @@
-"""Exploration strategies: exhaustive vs pruned search.
+"""Deprecated home of the pruned search heuristics (now ``repro.moo``).
 
-Algorithm MemExplore is exhaustive -- fine for the paper's few hundred
-configurations, but the point of "design automation" is scaling to spaces
-where evaluations are expensive (each one is a trace simulation).  This
-module adds two classic pruned strategies on top of any evaluator:
-
-* **Greedy coordinate descent** -- start from a seed configuration, repeat
-  sweeps over one parameter at a time (T, then L, then S, then B), keeping
-  the best neighbour, until a full round improves nothing.  Evaluates
-  ``O(rounds * (|T|+|L|+|S|+|B|))`` points instead of the product.
-* **Bound pruning** -- during an exhaustive sweep, skip whole ``(T, L)``
-  groups whose *lower bound* on energy (the all-hit energy, which only
-  grows with ``T``) already exceeds the best total seen; sound for the
-  minimum-energy objective because hit energy is a true lower bound.
-
-Both strategies consume *any* evaluator -- a bare callable, a
-:class:`~repro.engine.evaluator.Evaluator`, or a legacy explorer's bound
-``evaluate`` method -- so they compose with every backend the engine
-offers, and both return the same
-:class:`~repro.engine.result.ExplorationResult` interface plus an
-evaluation count, so the efficiency/optimality trade-off is measurable
-(``benchmarks/test_ablation_search.py``).
+Greedy coordinate descent and the bound-pruned minimum-energy sweep moved
+to :mod:`repro.moo.heuristics`, where they are registered under the
+``searcher`` registry kind next to the evolutionary multi-objective
+strategies (so ``repro plugins`` lists every searcher with provenance).
+This module keeps the historical call paths working behind
+``DeprecationWarning`` shims; :class:`SearchOutcome` still lives here and
+is re-used by the new implementations.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig, powers_of_two
 from repro.core.metrics import PerformanceEstimate
@@ -35,14 +22,6 @@ from repro.engine.result import ExplorationResult
 __all__ = ["SearchOutcome", "greedy_descent", "pruned_min_energy"]
 
 Evaluator = Callable[[CacheConfig], PerformanceEstimate]
-
-
-def _as_callable(evaluator: Any) -> Evaluator:
-    """Accept engine evaluators (and explorers) anywhere a callable works."""
-    evaluate = getattr(evaluator, "evaluate", None)
-    if callable(evaluate):
-        return evaluate
-    return evaluator
 
 
 @dataclass(frozen=True)
@@ -59,37 +38,17 @@ class SearchOutcome:
         return ExplorationResult([self.best])
 
 
-def _candidate_values(
-    kind: str,
-    config: CacheConfig,
-    sizes: Sequence[int],
-    line_sizes: Sequence[int],
-    ways: Sequence[int],
-    tilings: Sequence[int],
-) -> List[CacheConfig]:
-    candidates = []
-    if kind == "size":
-        pool = [CacheConfig(v, config.line_size, config.ways, config.tiling)
-                for v in sizes if v >= config.line_size * config.ways]
-    elif kind == "line":
-        pool = [CacheConfig(config.size, v, config.ways, config.tiling)
-                for v in line_sizes if v * config.ways <= config.size]
-    elif kind == "ways":
-        pool = [CacheConfig(config.size, config.line_size, v, config.tiling)
-                for v in ways if v * config.line_size <= config.size]
-    else:
-        pool = [CacheConfig(config.size, config.line_size, config.ways, v)
-                for v in tilings]
-    for candidate in pool:
-        try:
-            candidates.append(candidate)
-        except ValueError:
-            continue
-    return candidates
+def _warn_moved(name: str) -> None:
+    warnings.warn(
+        f"repro.core.search.{name} moved to repro.moo.heuristics.{name}; "
+        "this shim will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def greedy_descent(
-    evaluator: Evaluator,
+    evaluator: Any,
     objective: str = "energy",
     seed: Optional[CacheConfig] = None,
     sizes: Sequence[int] = powers_of_two(16, 1024),
@@ -98,79 +57,29 @@ def greedy_descent(
     tilings: Sequence[int] = (1, 2, 4, 8),
     max_rounds: int = 8,
 ) -> SearchOutcome:
-    """Coordinate-descent search for the best configuration.
+    """Deprecated shim for :func:`repro.moo.heuristics.greedy_descent`."""
+    _warn_moved("greedy_descent")
+    from repro.moo.heuristics import greedy_descent as _impl
 
-    ``objective`` is ``"energy"`` or ``"cycles"``.  Finds a local optimum
-    of the design space; on the bundled kernels' well-behaved surfaces it
-    reaches the global optimum with ~10x fewer evaluations (measured by
-    the search ablation bench).
-    """
-    if objective not in ("energy", "cycles"):
-        raise ValueError("objective must be 'energy' or 'cycles'")
-    key = (
-        (lambda e: (e.energy_nj, e.cycles))
-        if objective == "energy"
-        else (lambda e: (e.cycles, e.energy_nj))
-    )
-    if seed is None:
-        seed = CacheConfig(sizes[len(sizes) // 2], line_sizes[0])
-    evaluate_fn = _as_callable(evaluator)
-    cache: dict = {}
-    visited: List[CacheConfig] = []
-
-    def evaluate(config: CacheConfig) -> PerformanceEstimate:
-        if config not in cache:
-            cache[config] = evaluate_fn(config)
-            visited.append(config)
-        return cache[config]
-
-    best = evaluate(seed)
-    for _ in range(max_rounds):
-        improved = False
-        for kind in ("size", "line", "ways", "tiling"):
-            candidates = _candidate_values(
-                kind, best.config, sizes, line_sizes, ways, tilings
-            )
-            for candidate in candidates:
-                estimate = evaluate(candidate)
-                if key(estimate) < key(best):
-                    best = estimate
-                    improved = True
-        if not improved:
-            break
-    return SearchOutcome(
-        best=best, evaluations=len(visited), visited=tuple(visited)
+    return _impl(
+        evaluator,
+        objective=objective,
+        seed=seed,
+        sizes=sizes,
+        line_sizes=line_sizes,
+        ways=ways,
+        tilings=tilings,
+        max_rounds=max_rounds,
     )
 
 
 def pruned_min_energy(
-    evaluator: Evaluator,
+    evaluator: Any,
     configs: Sequence[CacheConfig],
     hit_energy_bound: Callable[[CacheConfig], float],
 ) -> SearchOutcome:
-    """Exhaustive minimum-energy sweep with sound lower-bound pruning.
+    """Deprecated shim for :func:`repro.moo.heuristics.pruned_min_energy`."""
+    _warn_moved("pruned_min_energy")
+    from repro.moo.heuristics import pruned_min_energy as _impl
 
-    ``hit_energy_bound(config)`` must be a true lower bound on the total
-    energy of ``config`` (the all-hit energy ``events * E_hit`` is one:
-    misses only add energy).  Configurations whose bound exceeds the best
-    total seen are skipped without evaluation, preserving optimality.
-    """
-    best: Optional[PerformanceEstimate] = None
-    visited: List[CacheConfig] = []
-    evaluate_fn = _as_callable(evaluator)
-    ordered = sorted(configs, key=lambda c: (c.size, c.line_size, c.tiling, c.ways))
-    for config in ordered:
-        if best is not None and hit_energy_bound(config) > best.energy_nj:
-            continue
-        estimate = evaluate_fn(config)
-        visited.append(config)
-        if best is None or (estimate.energy_nj, estimate.cycles) < (
-            best.energy_nj,
-            best.cycles,
-        ):
-            best = estimate
-    if best is None:
-        raise ValueError("no configurations to search")
-    return SearchOutcome(
-        best=best, evaluations=len(visited), visited=tuple(visited)
-    )
+    return _impl(evaluator, configs, hit_energy_bound)

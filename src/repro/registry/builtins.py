@@ -31,6 +31,7 @@ def register(hook: "RegistryHook") -> None:
     _register_energy(hook)
     _register_srams(hook)
     _register_stores(hook)
+    _register_searchers(hook)
 
 
 def _register_backends(hook: "RegistryHook") -> None:
@@ -109,3 +110,13 @@ def _register_stores(hook: "RegistryHook") -> None:
     from repro.serve.store import open_store
 
     hook.store("sqlite", open_store)
+
+
+def _register_searchers(hook: "RegistryHook") -> None:
+    from repro.moo.heuristics import GreedyDescentSearcher, PrunedSweepSearcher
+    from repro.moo.searchers import GrammaticalEvolutionSearcher, NSGA2Searcher
+
+    hook.searcher(NSGA2Searcher.name, NSGA2Searcher)
+    hook.searcher(GrammaticalEvolutionSearcher.name, GrammaticalEvolutionSearcher)
+    hook.searcher(GreedyDescentSearcher.name, GreedyDescentSearcher)
+    hook.searcher(PrunedSweepSearcher.name, PrunedSweepSearcher)

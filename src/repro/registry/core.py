@@ -22,6 +22,9 @@ all of those dicts with one table, keyed by ``(kind, name)``:
 ``store``
     Result-store tiers (factories with the
     :func:`~repro.serve.store.open_store` signature).
+``searcher``
+    Multi-objective search strategies (zero-argument factories returning
+    :class:`~repro.moo.searchers.Searcher` instances).
 
 Population happens lazily, on first lookup, in two deterministic steps:
 
@@ -64,7 +67,7 @@ logger = logging.getLogger(__name__)
 EP_GROUP = "repro.plugins"
 
 #: Component kinds the registry manages.
-KINDS = ("backend", "kernel", "energy", "sram", "store")
+KINDS = ("backend", "kernel", "energy", "sram", "store", "searcher")
 
 #: Origin tag of components bundled with repro itself.
 BUILTIN_ORIGIN = "builtin"
@@ -171,6 +174,10 @@ class RegistryHook:
     def store(self, name: str, factory: Callable[..., Any]):
         """Register a result-store tier."""
         return self.add("store", name, factory)
+
+    def searcher(self, name: str, factory: Callable[..., Any]):
+        """Register a multi-objective search strategy."""
+        return self.add("searcher", name, factory)
 
 
 def _iter_entry_points() -> List[Any]:

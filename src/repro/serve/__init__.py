@@ -12,20 +12,23 @@ evaluation, fleet-wide, instead of re-running one-shot CLI sweeps.
   :class:`StoreBackedEvaluator` layers the store under any engine
   evaluator without changing sweep fingerprints.
 * :mod:`repro.serve.jobs` -- :class:`JobSpec` (the canonical, hashable
-  sweep request), :class:`JobManager` (bounded priority queue, request
-  coalescing, admission control, persistence) and :class:`JobRunner`
-  (checkpointed execution via
-  :class:`~repro.engine.parallel.ParallelSweep`, so a killed server
-  resumes bit-identically).
+  sweep request; an optional ``search`` section turns it into a
+  multi-objective search job), :class:`JobManager` (bounded priority
+  queue, request coalescing, admission control, persistence) and
+  :class:`JobRunner` (checkpointed execution via
+  :class:`~repro.engine.parallel.ParallelSweep`, or
+  :func:`~repro.moo.driver.run_search` for search jobs -- either way a
+  killed server resumes bit-identically).
 * :mod:`repro.serve.tenancy` -- multi-tenant admission control:
   :class:`TenancyPolicy` / :class:`ClientPolicy` (per-client token-bucket
   rate limits, in-flight quotas, fair-share weights) consulted by the
   :class:`JobManager` before a job enters the queue.
 * :mod:`repro.serve.server` -- the stdlib HTTP/JSON front end behind
   ``repro serve`` (``/health`` + ``/healthz``/``/readyz``, ``/metrics``,
-  ``/jobs`` with progress streaming and ``DELETE`` cancellation, 429
-  backpressure with per-client ``Retry-After``, graceful drain on
-  SIGTERM).
+  ``/jobs`` with progress streaming and ``DELETE`` cancellation,
+  ``/pareto`` for multi-objective search jobs streaming ``repro.front/1``
+  events per generation, 429 backpressure with per-client
+  ``Retry-After``, graceful drain on SIGTERM).
 * :mod:`repro.serve.client` -- :class:`ServeClient`, the Python client
   behind ``repro submit`` / ``repro jobs``.  Submissions mint a
   ``trace_id`` by default, so every job's ``repro.trace/1`` timeline is

@@ -180,6 +180,7 @@ class ServeClient:
         max_attempts: int = 6,
         trace_id: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        path: str = "/jobs",
     ) -> Dict[str, Any]:
         """``POST /jobs``, honouring ``429``/``503`` backpressure.
 
@@ -210,7 +211,7 @@ class ServeClient:
         last_error: Optional[ServeError] = None
         for attempt in range(max_attempts):
             try:
-                reply = self._request("POST", "/jobs", body=body)
+                reply = self._request("POST", path, body=body)
             except ServeError as exc:
                 if exc.status not in (429, 503) or attempt == max_attempts - 1:
                     raise
@@ -224,6 +225,43 @@ class ServeClient:
         raise last_error or ServeError(  # pragma: no cover
             429, "job queue stayed full"
         )
+
+    def pareto(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        priority: int = 10,
+        max_attempts: int = 6,
+        trace_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """``POST /pareto``: submit a multi-objective search job.
+
+        The spec must carry a ``search`` section (searcher, generations,
+        population, seed, objectives...); the server rejects specs
+        without one on this route.  The returned job streams one
+        ``repro.front/1`` event per completed generation -- see
+        :meth:`fronts` -- and its ``/result`` is the final Pareto front.
+        Backpressure retry behaviour matches :meth:`submit`.
+        """
+        return self.submit(
+            spec,
+            priority=priority,
+            max_attempts=max_attempts,
+            trace_id=trace_id,
+            deadline_s=deadline_s,
+            path="/pareto",
+        )
+
+    def fronts(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """``GET /jobs/<id>/events`` filtered to ``repro.front/1`` events.
+
+        Yields one event per completed generation (generation index,
+        evaluations used, archive points, hypervolume) until the job's
+        event stream terminates.
+        """
+        for event in self.events(job_id):
+            if event.get("event") == "front":
+                yield event
 
     def job(
         self, job_id: str, wait_s: Optional[float] = None

@@ -2,7 +2,13 @@
 
 A *job* is one sweep request -- ``(workload, config grid, bounds,
 backend)`` -- expressed as a :class:`JobSpec` whose canonical JSON hashes
-to a ``spec_hash``.  The hash is the coalescing key: while a job with the
+to a ``spec_hash``.  A spec carrying a ``search`` section
+(:class:`~repro.moo.driver.SearchSettings`) is a *search job* instead:
+the runner drives :func:`~repro.moo.driver.run_search` over the spec's
+grid, publishes one ``repro.front/1`` event per completed generation
+into the job's event history, journals generations to a distinct
+``<spec_hash>.moo.jsonl`` spool file, and persists the final (or, on
+cancellation, partial) front in the run manifest.  The hash is the coalescing key: while a job with the
 same hash is queued or running, further submissions attach to it instead
 of enqueueing duplicates, so concurrent clients sweeping the same grid
 pay for it once.  Overlapping-but-different grids deduplicate one level
@@ -77,6 +83,7 @@ from repro.engine.resilience import (
 from repro.engine.result import ExplorationResult
 from repro.engine.workload import KernelWorkload
 from repro.kernels import get_kernel
+from repro.moo.driver import SearchSettings, run_search
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_metrics
 from repro.obs.spans import span
@@ -142,6 +149,10 @@ class JobSpec:
     objective: str = "energy"
     cycle_bound: Optional[float] = None
     energy_bound: Optional[float] = None
+    #: Multi-objective search section (``repro.moo``): when present the
+    #: job runs a population-based Pareto search over the grid instead of
+    #: sweeping it exhaustively, and its result is the final front.
+    search: Optional[SearchSettings] = None
 
     def __post_init__(self) -> None:
         registry = get_registry()
@@ -160,10 +171,25 @@ class JobSpec:
             object.__setattr__(
                 self, "tilings", tuple(int(b) for b in self.tilings)
             )
+        if isinstance(self.search, dict):
+            object.__setattr__(
+                self, "search", SearchSettings.from_json(self.search)
+            )
+        if self.search is not None:
+            if not registry.has("searcher", self.search.searcher):
+                raise ValueError(
+                    f"unknown searcher {self.search.searcher!r}"
+                )
 
     def to_json(self) -> Dict[str, Any]:
-        """JSON-compatible dict accepted back by :meth:`from_json`."""
-        return {
+        """JSON-compatible dict accepted back by :meth:`from_json`.
+
+        The ``search`` section is omitted entirely for plain sweep jobs:
+        the canonical JSON (and therefore every historical ``spec_hash``)
+        of a sweep spec is byte-identical to what it was before search
+        jobs existed.
+        """
+        doc: Dict[str, Any] = {
             "kernel": self.kernel,
             "backend": self.backend,
             "max_size": self.max_size,
@@ -176,6 +202,9 @@ class JobSpec:
             "cycle_bound": self.cycle_bound,
             "energy_bound": self.energy_bound,
         }
+        if self.search is not None:
+            doc["search"] = self.search.to_json()
+        return doc
 
     @classmethod
     def from_json(cls, doc: Dict[str, Any]) -> "JobSpec":
@@ -185,7 +214,7 @@ class JobSpec:
         known = {
             "kernel", "backend", "max_size", "min_size", "ways", "tilings",
             "sram", "optimize_layout", "objective", "cycle_bound",
-            "energy_bound",
+            "energy_bound", "search",
         }
         unknown = set(doc) - known
         if unknown:
@@ -197,6 +226,10 @@ class JobSpec:
             kwargs["ways"] = tuple(kwargs["ways"])
         if kwargs.get("tilings") is not None:
             kwargs["tilings"] = tuple(kwargs["tilings"])
+        if kwargs.get("search") is not None:
+            kwargs["search"] = SearchSettings.from_json(kwargs["search"])
+        elif "search" in kwargs:
+            del kwargs["search"]
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -212,7 +245,7 @@ class JobSpec:
         return hashlib.sha256(self.canonical().encode()).hexdigest()
 
     def configs(self) -> List[CacheConfig]:
-        """The grid in canonical sweep order."""
+        """The grid in canonical sweep order (a search's candidate space)."""
         return order_configs(
             design_space(
                 max_size=self.max_size,
@@ -221,6 +254,17 @@ class JobSpec:
                 tilings=self.tilings,
             )
         )
+
+    def total_work(self) -> int:
+        """The job's progress denominator.
+
+        A sweep evaluates every grid point; a search's nominal budget is
+        ``generations x population`` unique configurations requested (it
+        usually touches far fewer grid points than the sweep would).
+        """
+        if self.search is not None:
+            return self.search.budget
+        return len(self.configs())
 
     def build_evaluator(
         self, store: Optional[ResultStore] = None
@@ -282,7 +326,7 @@ class Job:
         if not self.job_id:
             self.job_id = f"{self.spec.spec_hash[:12]}-{uuid.uuid4().hex[:8]}"
         if not self.total_configs:
-            self.total_configs = len(self.spec.configs())
+            self.total_configs = self.spec.total_work()
 
     @property
     def terminal(self) -> bool:
@@ -622,6 +666,21 @@ class JobManager:
             job.done_configs = done
             job.total_configs = total
             self._touch(job)
+            self._cond.notify_all()
+
+    def publish_front(self, job: Job, event: Dict[str, Any]) -> None:
+        """Append one ``repro.front/1`` generation event to a search job.
+
+        The event rides the same append-only history ``/events`` streams
+        replay, so every consumer sees one ``front`` line per completed
+        generation, in order, regardless of when it attached.  Front
+        events carry no ``state`` key -- streams key termination off the
+        job-record snapshots interleaved with them.
+        """
+        with self._cond:
+            job.done_configs = int(event.get("evaluations", job.done_configs))
+            job.version += 1
+            job.history.append(dict(event))
             self._cond.notify_all()
 
     def finish(self, job: Job, result: ExplorationResult) -> None:
@@ -970,7 +1029,17 @@ class JobRunner(threading.Thread):
         os.makedirs(self.spool_dir, exist_ok=True)
 
     def checkpoint_path(self, job: Job) -> str:
-        """Where one job journals its completed chunks (by spec hash)."""
+        """Where one job journals its completed work (by spec hash).
+
+        Search jobs journal completed *generations* in the
+        ``repro.moo.checkpoint/1`` format under a distinct ``.moo.jsonl``
+        suffix, so the store's journal-based repair (which replays sweep
+        chunk journals) never misreads one.
+        """
+        if job.spec.search is not None:
+            return os.path.join(
+                self.spool_dir, f"{job.spec.spec_hash}.moo.jsonl"
+            )
         return os.path.join(self.spool_dir, f"{job.spec.spec_hash}.jsonl")
 
     def breaker_for(self, eval_id: str) -> CircuitBreaker:
@@ -1044,7 +1113,10 @@ class JobRunner(threading.Thread):
         cancelled_reason = None
         try:
             with span("job", job_id=job.job_id, kernel=job.spec.kernel):
-                result = self._sweep(job, cancel_event)
+                if job.spec.search is not None:
+                    result = self._search(job, cancel_event)
+                else:
+                    result = self._sweep(job, cancel_event)
         except SweepCancelledError as exc:
             if job.cancel_requested:
                 cancelled_reason = "cancelled by client"
@@ -1141,36 +1213,130 @@ class JobRunner(threading.Thread):
             self.manager.store.put_many(
                 evaluator.eval_id, zip(configs, estimates)
             )
-        self._record_manifest(job, evaluator, configs, resilience)
+        self._record_manifest(job, evaluator, configs, resilience=resilience)
         return ExplorationResult(estimates)
+
+    def _search(
+        self, job: Job, cancel_event: Optional[threading.Event] = None
+    ) -> ExplorationResult:
+        """Run one multi-objective search job (spec carries ``search``).
+
+        One ``repro.front/1`` event per completed generation is published
+        into the job's history (the ``/events`` wire); generations
+        journal to ``<spool>/<spec_hash>.moo.jsonl`` so a cancelled,
+        expired or killed search resumes bit-identically on
+        resubmission.  A cooperative cancellation persists the front as
+        of the last complete generation in a partial search manifest
+        before unwinding.
+        """
+        spec = job.spec
+        settings = spec.search
+        assert settings is not None
+        evaluator = spec.build_evaluator(self.manager.store)
+        configs = spec.configs()
+        breaker = self.breaker_for(evaluator.eval_id)
+        if not breaker.allow():
+            get_metrics().counter("breaker.fail_fast").inc()
+            raise CircuitOpenError(
+                f"circuit breaker for evaluator {evaluator.eval_id[:12]} "
+                f"({spec.kernel}/{spec.backend}) is open; "
+                f"retry in {breaker.retry_after_s():.0f}s",
+                retry_after_s=breaker.retry_after_s(),
+            )
+        self.manager.progress(job, 0, settings.budget)
+        last_event: Dict[str, Any] = {}
+
+        def publish(event: Dict[str, Any], archive: Any) -> None:
+            last_event.clear()
+            last_event.update(event)
+            self.manager.publish_front(job, event)
+
+        try:
+            with span(
+                "moo.job",
+                searcher=settings.searcher,
+                space=len(configs),
+                backend=spec.backend,
+            ):
+                run = run_search(
+                    evaluator,
+                    configs,
+                    settings,
+                    jobs=self.sweep_jobs,
+                    checkpoint=self.checkpoint_path(job),
+                    resume=True,
+                    cancel_event=cancel_event,
+                    on_generation=publish,
+                )
+        except SweepCancelledError:
+            if last_event:
+                self._record_manifest(
+                    job,
+                    evaluator,
+                    configs,
+                    search={
+                        "schema": last_event["schema"],
+                        "settings": settings.to_json(),
+                        "generations": int(last_event["generation"]) + 1,
+                        "evaluations": last_event["evaluations"],
+                        "reference": last_event["reference"],
+                        "hypervolume": last_event["hypervolume"],
+                        "front": last_event["points"],
+                        "partial": True,
+                    },
+                )
+            raise
+        # Estimates resumed from the generation journal never touched the
+        # store-backed evaluator this run; backfill so the store holds
+        # every configuration the search evaluated.
+        with span("store.write", rows=len(run.estimates)):
+            self.manager.store.put_many(
+                evaluator.eval_id,
+                [(estimate.config, estimate) for estimate in run.estimates],
+            )
+        self._record_manifest(
+            job, evaluator, configs, search=run.manifest_doc()
+        )
+        return run.result
 
     def _record_manifest(
         self,
         job: Job,
         evaluator: Any,
         configs: List[CacheConfig],
-        resilience: ResilienceOptions,
+        resilience: Optional[ResilienceOptions] = None,
+        search: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Persist the job's ``repro.manifest/1`` provenance document.
 
         The manifest lives in its own store table, keyed by job id --
         provenance *about* the result rows, never part of their keys.  A
-        manifest failure must not fail the sweep it describes.
+        manifest failure must not fail the sweep it describes.  Search
+        jobs add a ``searcher`` component row and the ``repro.front/1``
+        search section (settings, budget spent, final front).
         """
         spec = job.spec
         try:
+            components = [
+                ("kernel", spec.kernel),
+                ("backend", spec.backend),
+                ("energy", "hwo"),
+                ("sram", spec.sram),
+                ("store", "sqlite"),
+            ]
+            seeds: Dict[str, Any] = {}
+            if spec.search is not None:
+                components.append(("searcher", spec.search.searcher))
+                seeds["search"] = spec.search.seed
+            if resilience is not None:
+                seeds["retry_backoff"] = resilience.retry.seed
             manifest = build_manifest(
-                [
-                    ("kernel", spec.kernel),
-                    ("backend", spec.backend),
-                    ("energy", "hwo"),
-                    ("sram", spec.sram),
-                    ("store", "sqlite"),
-                ],
+                components,
                 spec_hash=spec.spec_hash,
                 eval_id=evaluator.eval_id,
                 sweep_fingerprint=sweep_fingerprint(evaluator, configs),
-                seeds={"retry_backoff": resilience.retry.seed},
+                seeds=seeds,
+                extra=None if search is None else {"search": search},
             )
             self.manager.store.save_manifest(job.job_id, manifest)
         except Exception as exc:  # pragma: no cover - provenance best-effort

@@ -48,12 +48,23 @@ runner -- behind a :class:`http.server.ThreadingHTTPServer`.  Endpoints
 ``GET /jobs/<id>/trace``
     The job's ``repro.trace/1`` timeline once it is terminal (``409``
     while running, ``404`` for untraced jobs).
+``POST /pareto``
+    Submit a multi-objective search job: like ``POST /jobs`` but the
+    spec must carry a ``search`` section (searcher, generations,
+    population, seed, objectives...).  The job runs a population-based
+    Pareto search over the spec's grid instead of sweeping it, streams
+    one ``repro.front/1`` event per completed generation over
+    ``/events``, and its result is the final front.  A ``search``
+    section is also honoured on ``POST /jobs``; this route merely
+    insists on one.
 ``GET /jobs/<id>/events``
     Progress streaming: newline-delimited JSON snapshots of the job
     record, one per state/progress change, ending at the terminal state.
     Streams replay the job's append-only snapshot history from the
     beginning, so concurrent consumers all see the identical, complete
-    sequence.
+    sequence.  Search jobs interleave ``repro.front/1`` generation
+    events (``"event": "front"``, no ``state`` key) with the job-record
+    snapshots.
 
 Every request is timed into the ``serve.http.request`` histogram (plus a
 per-endpoint histogram and a per-endpoint/status response counter).
@@ -78,8 +89,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import obs
+from repro.core.config import CacheConfig
 from repro.engine.cache import get_eval_cache
 from repro.engine.result import ExplorationResult
+from repro.moo.driver import run_search
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_metrics
 from repro.obs.prometheus import render_prometheus
@@ -237,16 +250,25 @@ class ExplorationService:
         return report
 
     def submit(
-        self, doc: Dict[str, Any], client_id: Optional[str] = None
+        self,
+        doc: Dict[str, Any],
+        client_id: Optional[str] = None,
+        require_search: bool = False,
     ) -> Tuple[Job, bool]:
         """Validate and enqueue one submission document.
 
         ``client_id`` (the ``X-Repro-Client`` header) wins over a
         ``client_id`` body field; both absent means the anonymous tenant.
+        ``require_search`` is the ``POST /pareto`` contract: the spec
+        must carry a ``search`` section.
         """
         if not isinstance(doc, dict):
             raise ValueError("request body must be a JSON object")
         spec = JobSpec.from_json(doc.get("spec", doc.get("job", None)))
+        if require_search and spec.search is None:
+            raise ValueError(
+                "a /pareto submission needs a search section in its spec"
+            )
         priority = doc.get("priority", 10)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ValueError("priority must be an integer")
@@ -292,27 +314,67 @@ class ExplorationService:
             return None
         result = job.result
         if result is None:
-            eval_id = job.spec.eval_id()
-            configs = job.spec.configs()
-            result = self.store.result_for(eval_id, configs)
-            if result is None:
-                # Rows were quarantined (or otherwise lost) since the job
-                # finished: re-evaluate the holes through the store-backed
-                # evaluator instead of serving a 404 for a done job.  The
-                # healthy rows come straight from sqlite; only the gaps
-                # recompute, and the fresh estimates repopulate the store.
-                get_metrics().counter("serve.results_rebuilt").inc()
-                evaluator = job.spec.build_evaluator(self.store)
+            if job.spec.search is not None:
+                result = self._search_result(job)
+            else:
+                eval_id = job.spec.eval_id()
+                configs = job.spec.configs()
+                result = self.store.result_for(eval_id, configs)
+                if result is None:
+                    # Rows were quarantined (or otherwise lost) since the
+                    # job finished: re-evaluate the holes through the
+                    # store-backed evaluator instead of serving a 404 for
+                    # a done job.  The healthy rows come straight from
+                    # sqlite; only the gaps recompute, and the fresh
+                    # estimates repopulate the store.
+                    get_metrics().counter("serve.results_rebuilt").inc()
+                    evaluator = job.spec.build_evaluator(self.store)
 
-                result = ExplorationResult(
-                    [evaluator.evaluate(config) for config in configs]
-                )
+                    result = ExplorationResult(
+                        [evaluator.evaluate(config) for config in configs]
+                    )
             job.result = result
         return {
             "job_id": job.job_id,
             "schema": SERVE_SCHEMA,
             "estimates": result_to_json(result),
         }
+
+    def _search_result(self, job: Job) -> ExplorationResult:
+        """Reassemble a done search job's front after a restart.
+
+        The persisted manifest's ``search.front`` names the front
+        configurations; their rows come from the store (re-evaluating
+        any quarantined hole through the store-backed evaluator).  With
+        no usable manifest the search re-runs deterministically -- every
+        row the original run evaluated is an L2 store hit, so the replay
+        touches no backend unless rows were lost too.
+        """
+        manifest = self.store.load_manifest(job.job_id) or {}
+        search = manifest.get("search") or {}
+        configs: List[CacheConfig] = []
+        if not search.get("partial"):
+            try:
+                configs = [
+                    CacheConfig(*(int(v) for v in row["config"]))
+                    for row in search.get("front", [])
+                ]
+            except (KeyError, TypeError, ValueError):
+                configs = []
+        if configs:
+            eval_id = job.spec.eval_id()
+            result = self.store.result_for(eval_id, configs)
+            if result is not None:
+                return result
+            get_metrics().counter("serve.results_rebuilt").inc()
+            evaluator = job.spec.build_evaluator(self.store)
+            return ExplorationResult(
+                [evaluator.evaluate(config) for config in configs]
+            )
+        get_metrics().counter("serve.results_rebuilt").inc()
+        evaluator = job.spec.build_evaluator(self.store)
+        run = run_search(evaluator, job.spec.configs(), job.spec.search)
+        return run.result
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -392,7 +454,7 @@ class _Handler(BaseHTTPRequestHandler):
         """Bounded endpoint classification for metric names."""
         if not parts:
             return "root"
-        if parts[0] in ("health", "healthz", "readyz", "metrics"):
+        if parts[0] in ("health", "healthz", "readyz", "metrics", "pareto"):
             return parts[0]
         if parts[0] == "jobs":
             if len(parts) == 1:
@@ -478,7 +540,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"unknown metrics format {fmt!r}")
 
     def _route_post(self, parsed: Any, parts: List[str]) -> None:
-        if parsed.path.rstrip("/") != "/jobs":
+        path = parsed.path.rstrip("/")
+        if path not in ("/jobs", "/pareto"):
             self._error(404, f"no route for {parsed.path}")
             return
         try:
@@ -488,7 +551,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         client_id = self.headers.get("X-Repro-Client")
         try:
-            job, coalesced = self.service.submit(doc, client_id=client_id)
+            job, coalesced = self.service.submit(
+                doc,
+                client_id=client_id,
+                require_search=path == "/pareto",
+            )
         except ServiceDrainingError as exc:
             self._error(503, str(exc), headers={"Retry-After": "10"})
             return
@@ -639,7 +706,9 @@ class _Handler(BaseHTTPRequestHandler):
                 except (BrokenPipeError, ConnectionResetError):
                     return
                 cursor += 1
-                if snapshot["state"] in ("done", "failed", "cancelled"):
+                # Front events carry no state; only job-record snapshots
+                # can terminate the stream.
+                if snapshot.get("state") in ("done", "failed", "cancelled"):
                     return
 
 

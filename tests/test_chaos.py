@@ -331,3 +331,113 @@ class TestMultiTenantChaos:
             assert deltas == {"chaos-a": 3, "chaos-b": 1}
         finally:
             second.stop()
+
+
+class TestSearchChaos:
+    """kill -9 mid-search: the generation journal resumes bit-identically."""
+
+    SETTINGS_DOC = {"generations": 6, "population": 8, "seed": 13}
+
+    def _clean(self):
+        from repro.core.config import design_space
+        from repro.moo import SearchSettings, run_search
+
+        if "search_clean" not in _STATE:
+            space = list(design_space(max_size=64, min_size=16))
+            run = run_search(
+                Evaluator(KernelWorkload(get_kernel("compress"))),
+                space,
+                SearchSettings(**self.SETTINGS_DOC),
+            )
+            _STATE["search_clean"] = (space, run)
+        return _STATE["search_clean"]
+
+    @given(fraction=st.floats(0.0, 1.0), torn=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_any_kill_point_resumes_identically(
+        self, tmp_path_factory, fraction, torn
+    ):
+        from repro.moo import SearchSettings, run_search
+
+        space, clean = self._clean()
+        settings_ = SearchSettings(**self.SETTINGS_DOC)
+        root = tmp_path_factory.mktemp("moo-chaos")
+        journal = str(root / "search.moo.jsonl")
+
+        # A completed journal, then the kill: keep the header plus the
+        # first ``kill_after`` generation records, optionally tearing a
+        # half-written line on the end (fsync raced the kill).
+        run_search(
+            Evaluator(KernelWorkload(get_kernel("compress"))),
+            space,
+            settings_,
+            checkpoint=journal,
+        )
+        lines = open(journal, encoding="utf-8").read().splitlines()
+        generations = len(lines) - 1
+        kill_after = min(generations, int(fraction * (generations + 1)))
+        kept = lines[: 1 + kill_after]
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(kept) + "\n")
+            if torn and kill_after < generations:
+                handle.write(lines[1 + kill_after][: 20])
+
+        resumed = run_search(
+            Evaluator(KernelWorkload(get_kernel("compress"))),
+            space,
+            settings_,
+            checkpoint=journal,
+            resume=True,
+        )
+        assert resumed.events == clean.events
+        assert [e.config for e in resumed.front] == [
+            e.config for e in clean.front
+        ]
+        assert resumed.evaluations == clean.evaluations
+
+    def test_killed_search_service_recovers(self, tmp_path_factory):
+        from repro.moo import SearchSettings, run_search
+
+        root = tmp_path_factory.mktemp("moo-service-chaos")
+        db = str(root / "results.db")
+        spool = str(root / "spool")
+        spec = JobSpec(
+            kernel="compress",
+            max_size=64,
+            min_size=16,
+            search=SearchSettings(**self.SETTINGS_DOC),
+        )
+        direct = run_search(
+            spec.build_evaluator(), spec.configs(), spec.search
+        )
+
+        # Fabricate the wreckage of a service killed mid-search: the
+        # spool holds a journal cut off after two generations with a torn
+        # trailing line -- exactly what SIGKILL mid-write leaves behind.
+        os.makedirs(spool, exist_ok=True)
+        scratch = str(root / "scratch.moo.jsonl")
+        run_search(
+            spec.build_evaluator(), spec.configs(), spec.search,
+            checkpoint=scratch,
+        )
+        lines = open(scratch, encoding="utf-8").read().splitlines()
+        journal = os.path.join(spool, f"{spec.spec_hash}.moo.jsonl")
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+            handle.write(lines[3][:25])
+
+        service = ExplorationService(db, spool).start()
+        try:
+            job, _ = service.manager.submit(spec)
+            done = service.manager.wait(job.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+            served = service.job_result(done)
+            assert [row["config"] for row in served["estimates"]] == [
+                [e.config.size, e.config.line_size, e.config.ways,
+                 e.config.tiling]
+                for e in direct.front
+            ]
+            manifest = service.store.load_manifest(job.job_id)
+            assert manifest["search"]["hypervolume"] == direct.hypervolume
+        finally:
+            service.stop()

@@ -1,0 +1,361 @@
+"""Tests for the multi-objective search subsystem (``repro.moo``)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.config import CacheConfig, design_space
+from repro.core.metrics import PerformanceEstimate
+from repro.engine import Evaluator, KernelWorkload
+from repro.engine.resilience import CheckpointMismatchError, SweepCancelledError
+from repro.kernels import get_kernel
+from repro.moo import (
+    ConfigGrammar,
+    FrontArchive,
+    GrammaticalEvolutionSearcher,
+    NSGA2Searcher,
+    SearchSettings,
+    analytic_seeds,
+    fast_nondominated_sort,
+    objective_vector,
+    run_search,
+    search_fingerprint,
+)
+
+
+def small_space():
+    return list(design_space(max_size=128, min_size=16, ways=(1, 2)))
+
+
+def make_evaluator():
+    return Evaluator(KernelWorkload(get_kernel("compress")))
+
+
+def estimate_for(config, cycles, energy):
+    return PerformanceEstimate(
+        config=config,
+        miss_rate=0.1,
+        cycles=float(cycles),
+        energy_nj=float(energy),
+        events=10,
+        accesses=10,
+        reads=10,
+        read_miss_rate=0.1,
+        add_bs=1.0,
+    )
+
+
+class TestGrammar:
+    def test_encode_decode_round_trip_over_whole_space(self):
+        grammar = ConfigGrammar.from_space(small_space())
+        for config in grammar.configs():
+            assert grammar.decode(grammar.encode(config)) == config
+
+    def test_random_genomes_always_decode_in_space(self):
+        grammar = ConfigGrammar.from_space(small_space())
+        space = set(grammar.configs())
+        rng = random.Random(42)
+        for _ in range(200):
+            genome = grammar.random_genome(rng)
+            assert grammar.decode(genome) in space
+
+    def test_short_genome_wraps(self):
+        grammar = ConfigGrammar.from_space(small_space())
+        config = grammar.decode((1,))
+        assert isinstance(config, CacheConfig)
+
+    def test_empty_genome_rejected(self):
+        grammar = ConfigGrammar.from_space(small_space())
+        with pytest.raises(ValueError):
+            grammar.decode(())
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigGrammar.from_space([])
+
+    def test_decode_respects_feasibility(self):
+        # A grammar with 8-way candidates must never emit more ways than
+        # the derived cache has lines.
+        grammar = ConfigGrammar(
+            sizes=(16, 64), line_sizes=(4, 16), ways=(1, 8), tilings=(1, 4)
+        )
+        rng = random.Random(7)
+        for _ in range(200):
+            config = grammar.decode(grammar.random_genome(rng))
+            assert config.ways <= config.size // config.line_size
+            assert config.tiling <= config.size // config.line_size
+
+
+class TestFrontArchive:
+    def test_dominated_points_never_admitted(self):
+        archive = FrontArchive()
+        a = estimate_for(CacheConfig(16, 4), 1, 9)
+        b = estimate_for(CacheConfig(32, 4), 9, 1)
+        dominated = estimate_for(CacheConfig(64, 4), 10, 10)
+        archive.add([a, b, dominated])
+        assert len(archive) == 2
+        assert dominated not in archive.estimates()
+
+    def test_duplicate_vectors_collapse_to_smallest_config(self):
+        archive = FrontArchive()
+        big = estimate_for(CacheConfig(64, 4), 5, 5)
+        small = estimate_for(CacheConfig(16, 4), 5, 5)
+        archive.add([big, small])
+        assert archive.estimates() == [small]
+
+    def test_capacity_pruning_keeps_extremes(self):
+        archive = FrontArchive(capacity=4)
+        estimates = [
+            estimate_for(CacheConfig(2 ** (4 + i % 6), 4), i + 1, 10 - i)
+            for i in range(10)
+        ]
+        archive.add(estimates)
+        assert len(archive) == 4
+        points = archive.points()
+        assert (1.0, 10.0) in points
+        assert (10.0, 1.0) in points
+
+    def test_hypervolume_monotone_despite_capacity_pruning(self):
+        # The hypervolume series must stay monotone even when the bounded
+        # estimate archive prunes points that still contribute volume.
+        archive = FrontArchive(capacity=4, reference=(100.0, 100.0))
+        rng = random.Random(3)
+        last = 0.0
+        for _ in range(30):
+            c = rng.randrange(1, 90)
+            e = rng.randrange(1, 90)
+            config = CacheConfig(2 ** rng.randrange(4, 12), 4)
+            archive.add([estimate_for(config, c, e)])
+            current = archive.hypervolume()
+            assert current >= last - 1e-12
+            last = current
+
+    def test_reference_fixed_once_set(self):
+        archive = FrontArchive()
+        archive.set_reference((10.0, 10.0))
+        archive.set_reference((10.0, 10.0))  # idempotent re-set is fine
+        with pytest.raises(ValueError):
+            archive.set_reference((20.0, 20.0))
+
+    def test_hypervolume_requires_reference(self):
+        with pytest.raises(ValueError):
+            FrontArchive().hypervolume()
+
+    def test_record_generation_event_shape(self):
+        archive = FrontArchive(reference=(10.0, 10.0))
+        archive.add([estimate_for(CacheConfig(16, 4), 2, 2)])
+        event = archive.record_generation(generation=0, evaluations=1)
+        assert event["schema"] == "repro.front/1"
+        assert event["event"] == "front"
+        assert event["generation"] == 0
+        assert event["evaluations"] == 1
+        assert event["archive_size"] == 1
+        assert event["objectives"] == ["cycles", "energy"]
+        assert event["reference"] == [10.0, 10.0]
+        assert event["hypervolume"] == pytest.approx(64.0)
+        assert event["points"][0]["objectives"] == {"cycles": 2.0, "energy": 2.0}
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FrontArchive(capacity=2)
+
+
+class TestFastNondominatedSort:
+    def test_ranks(self):
+        vectors = [(1.0, 9.0), (9.0, 1.0), (5.0, 5.0), (6.0, 6.0), (9.0, 9.0)]
+        fronts = fast_nondominated_sort(vectors)
+        assert fronts[0] == [0, 1, 2]
+        assert fronts[1] == [3]
+        assert fronts[2] == [4]
+
+    def test_empty(self):
+        assert fast_nondominated_sort([]) == []
+
+
+class TestSearchSettings:
+    def test_round_trip(self):
+        settings = SearchSettings(
+            searcher="ge",
+            generations=5,
+            population=8,
+            seed=3,
+            objectives=("cycles", "energy", "area"),
+            archive_capacity=16,
+            reference=(10.0, 20.0, 30.0),
+            seed_population=False,
+        )
+        assert SearchSettings.from_json(settings.to_json()) == settings
+
+    def test_reference_omitted_when_none(self):
+        assert "reference" not in SearchSettings().to_json()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSettings.from_json({"searcher": "nsga2", "bogus": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"generations": 0},
+            {"population": 0},
+            {"archive_capacity": 3},
+            {"objectives": ()},
+            {"objectives": ("cycles", "cycles")},
+            {"objectives": ("latency",)},
+            {"reference": (1.0,)},
+            {"reference": (0.0, 1.0)},
+            {"searcher": ""},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SearchSettings(**kwargs)
+
+    def test_budget(self):
+        assert SearchSettings(generations=4, population=6).budget == 24
+
+
+class TestSeeding:
+    def test_seeds_lie_in_space_and_are_unique(self):
+        evaluator = make_evaluator()
+        space = small_space()
+        seeds = analytic_seeds(evaluator, space)
+        assert seeds
+        assert len(seeds) == len(set(seeds))
+        assert set(seeds) <= set(space)
+
+    def test_limit_respected(self):
+        evaluator = make_evaluator()
+        seeds = analytic_seeds(evaluator, small_space(), limit=2)
+        assert len(seeds) <= 2
+
+    def test_no_kernel_seeds_nothing(self):
+        class Bare:
+            workload = None
+
+        assert analytic_seeds(Bare(), small_space()) == []
+
+
+class TestRunSearch:
+    SETTINGS = dict(generations=4, population=8, seed=11)
+
+    def _run(self, **kwargs):
+        settings = SearchSettings(**{**self.SETTINGS, **kwargs.pop("settings", {})})
+        return run_search(make_evaluator(), small_space(), settings, **kwargs)
+
+    def test_front_is_nondominated_and_events_monotone(self):
+        run = self._run()
+        assert run.generations == 4
+        assert len(run.events) == 4
+        vectors = [objective_vector(e) for e in run.front]
+        for v in vectors:
+            assert not any(
+                w != v and all(a <= b for a, b in zip(w, v)) and w < v
+                for w in vectors
+            )
+        series = [event["hypervolume"] for event in run.events]
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+        assert run.hypervolume == series[-1]
+
+    def test_fixed_seed_is_deterministic(self):
+        first = self._run()
+        second = self._run()
+        assert first.events == second.events
+        assert [e.config for e in first.front] == [e.config for e in second.front]
+        assert first.evaluations == second.evaluations
+
+    def test_parallel_jobs_match_serial(self):
+        serial = self._run(jobs=1)
+        parallel = self._run(jobs=4)
+        assert serial.events == parallel.events
+        assert [e.config for e in serial.front] == [
+            e.config for e in parallel.front
+        ]
+
+    def test_ge_searcher_runs(self):
+        run = self._run(settings={"searcher": "ge"})
+        assert run.generations == 4
+        assert run.front
+
+    def test_evaluations_count_unique_requests(self):
+        run = self._run()
+        assert run.evaluations == len(run.estimates)
+        assert run.evaluations <= SearchSettings(**self.SETTINGS).budget
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            run_search(make_evaluator(), [])
+
+    def test_unknown_searcher_rejected(self):
+        with pytest.raises(LookupError):
+            self._run(settings={"searcher": "simulated-annealing"})
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        journal = str(tmp_path / "search.moo.jsonl")
+        clean = self._run()
+
+        cancel = threading.Event()
+
+        def stop_after_two(event, archive):
+            if event["generation"] == 1:
+                cancel.set()
+
+        with pytest.raises(SweepCancelledError):
+            self._run(
+                checkpoint=journal,
+                cancel_event=cancel,
+                on_generation=stop_after_two,
+            )
+        resumed = self._run(checkpoint=journal, resume=True)
+        assert resumed.events == clean.events
+        assert [e.config for e in resumed.front] == [
+            e.config for e in clean.front
+        ]
+        assert resumed.evaluations == clean.evaluations
+
+    def test_resume_rejects_changed_settings(self, tmp_path):
+        journal = str(tmp_path / "search.moo.jsonl")
+        self._run(checkpoint=journal)
+        with pytest.raises(CheckpointMismatchError):
+            self._run(checkpoint=journal, resume=True, settings={"seed": 99})
+
+    def test_cancel_before_first_generation(self):
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(SweepCancelledError):
+            self._run(cancel_event=cancel)
+
+    def test_fingerprint_tracks_settings_and_space(self):
+        evaluator = make_evaluator()
+        space = small_space()
+        base = search_fingerprint(evaluator, space, SearchSettings())
+        assert base == search_fingerprint(evaluator, space, SearchSettings())
+        assert base != search_fingerprint(
+            evaluator, space, SearchSettings(seed=1)
+        )
+        assert base != search_fingerprint(evaluator, space[:-1], SearchSettings())
+
+
+class TestSearcherUnits:
+    def test_nsga2_population_floor(self):
+        with pytest.raises(ValueError):
+            NSGA2Searcher().setup(
+                small_space(), population=1, generations=1, seed=0
+            )
+
+    def test_ge_genome_floor(self):
+        with pytest.raises(ValueError):
+            GrammaticalEvolutionSearcher(genome_length=2)
+
+    def test_ask_returns_population_sized_batches(self):
+        searcher = NSGA2Searcher()
+        searcher.setup(small_space(), population=6, generations=3, seed=5)
+        asked = searcher.ask()
+        assert len(asked) == 6
+        results = [
+            (config, (float(config.size), float(config.line_size)))
+            for config in dict.fromkeys(asked)
+        ]
+        searcher.tell(results)
+        assert searcher.ask()

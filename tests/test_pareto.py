@@ -5,7 +5,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.config import CacheConfig
 from repro.core.metrics import PerformanceEstimate
-from repro.core.pareto import dominated_by_any, pareto_front, tradeoff_range
+from repro.core.pareto import (
+    dominated_by_any,
+    dominates,
+    hypervolume,
+    pareto_front,
+    pareto_points,
+    tradeoff_range,
+)
 
 
 def point(cycles, energy, size=64):
@@ -82,3 +89,105 @@ class TestTradeoffRange:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             tradeoff_range([])
+
+
+coords2d = st.lists(
+    st.tuples(st.integers(1, 50), st.integers(1, 50)),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestParetoPoints:
+    """Properties of the plain-tuple front (`pareto_points`)."""
+
+    @given(coords2d)
+    @settings(max_examples=60, deadline=None)
+    def test_front_of_front_is_itself(self, coords):
+        points = [tuple(map(float, c)) for c in coords]
+        front = pareto_points(points)
+        assert pareto_points(front) == front
+
+    @given(coords2d, st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_dominated_point_changes_nothing(self, coords, bump):
+        points = [tuple(map(float, c)) for c in coords]
+        front = pareto_points(points)
+        x, y = front[0]
+        dominated = (x + 1.0 + bump, y + 1.0 + bump)
+        assert pareto_points(points + [dominated]) == front
+
+    @given(coords2d)
+    @settings(max_examples=60, deadline=None)
+    def test_front_is_input_order_independent(self, coords):
+        points = [tuple(map(float, c)) for c in coords]
+        assert pareto_points(points) == pareto_points(list(reversed(points)))
+
+    def test_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestHypervolume:
+    def test_single_point_2d(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_two_point_staircase(self):
+        volume = hypervolume([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0))
+        assert volume == pytest.approx(3.0)
+
+    def test_point_outside_reference_contributes_nothing(self):
+        assert hypervolume([(4.0, 4.0)], (3.0, 3.0)) == 0.0
+
+    def test_3d_box(self):
+        assert hypervolume([(1.0, 1.0, 1.0)], (2.0, 2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_3d_matches_inclusion_exclusion(self):
+        points = [(1.0, 3.0, 2.0), (2.0, 1.0, 3.0), (3.0, 2.0, 1.0)]
+        reference = (4.0, 4.0, 4.0)
+        # The slab decomposition is exact; compare against an independent
+        # inclusion-exclusion over the three dominated boxes.
+        import itertools
+
+        total = 0.0
+        for r in range(1, 4):
+            for combo in itertools.combinations(points, r):
+                corner = tuple(max(p[i] for p in combo) for i in range(3))
+                volume = 1.0
+                for i in range(3):
+                    volume *= max(0.0, reference[i] - corner[i])
+                total += (-1) ** (r + 1) * volume
+        assert hypervolume(points, reference) == pytest.approx(total)
+
+    @given(coords2d)
+    @settings(max_examples=60, deadline=None)
+    def test_2d_monotone_under_union(self, coords):
+        points = [tuple(map(float, c)) for c in coords]
+        reference = (60.0, 60.0)
+        base = hypervolume(points[:-1], reference) if len(points) > 1 else 0.0
+        assert hypervolume(points, reference) >= base - 1e-12
+
+    @given(coords2d)
+    @settings(max_examples=40, deadline=None)
+    def test_2d_equals_unit_cell_count(self, coords):
+        points = [tuple(map(float, c)) for c in coords]
+        reference = (51.0, 51.0)
+        cells = sum(
+            1
+            for x in range(1, 51)
+            for y in range(1, 51)
+            if any(p[0] <= x and p[1] <= y for p in points)
+        )
+        assert hypervolume(points, reference) == pytest.approx(float(cells))
+
+    def test_dimension_limit(self):
+        with pytest.raises(ValueError):
+            hypervolume([(1.0,) * 4], (2.0,) * 4)
+
+    def test_reference_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            hypervolume([(1.0, 1.0)], (2.0, 2.0, 2.0))

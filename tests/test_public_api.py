@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.kernels",
     "repro.layout",
     "repro.loops",
+    "repro.moo",
     "repro.registry",
     "repro.serve",
     "repro.spm",

@@ -91,6 +91,7 @@ def test_builtins_cover_every_kind():
         "16Mbit", "CY7C-2Mbit", "low-power-2Mbit",
     )
     assert registry.names("store") == ("sqlite",)
+    assert registry.names("searcher") == ("ge", "greedy", "nsga2", "pruned")
 
 
 def test_builtin_provenance_rows():

@@ -23,6 +23,7 @@ import time
 import pytest
 
 from repro.engine.resilience import ResilienceOptions
+from repro.moo import SearchSettings, run_search
 from repro.obs.metrics import get_metrics
 from repro.serve import (
     ExplorationService,
@@ -916,3 +917,196 @@ class TestClientRetryJitter:
     def test_invalid_client_id_rejected(self):
         with pytest.raises(ValueError, match="client_id"):
             ServeClient(client_id="not ok!")
+
+
+class TestSearchJobs:
+    """Multi-objective search jobs: /pareto, streamed fronts, crash paths."""
+
+    SEARCH = JobSpec(
+        kernel="compress",
+        max_size=64,
+        min_size=16,
+        tilings=(1,),
+        search=SearchSettings(generations=3, population=6, seed=7),
+    )
+
+    def test_spec_with_search_round_trips(self):
+        spec = self.SEARCH
+        assert JobSpec.from_json(spec.to_json()) == spec
+        assert spec.spec_hash != SMALL.spec_hash
+        # Sweep specs stay byte-identical to the pre-search schema, so
+        # historical spec hashes (and coalescing) are unaffected.
+        assert "search" not in JobSpec(kernel="compress", max_size=64).to_json()
+
+    def test_unknown_searcher_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="searcher"):
+            JobSpec(
+                kernel="compress",
+                max_size=32,
+                search={"searcher": "no-such-strategy"},
+            )
+
+    def test_pareto_requires_search_section(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.client.pareto(SMALL, max_attempts=1)
+        assert excinfo.value.status == 400
+        assert "search" in excinfo.value.doc["error"]
+
+    def test_pareto_streams_monotone_fronts(self, live):
+        doc = live.client.pareto(self.SEARCH)
+        job = live.client.wait(doc["job_id"], timeout_s=120)
+        assert job["state"] == "done"
+        fronts = list(live.client.fronts(doc["job_id"]))
+        assert len(fronts) == self.SEARCH.search.generations
+        assert [f["generation"] for f in fronts] == list(range(len(fronts)))
+        series = [f["hypervolume"] for f in fronts]
+        assert all(v is not None for v in series)
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+        for front in fronts:
+            assert front["schema"] == "repro.front/1"
+            assert front["archive_size"] == len(front["points"])
+            assert front["evaluations"] <= self.SEARCH.search.budget
+        result = live.client.result(doc["job_id"])
+        assert len(result.estimates) == fronts[-1]["archive_size"]
+
+    def test_search_manifest_records_searcher_and_front(self, live):
+        from repro.registry import check_manifest
+
+        doc = live.client.pareto(self.SEARCH)
+        job = live.client.wait(doc["job_id"], timeout_s=120)
+        manifest = job["manifest"]
+        check_manifest(manifest)
+        used = {(row["kind"], row["name"]) for row in manifest["plugins"]}
+        assert ("searcher", "nsga2") in used
+        assert manifest["seeds"]["search"] == self.SEARCH.search.seed
+        search = manifest["search"]
+        assert search["schema"] == "repro.front/1"
+        assert search["generations"] == self.SEARCH.search.generations
+        assert not search.get("partial")
+        assert search["front"]
+
+    def test_served_search_matches_direct_run(self, tmp_path):
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            job, _ = service.manager.submit(self.SEARCH)
+            done = service.manager.wait(job.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+            served = service.job_result(done)
+            direct = run_search(
+                self.SEARCH.build_evaluator(),
+                self.SEARCH.configs(),
+                self.SEARCH.search,
+            )
+            assert [row["config"] for row in served["estimates"]] == [
+                [e.config.size, e.config.line_size, e.config.ways, e.config.tiling]
+                for e in direct.front
+            ]
+        finally:
+            service.stop()
+
+    def test_cancel_mid_search_persists_partial_front_then_resumes(
+        self, tmp_path
+    ):
+        import os
+
+        spec = JobSpec(
+            kernel="compress",
+            max_size=256,
+            min_size=16,
+            search=SearchSettings(generations=120, population=8, seed=3),
+        )
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            job, _ = service.manager.submit(spec)
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if any(e.get("event") == "front" for e in job.history):
+                    break
+                time.sleep(0.001)
+            else:
+                pytest.fail("no front event within 60s")
+            service.manager.cancel(job.job_id)
+            ended = service.manager.wait(job.job_id, timeout_s=120)
+            assert ended is not None
+            if ended.state == "cancelled":
+                # The partial front was persisted for post-mortems...
+                manifest = service.store.load_manifest(job.job_id)
+                assert manifest is not None
+                assert manifest["search"]["partial"] is True
+                assert manifest["search"]["front"]
+                # ... and the generation journal survived for the resume.
+                journal = os.path.join(
+                    str(tmp_path / "spool"), f"{spec.spec_hash}.moo.jsonl"
+                )
+                assert os.path.exists(journal)
+            # A resubmission resumes (or re-serves) and finishes with the
+            # same front a clean run produces.
+            retry, _ = service.manager.submit(spec)
+            done = service.manager.wait(retry.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+            served = service.job_result(done)
+            direct = run_search(
+                spec.build_evaluator(), spec.configs(), spec.search
+            )
+            assert [row["config"] for row in served["estimates"]] == [
+                [e.config.size, e.config.line_size, e.config.ways, e.config.tiling]
+                for e in direct.front
+            ]
+        finally:
+            service.stop()
+
+    def test_search_deadline_expires_while_queued_then_resumes(self, tmp_path):
+        service = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        )
+        job, _ = service.manager.submit(self.SEARCH, deadline_s=0.005)
+        time.sleep(0.02)
+        service.start()
+        try:
+            ended = service.manager.wait(job.job_id, timeout_s=120)
+            assert ended is not None and ended.state == "cancelled"
+            assert "deadline" in ended.error
+            retry, coalesced = service.manager.submit(self.SEARCH)
+            assert not coalesced
+            done = service.manager.wait(retry.job_id, timeout_s=120)
+            assert done is not None and done.state == "done"
+        finally:
+            service.stop()
+
+    def test_search_result_rebuilt_after_restart(self, tmp_path):
+        first = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        job, _ = first.manager.submit(self.SEARCH)
+        done = first.manager.wait(job.job_id, timeout_s=120)
+        assert done is not None and done.state == "done"
+        original = first.job_result(done)
+        first.stop()
+
+        second = ExplorationService(
+            str(tmp_path / "results.db"), str(tmp_path / "spool")
+        ).start()
+        try:
+            again = second.manager.get(job.job_id)
+            assert again is not None and again.state == "done"
+            rebuilt = second.job_result(again)
+            assert rebuilt is not None
+            assert rebuilt["estimates"] == original["estimates"]
+        finally:
+            second.stop()
+
+    def test_search_and_sweep_specs_never_coalesce(self, tmp_path):
+        manager = JobManager(open_store(str(tmp_path / "r.db")))
+        sweep = JobSpec(kernel="compress", max_size=64, min_size=16, tilings=(1,))
+        search_job, _ = manager.submit(self.SEARCH)
+        sweep_job, coalesced = manager.submit(sweep)
+        assert not coalesced
+        assert search_job.job_id != sweep_job.job_id
+
+    def test_search_job_total_work_is_budget(self):
+        assert self.SEARCH.total_work() == self.SEARCH.search.budget
+        assert SMALL.total_work() == len(SMALL.configs())
